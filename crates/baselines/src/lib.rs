@@ -1,0 +1,41 @@
+//! Comparator algorithms for the experiment harness.
+//!
+//! The paper positions its constructions against prior art along two axes: **silence**
+//! and **space**. This crate re-implements the relevant comparators at a common
+//! interface so the experiments can put numbers on those comparisons:
+//!
+//! * [`naive_reset`] — a genuine guarded-rule spanning-tree construction that keeps only
+//!   the distance half of the proof labels; it is silent and compact but, lacking the
+//!   malleable redundant labels, it cannot support loop-free improvement (used as the
+//!   ablation in experiment E9);
+//! * [`compact_mst`] — a model of the non-silent compact MST algorithms
+//!   ([Blin–Gradinariu–Rovedakis–Tixeuil DISC 2009], [Korman–Kutten–Masuzawa PODC 2011]):
+//!   `O(log n)` bits per node, `O(n)`-round convergence, but a perpetually circulating
+//!   verification token — the algorithm is never quiescent;
+//! * [`prior_mdst`] — a model of the prior self-stabilizing MDST algorithm
+//!   ([Blin–Gradinariu–Rovedakis 2011]): an (OPT + 1)-approximation that is not silent
+//!   and stores explicit fragment-membership lists, i.e. `Ω(n log n)` bits per node.
+//!
+//! The models reproduce the *asymptotics* the paper cites (space per node, silence,
+//! round order) — the quantities the experiments compare — while the trees they output
+//! are computed with the exact sequential oracles so that quality comparisons are fair.
+
+pub mod compact_mst;
+pub mod naive_reset;
+pub mod prior_mdst;
+
+use stst_graph::Tree;
+
+/// Common report produced by every baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// The spanning tree the baseline stabilizes on (or keeps re-verifying forever).
+    pub tree: Tree,
+    /// Rounds until the output tree is in place (for non-silent baselines, the
+    /// verification keeps running after this point).
+    pub rounds: u64,
+    /// Maximum register size in bits per node.
+    pub max_register_bits: usize,
+    /// Whether the algorithm is silent (registers eventually stop changing).
+    pub silent: bool,
+}

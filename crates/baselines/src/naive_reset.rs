@@ -1,0 +1,112 @@
+//! A genuine guarded-rule spanning-tree construction that keeps only the distance half
+//! of the proof labels.
+//!
+//! It is silent, compact (`O(log n)` bits) and correct as a *spanning tree*
+//! construction, but without the size component the labeling is not malleable: any
+//! in-place improvement of the tree would transiently violate the distance labels and
+//! raise alarms, which is why the paper introduces the redundant scheme of §IV. This
+//! baseline is the ablation arm of experiment E9.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use stst_graph::ids::bits_for;
+use stst_graph::{Graph, Ident, NodeId};
+use stst_runtime::register::option_ident_bits;
+use stst_runtime::{Algorithm, ParentPointer, Register, View};
+
+/// Register: claimed root, parent pointer and distance only (no subtree size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistanceOnlyState {
+    /// Identity of the claimed root.
+    pub root: Ident,
+    /// Identity of the parent neighbor, or `⊥`.
+    pub parent: Option<Ident>,
+    /// Claimed hop distance to the root.
+    pub dist: u64,
+}
+
+impl Register for DistanceOnlyState {
+    fn bit_size(&self) -> usize {
+        bits_for(self.root) + option_ident_bits(&self.parent) + bits_for(self.dist)
+    }
+}
+
+impl ParentPointer for DistanceOnlyState {
+    fn parent_ident(&self) -> Option<Ident> {
+        self.parent
+    }
+}
+
+/// The distance-only silent spanning-tree construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistanceOnlySpanningTree;
+
+impl Algorithm for DistanceOnlySpanningTree {
+    type State = DistanceOnlyState;
+
+    fn name(&self) -> &str {
+        "distance-only spanning tree (ablation baseline)"
+    }
+
+    fn arbitrary_state(&self, graph: &Graph, _node: NodeId, rng: &mut StdRng) -> DistanceOnlyState {
+        let n = graph.node_count() as u64;
+        DistanceOnlyState {
+            root: rng.gen_range(0..=2 * n.max(1)),
+            parent: if rng.gen_bool(0.3) { None } else { Some(rng.gen_range(0..=2 * n.max(1))) },
+            dist: rng.gen_range(0..=n + 1),
+        }
+    }
+
+    fn step(&self, view: &View<'_, DistanceOnlyState>) -> Option<DistanceOnlyState> {
+        let mut best: (Ident, u64, Option<Ident>) = (view.ident, 0, None);
+        for nb in &view.neighbors {
+            if nb.state.root < view.ident && nb.state.dist + 1 < view.n as u64 {
+                let candidate = (nb.state.root, nb.state.dist + 1, Some(nb.ident));
+                if candidate < best {
+                    best = candidate;
+                }
+            }
+        }
+        let desired = DistanceOnlyState { root: best.0, parent: best.2, dist: best.1 };
+        (desired != *view.state).then_some(desired)
+    }
+
+    fn is_legal(&self, graph: &Graph, states: &[DistanceOnlyState]) -> bool {
+        let Ok(tree) = stst_runtime::executor::parent_pointer_tree(graph, states) else {
+            return false;
+        };
+        tree.root() == graph.min_ident_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::generators;
+    use stst_runtime::{Executor, ExecutorConfig};
+
+    #[test]
+    fn converges_silently_to_a_spanning_tree() {
+        for seed in 0..3 {
+            let g = generators::workload(24, 0.15, seed);
+            let mut exec =
+                Executor::from_arbitrary(&g, DistanceOnlySpanningTree, ExecutorConfig::seeded(seed));
+            let q = exec.run_to_quiescence(2_000_000).unwrap();
+            assert!(q.silent && q.legal, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uses_fewer_bits_than_the_redundant_construction() {
+        let g = generators::workload(64, 0.08, 1);
+        let mut exec =
+            Executor::from_arbitrary(&g, DistanceOnlySpanningTree, ExecutorConfig::seeded(1));
+        exec.run_to_quiescence(2_000_000).unwrap();
+        // Compare the stabilized register sizes (peaks include the arbitrary initial
+        // garbage, which says nothing about the algorithms).
+        let ours = exec.space_report().max_bits;
+        let full = stst_core::mst::spanning_phase_register_bits(&g, 1);
+        assert!(ours <= full, "distance-only registers ({ours}) exceed the redundant ones ({full})");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment e1_bfs: E1: silent BFS convergence.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::bfs::RootedBfs;
+use stst_graph::generators;
+use stst_runtime::{Executor, ExecutorConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bfs");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[16usize, 48] {
+        group.bench_with_input(BenchmarkId::new("rooted_bfs_converge", n), &n, |b, &n| {
+            let g = generators::workload(n, 0.1, 7);
+            let root = g.ident(g.min_ident_node());
+            b.iter(|| {
+                let mut exec = Executor::from_arbitrary(
+                    &g,
+                    RootedBfs::new(root),
+                    ExecutorConfig::seeded(7),
+                );
+                black_box(exec.run_to_quiescence(10_000_000).unwrap())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment e2_switch: E2: loop-free malleable edge switch.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::switch::loop_free_switch;
+use stst_graph::{bfs, generators};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_switch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[32usize, 96] {
+        group.bench_with_input(BenchmarkId::new("loop_free_switch", n), &n, |b, &n| {
+            let g = generators::workload(n, 0.15, 3);
+            let t = bfs::bfs_tree(&g, g.min_ident_node());
+            let e = g
+                .edge_ids()
+                .find(|&e| {
+                    let ed = g.edge(e);
+                    !t.contains_edge(ed.u, ed.v)
+                })
+                .unwrap();
+            let cycle = t.fundamental_cycle_tree_edges(&g, e);
+            let f = cycle[cycle.len() / 2];
+            b.iter(|| black_box(loop_free_switch(&g, &t, e, f)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for experiment e3_nca: E3: NCA labeling construction and certification.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::nca_build::build_nca_labels;
+use stst_graph::{bfs, generators};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_nca");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("nca_labels", n), &n, |b, &n| {
+            let g = generators::workload(n, 0.1, 5);
+            let t = bfs::bfs_tree(&g, g.min_ident_node());
+            b.iter(|| black_box(build_nca_labels(&g, &t)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment e4_mst: E4: silent self-stabilizing MST construction.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::{construct_mst, EngineConfig};
+use stst_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_mst");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("construct_mst", n), &n, |b, &n| {
+            let g = generators::workload(n, 0.25, 11);
+            b.iter(|| black_box(construct_mst(&g, &EngineConfig::seeded(11))));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment e6_mdst: E6: silent self-stabilizing MDST (FR-tree) construction.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::{construct_mdst, EngineConfig};
+use stst_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_mdst");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[12usize, 20] {
+        group.bench_with_input(BenchmarkId::new("construct_mdst", n), &n, |b, &n| {
+            let g = generators::workload(n, 0.3, 13);
+            b.iter(|| black_box(construct_mdst(&g, &EngineConfig::seeded(13))));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for experiment e7_mdst_space: E7: MDST memory comparison vs prior art.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_mdst_space");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("e7_space_table", |b| {
+        b.iter(|| black_box(stst_bench::e7_mdst_space(&[16, 32], 9)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

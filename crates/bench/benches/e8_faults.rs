@@ -1,0 +1,42 @@
+//! Criterion bench for experiment e8_faults: E8: recovery from transient faults.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::spanning::MinIdSpanningTree;
+use stst_graph::generators;
+use stst_runtime::{Executor, ExecutorConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_faults");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for &k in &[1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("recover_after_faults", k), &k, |b, &k| {
+            let g = generators::workload(32, 0.12, 17);
+            let mut exec =
+                Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(17));
+            exec.run_to_quiescence(10_000_000).unwrap();
+            let stable = exec.states().to_vec();
+            b.iter(|| {
+                let mut exec = Executor::with_states(
+                    &g,
+                    MinIdSpanningTree,
+                    stable.clone(),
+                    ExecutorConfig::seeded(17),
+                );
+                exec.corrupt_random_nodes(k);
+                black_box(exec.run_to_quiescence(10_000_000).unwrap())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

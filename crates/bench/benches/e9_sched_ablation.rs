@@ -1,0 +1,40 @@
+//! Criterion bench for experiment e9_sched_ablation: E9: scheduler robustness and guidance ablation.
+//!
+//! The full parameter sweep (and the tables in EXPERIMENTS.md) is produced by
+//! `cargo run --release -p stst-bench --bin report`; this bench times representative
+//! points of the sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::spanning::MinIdSpanningTree;
+use stst_graph::generators;
+use stst_runtime::{Executor, ExecutorConfig, SchedulerKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_sched_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for kind in [SchedulerKind::Central, SchedulerKind::Adversarial, SchedulerKind::Synchronous] {
+        group.bench_with_input(
+            BenchmarkId::new("spanning_tree_under", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                let g = generators::workload(24, 0.2, 19);
+                b.iter(|| {
+                    let mut exec = Executor::from_arbitrary(
+                        &g,
+                        MinIdSpanningTree,
+                        ExecutorConfig::with_scheduler(19, kind),
+                    );
+                    black_box(exec.run_to_quiescence(10_000_000).unwrap())
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

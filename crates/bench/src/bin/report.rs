@@ -1,0 +1,19 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p stst-bench --bin report [seed]`
+//! (pass `--json` as a second argument to emit machine-readable output).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2015);
+    let json = args.iter().any(|a| a == "--json");
+    let tables = stst_bench::full_report(seed);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&tables).expect("serializable tables"));
+        return;
+    }
+    println!("# Experiment report (seed {seed})\n");
+    for table in tables {
+        println!("{}\n", table.to_markdown());
+    }
+}

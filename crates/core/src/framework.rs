@@ -1,0 +1,208 @@
+//! The PLS-guided local-search engines (Algorithm 1 and Algorithm 3) and the report
+//! structure shared by the composed constructions.
+
+use stst_graph::{Graph, Tree};
+use stst_runtime::SchedulerKind;
+
+use crate::potential::{CyclicalDecreasing, NestDecreasing};
+
+/// Configuration of a composed construction run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Seed for the arbitrary initial configuration and the daemon.
+    pub seed: u64,
+    /// Daemon used by the guarded-rule phases.
+    pub scheduler: SchedulerKind,
+    /// Step budget for the guarded-rule phases.
+    pub max_steps: u64,
+}
+
+impl EngineConfig {
+    /// Central daemon, generous step budget.
+    pub fn seeded(seed: u64) -> Self {
+        EngineConfig { seed, scheduler: SchedulerKind::Central, max_steps: 5_000_000 }
+    }
+
+    /// Overrides the daemon.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::seeded(0)
+    }
+}
+
+/// Report of a composed silent self-stabilizing construction (MST, MDST, …).
+#[derive(Clone, Debug)]
+pub struct ConstructionReport {
+    /// The stabilized spanning tree.
+    pub tree: Tree,
+    /// Total rounds: guarded-rule rounds of the tree-construction phase plus the round
+    /// charges of every wave and switch of the improvement phase.
+    pub total_rounds: u64,
+    /// Rounds broken down by phase.
+    pub phase_rounds: Vec<(String, u64)>,
+    /// Number of edge swaps (or well-nested swap sequences) applied.
+    pub improvements: usize,
+    /// Maximum register size (bits per node) observed across all phases, including the
+    /// labels maintained for silence.
+    pub max_register_bits: usize,
+    /// Whether the stabilized output satisfies the task's legality predicate.
+    pub legal: bool,
+}
+
+impl ConstructionReport {
+    /// Rounds charged to phases whose label contains `needle`.
+    pub fn rounds_for(&self, needle: &str) -> u64 {
+        self.phase_rounds
+            .iter()
+            .filter(|(l, _)| l.contains(needle))
+            .map(|(_, r)| r)
+            .sum()
+    }
+}
+
+/// Statistics of a sequential local-search run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalSearchStats {
+    /// Number of applied improvements.
+    pub improvements: usize,
+    /// Potential of the initial tree.
+    pub initial_potential: u64,
+    /// Potential of the final tree (zero on success).
+    pub final_potential: u64,
+}
+
+/// Algorithm 1 (sequential reference): repeatedly apply the improving swap prescribed by
+/// a cyclical-decreasing potential until the potential reaches zero.
+///
+/// # Panics
+///
+/// Panics if the potential fails to decrease (which would contradict the
+/// cyclical-decreasing property) for more than `φ_max` iterations.
+pub fn local_search<P: CyclicalDecreasing>(
+    graph: &Graph,
+    initial: Tree,
+    potential: &P,
+) -> (Tree, LocalSearchStats) {
+    let mut tree = initial;
+    let mut stats = LocalSearchStats {
+        initial_potential: potential.value(graph, &tree),
+        ..LocalSearchStats::default()
+    };
+    let budget = potential.max_value(graph).saturating_add(8);
+    for _ in 0..=budget {
+        match potential.improving_swap(graph, &tree) {
+            None => {
+                stats.final_potential = potential.value(graph, &tree);
+                return (tree, stats);
+            }
+            Some((e, f)) => {
+                tree = tree.with_swap(graph, e, f);
+                stats.improvements += 1;
+            }
+        }
+    }
+    panic!(
+        "potential '{}' did not reach zero within its own φ_max budget",
+        potential.name()
+    );
+}
+
+/// Algorithm 3 (sequential reference): repeatedly apply a well-nested improving swap
+/// sequence prescribed by a nest-decreasing potential until the potential reaches zero.
+pub fn nested_local_search<P: NestDecreasing>(
+    graph: &Graph,
+    initial: Tree,
+    potential: &P,
+) -> (Tree, LocalSearchStats) {
+    let mut tree = initial;
+    let mut stats = LocalSearchStats {
+        initial_potential: potential.value(graph, &tree),
+        ..LocalSearchStats::default()
+    };
+    let budget = potential.max_value(graph).saturating_add(8);
+    for _ in 0..=budget {
+        match potential.improved(graph, &tree) {
+            None => break,
+            Some(next) => {
+                tree = next;
+                stats.improvements += 1;
+            }
+        }
+    }
+    stats.final_potential = potential.value(graph, &tree);
+    (tree, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{BfsPotential, MdstPotential, MstPotential};
+    use stst_graph::bfs::{bfs_tree, is_bfs_tree};
+    use stst_graph::generators;
+    use stst_graph::mst::is_mst;
+
+    #[test]
+    fn algorithm_1_instantiated_for_bfs() {
+        // On a ring, the rooted path is a valid (but very poor) spanning tree.
+        let g = generators::ring(16);
+        let (tree, stats) = local_search(&g, Tree::path(16), &BfsPotential);
+        assert!(is_bfs_tree(&g, &tree));
+        assert_eq!(stats.final_potential, 0);
+        assert!(stats.initial_potential > 0);
+        assert!(stats.improvements > 0);
+    }
+
+    #[test]
+    fn algorithm_1_instantiated_for_mst() {
+        for seed in 0..4 {
+            let g = generators::workload(18, 0.3, seed);
+            let start = bfs_tree(&g, g.min_ident_node());
+            let (tree, stats) = local_search(&g, start, &MstPotential);
+            assert!(is_mst(&g, &tree), "seed {seed}");
+            assert_eq!(stats.final_potential, 0);
+        }
+    }
+
+    #[test]
+    fn algorithm_3_instantiated_for_mdst() {
+        let g = generators::complete(10);
+        let star = Tree::from_parents(
+            std::iter::once(None)
+                .chain((1..10).map(|_| Some(stst_graph::NodeId(0))))
+                .collect(),
+        )
+        .unwrap();
+        let (tree, stats) = nested_local_search(&g, star, &MdstPotential);
+        assert!(tree.max_degree() <= 3);
+        assert_eq!(stats.final_potential, 0);
+        assert!(stats.improvements >= 1);
+    }
+
+    #[test]
+    fn report_phase_lookup() {
+        let report = ConstructionReport {
+            tree: Tree::path(3),
+            total_rounds: 12,
+            phase_rounds: vec![("tree construction".into(), 5), ("labels".into(), 7)],
+            improvements: 1,
+            max_register_bits: 32,
+            legal: true,
+        };
+        assert_eq!(report.rounds_for("labels"), 7);
+        assert_eq!(report.rounds_for("nothing"), 0);
+    }
+
+    #[test]
+    fn engine_config_builders() {
+        let c = EngineConfig::seeded(9).with_scheduler(SchedulerKind::Adversarial);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scheduler, SchedulerKind::Adversarial);
+        assert_eq!(EngineConfig::default().scheduler, SchedulerKind::Central);
+    }
+}

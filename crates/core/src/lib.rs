@@ -1,0 +1,48 @@
+//! The paper's contribution: proof-labeling-scheme-guided, silent, self-stabilizing
+//! constructions of constrained spanning trees.
+//!
+//! The crate is organized along the paper's own structure:
+//!
+//! * [`potential`] — cyclical-decreasing and nest-decreasing potential functions (§III,
+//!   §VII) for BFS, MST and MDST;
+//! * [`framework`] — the PLS-guided local-search engines: Algorithm 1 (single edge
+//!   swaps) and Algorithm 3 (well-nested swap sequences), in their sequential reference
+//!   form;
+//! * [`spanning`] and [`bfs`] — genuine guarded-rule silent self-stabilizing spanning
+//!   tree / BFS constructions running on the [`stst_runtime`] state model (the paper's
+//!   Instruction 1 and the §III example);
+//! * [`switch`] — the loop-free edge-switch module of §IV, which performs
+//!   `T ← T + e − f` through a sequence of local reparentings while keeping the
+//!   redundant (malleable) labels accepted at every intermediate configuration;
+//! * [`nca_build`] — the wave-based construction of the NCA labels of §V on a
+//!   stabilized tree, with round and space accounting;
+//! * [`waves`] — round-cost accounting for broadcast/convergecast waves over the
+//!   current tree (the composition currency of the paper's Lemmas 3.1 and 7.1);
+//! * [`mst`] — Corollary 6.1: the silent self-stabilizing MST construction
+//!   (PLS-guided Borůvka, Algorithm 2);
+//! * [`mdst`] — Corollary 8.1: the silent self-stabilizing MDST construction
+//!   stabilizing on FR-trees (distributed Fürer–Raghavachari, Algorithm 4).
+//!
+//! ## Execution models
+//!
+//! The spanning-tree / BFS layer runs as *bona fide* guarded rules under any daemon of
+//! the runtime. The MST and MDST constructions are composed exactly as the paper
+//! composes them — label-construction waves, fundamental-cycle searches and loop-free
+//! switches over the current tree — and are simulated at *wave granularity*: every wave
+//! is charged its real round cost on the current tree (heights and path lengths are
+//! measured, not assumed), and every intermediate configuration is checked to stay
+//! loop-free and accepted by the malleable scheme. DESIGN.md discusses this choice.
+
+pub mod bfs;
+pub mod framework;
+pub mod mdst;
+pub mod mst;
+pub mod nca_build;
+pub mod potential;
+pub mod spanning;
+pub mod switch;
+pub mod waves;
+
+pub use framework::{ConstructionReport, EngineConfig};
+pub use mdst::construct_mdst;
+pub use mst::construct_mst;

@@ -1,0 +1,225 @@
+//! Potential functions guiding the local search (§III and §VII).
+//!
+//! A family `F` of spanning trees admits a **cyclical-decreasing** potential `φ` when
+//! `φ(T) ≥ 0`, `φ(T) = 0 ⇔ T ∈ F`, and every tree with `φ(T) > 0` has a fundamental
+//! cycle `T + e` containing a tree edge `f` with `φ(T + e − f) < φ(T)`. The
+//! **nest-decreasing** generalization (§VII) replaces the single swap by a well-nested
+//! sequence of swaps. These traits are what the [`crate::framework`] engines consume.
+
+use stst_graph::{EdgeId, Graph, Tree};
+
+/// A potential function measuring how far a spanning tree is from the target family.
+pub trait Potential {
+    /// Human-readable name (for reports).
+    fn name(&self) -> &str;
+
+    /// `φ(T) ≥ 0`, with `φ(T) = 0` iff `T` belongs to the target family.
+    fn value(&self, graph: &Graph, tree: &Tree) -> u64;
+
+    /// A coarse upper bound `φ_max` on the potential over all spanning trees of `graph`
+    /// (enters the round-complexity bound of Lemma 3.1).
+    fn max_value(&self, graph: &Graph) -> u64;
+
+    /// `true` iff the tree belongs to the target family.
+    fn is_target(&self, graph: &Graph, tree: &Tree) -> bool {
+        self.value(graph, tree) == 0
+    }
+}
+
+/// A potential that decreases along single edge swaps (Algorithm 1).
+pub trait CyclicalDecreasing: Potential {
+    /// For a tree with `φ(T) > 0`: a non-tree edge `e` and a tree edge `f` on the
+    /// fundamental cycle of `T + e` with `φ(T + e − f) < φ(T)`. Must return `None`
+    /// exactly when `φ(T) = 0`.
+    fn improving_swap(&self, graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)>;
+}
+
+/// A potential that decreases along well-nested swap sequences (Algorithm 3).
+pub trait NestDecreasing: Potential {
+    /// For a tree with `φ(T) > 0`: the tree resulting from applying one well-nested
+    /// sequence of swaps with strictly smaller potential. Must return `None` exactly
+    /// when `φ(T) = 0`.
+    fn improved(&self, graph: &Graph, tree: &Tree) -> Option<Tree>;
+}
+
+/// The BFS potential of the §III example: `φ(T) = Σ_u |depth_T(u) − dist_G(u, r)|`,
+/// with the improving swap `e = {u, v}` for a neighbor `v` certifying
+/// `d(v) < d(u) − 1`, `f = {u, p(u)}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsPotential;
+
+impl Potential for BfsPotential {
+    fn name(&self) -> &str {
+        "BFS potential (Σ |depth − dist|)"
+    }
+
+    fn value(&self, graph: &Graph, tree: &Tree) -> u64 {
+        stst_graph::bfs::bfs_potential(graph, tree)
+    }
+
+    fn max_value(&self, graph: &Graph) -> u64 {
+        (graph.node_count() * graph.node_count()) as u64
+    }
+}
+
+impl CyclicalDecreasing for BfsPotential {
+    fn improving_swap(&self, graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
+        let depths = tree.depths();
+        // A node u with a neighbor v such that depth(v) + 1 < depth(u) can re-parent to
+        // v; pick the pair with the deepest violation to keep the choice deterministic.
+        let mut best: Option<(EdgeId, EdgeId, u64)> = None;
+        for u in tree.nodes() {
+            let Some(p) = tree.parent(u) else { continue };
+            let f = graph.edge_between(u, p).expect("tree edge");
+            for &(v, e) in graph.neighbors(u) {
+                if v == p {
+                    continue;
+                }
+                if depths[v.0] + 1 < depths[u.0] {
+                    let gain = (depths[u.0] - depths[v.0] - 1) as u64;
+                    if best.map_or(true, |(_, _, g)| gain > g) {
+                        best = Some((e, f, gain));
+                    }
+                }
+            }
+        }
+        best.map(|(e, f, _)| (e, f))
+    }
+}
+
+/// The MST potential of §VI: `φ(T) = k·n − Σ_x φ_x(T)` over the Borůvka-trace fragment
+/// labels; the improving swap adds the true minimum-weight outgoing edge of a violating
+/// fragment and removes the heaviest edge of its fundamental cycle (red rule).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MstPotential;
+
+impl Potential for MstPotential {
+    fn name(&self) -> &str {
+        "MST fragment potential (§VI)"
+    }
+
+    fn value(&self, graph: &Graph, tree: &Tree) -> u64 {
+        stst_labeling::mst_fragments::mst_potential(graph, tree)
+    }
+
+    fn max_value(&self, graph: &Graph) -> u64 {
+        let n = graph.node_count() as u64;
+        n * (64 - n.leading_zeros() as u64 + 1)
+    }
+}
+
+impl CyclicalDecreasing for MstPotential {
+    fn improving_swap(&self, graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
+        stst_labeling::mst_fragments::fragment_guided_swap(graph, tree)
+    }
+}
+
+/// The MDST potential of §VIII: `φ(T) = (n·∆_T + N_T)(1 − 1_FR(T))`; the improvement is
+/// the well-nested swap sequence of Fürer–Raghavachari reducing the degree of a good
+/// max-degree node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MdstPotential;
+
+impl Potential for MdstPotential {
+    fn name(&self) -> &str {
+        "MDST / FR-tree potential (§VIII)"
+    }
+
+    fn value(&self, graph: &Graph, tree: &Tree) -> u64 {
+        stst_labeling::fr_labels::mdst_potential(graph, tree)
+    }
+
+    fn max_value(&self, graph: &Graph) -> u64 {
+        let n = graph.node_count() as u64;
+        n * n + n
+    }
+}
+
+impl NestDecreasing for MdstPotential {
+    fn improved(&self, graph: &Graph, tree: &Tree) -> Option<Tree> {
+        if stst_graph::fr::is_fr_tree(graph, tree) {
+            return None;
+        }
+        // One outer iteration of Fürer–Raghavachari: find an improvable max-degree node
+        // and apply its well-nested swap sequence. `furer_raghavachari_from` applies
+        // improvements until none is possible; to expose *one* improvement at a time we
+        // run it with the current tree and stop after the potential dropped.
+        let (improved, stats) = stst_graph::fr::furer_raghavachari_from(graph, tree);
+        if stats.improvements == 0 {
+            // Not an FR-tree yet no improvement applies: this can only happen when the
+            // nested application was invalidated; treat as converged (callers verify the
+            // FR property separately).
+            return None;
+        }
+        Some(improved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::bfs::{bfs_tree, is_bfs_tree};
+    use stst_graph::generators;
+    use stst_graph::mst::is_mst;
+
+    #[test]
+    fn bfs_potential_decreases_along_its_swaps() {
+        let g = generators::ring(10);
+        let mut t = Tree::path(10); // rooted path: terrible BFS tree for the ring
+        let mut previous = BfsPotential.value(&g, &t);
+        assert!(previous > 0);
+        let mut guard = 0;
+        while let Some((e, f)) = BfsPotential.improving_swap(&g, &t) {
+            t = t.with_swap(&g, e, f);
+            let now = BfsPotential.value(&g, &t);
+            assert!(now < previous, "swap must strictly decrease φ ({previous} → {now})");
+            previous = now;
+            guard += 1;
+            assert!(guard < 200);
+        }
+        assert!(is_bfs_tree(&g, &t));
+        assert!(BfsPotential.is_target(&g, &t));
+        assert!(BfsPotential.max_value(&g) >= previous);
+    }
+
+    #[test]
+    fn mst_potential_guides_to_the_optimum() {
+        let g = generators::workload(16, 0.3, 3);
+        let mut t = bfs_tree(&g, g.min_ident_node());
+        let mut guard = 0;
+        while let Some((e, f)) = MstPotential.improving_swap(&g, &t) {
+            let before = t.total_weight(&g);
+            t = t.with_swap(&g, e, f);
+            assert!(t.total_weight(&g) < before);
+            guard += 1;
+            assert!(guard < 500);
+        }
+        assert!(is_mst(&g, &t));
+        assert!(MstPotential.is_target(&g, &t));
+    }
+
+    #[test]
+    fn mdst_potential_reaches_an_fr_tree() {
+        let g = generators::complete(9);
+        let star = Tree::from_parents(
+            std::iter::once(None)
+                .chain((1..9).map(|_| Some(stst_graph::NodeId(0))))
+                .collect(),
+        )
+        .unwrap();
+        assert!(MdstPotential.value(&g, &star) > 0);
+        let improved = MdstPotential.improved(&g, &star).expect("the star is improvable");
+        assert!(MdstPotential.value(&g, &improved) < MdstPotential.value(&g, &star));
+        assert!(MdstPotential.improved(&g, &improved).is_none() || improved.max_degree() <= 3);
+    }
+
+    #[test]
+    fn names_and_bounds_are_sane() {
+        let g = generators::workload(12, 0.3, 1);
+        let t = bfs_tree(&g, g.min_ident_node());
+        for p in [&BfsPotential as &dyn Potential, &MstPotential, &MdstPotential] {
+            assert!(!p.name().is_empty());
+            assert!(p.max_value(&g) >= p.value(&g, &t));
+        }
+    }
+}

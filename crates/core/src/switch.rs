@@ -1,0 +1,284 @@
+//! The loop-free edge-switch module of §IV.
+//!
+//! Replacing a tree edge `f` by a non-tree edge `e` of its fundamental cycle is done as
+//! a sequence of *local* switches along the tree path between `e` and `f` (Fig. 1a):
+//! each local switch reparents one node onto its predecessor, moving the "gap" one hop
+//! closer to `f`; after the last one, `f` has left the tree. Every intermediate
+//! configuration is a spanning tree (**loop-freedom**).
+//!
+//! Each local switch follows the three phases of Fig. 1b: a *pruning* phase degrades the
+//! redundant labels to `(d, ⊥)` along the root paths of the old and new parents and to
+//! `(⊥, s)` inside the subtree of the reparenting node, a *switching* phase changes the
+//! parent pointer (and the node's distance) in one atomic step, and a *relabeling* phase
+//! restores full labels for the new tree. By Lemma 4.1 (malleability), the verifier of
+//! the redundant scheme accepts every one of these configurations, so the switch never
+//! raises a false alarm.
+//!
+//! Round accounting: the paper obtains `O(n)` rounds for the whole `T ← T + e − f` by
+//! pipelining the waves of consecutive local switches. We charge the pipelined cost —
+//! one initial pruning wave, one round per local switch, one final relabeling wave, plus
+//! one round of local fix-up per switch — which is `O(height(T) + |cycle|) = O(n)`;
+//! the per-stage configurations generated for verification follow the unpipelined
+//! description above.
+
+use stst_graph::{EdgeId, Graph, NodeId, Tree};
+use stst_labeling::redundant::{RedundantLabel, RedundantScheme};
+use stst_labeling::scheme::ProofLabelingScheme;
+
+use crate::waves;
+
+/// One intermediate configuration of a switch: the current tree and the (possibly
+/// pruned) redundant labels exposed by the nodes.
+#[derive(Clone, Debug)]
+pub struct SwitchStage {
+    /// Short description of the stage (for traces).
+    pub description: String,
+    /// The spanning tree at this stage.
+    pub tree: Tree,
+    /// The redundant labels exposed at this stage.
+    pub labels: Vec<RedundantLabel>,
+}
+
+/// The outcome of a loop-free switch `T ← T + e − f`.
+#[derive(Clone, Debug)]
+pub struct SwitchOutcome {
+    /// The resulting tree (the edge set of `T + e − f`, rooted at the original root).
+    pub tree: Tree,
+    /// Every intermediate configuration, in order (three stages per local switch).
+    pub stages: Vec<SwitchStage>,
+    /// Number of local switches performed (the length of the reparenting path).
+    pub local_switches: usize,
+    /// Rounds charged to the switch (pipelined estimate, `O(n)`).
+    pub rounds: u64,
+}
+
+/// Builds the three stages of one *local* switch: node `v` leaves its parent `w` for the
+/// new parent `w'` (which must not be a descendant of `v`). Returns the stages and the
+/// resulting tree.
+fn local_switch_stages(
+    graph: &Graph,
+    tree: &Tree,
+    v: NodeId,
+    new_parent: NodeId,
+) -> (Vec<SwitchStage>, Tree) {
+    let scheme = RedundantScheme;
+    let full = scheme.prove(graph, tree);
+    let old_parent = tree.parent(v).expect("the reparenting node is not the root");
+
+    // Phase 1: pruning. Sizes become stale on the root paths of both parents; distances
+    // become stale strictly below v.
+    let mut pruned = full.clone();
+    for anchor in [old_parent, new_parent] {
+        for x in tree.path_to_root(anchor) {
+            pruned[x.0] = pruned[x.0].pruned_to_distance();
+        }
+    }
+    let children = tree.children_table();
+    let mut stack: Vec<NodeId> = children[v.0].clone();
+    while let Some(x) = stack.pop() {
+        pruned[x.0] = pruned[x.0].pruned_to_size();
+        stack.extend(children[x.0].iter().copied());
+    }
+    let prune_stage = SwitchStage {
+        description: format!("pruning around the local switch of {v}"),
+        tree: tree.clone(),
+        labels: pruned.clone(),
+    };
+
+    // Phase 2: the switch proper. v adopts new_parent and simultaneously updates its
+    // distance to dist(new_parent) + 1 (its subtree size is unchanged).
+    let mut parents = tree.parents().to_vec();
+    parents[v.0] = Some(new_parent);
+    let switched_tree =
+        Tree::from_parents(parents).expect("a local switch onto a non-descendant keeps a tree");
+    let mut switched_labels = pruned.clone();
+    let new_parent_dist = pruned[new_parent.0]
+        .dist
+        .expect("root-path pruning keeps distances");
+    switched_labels[v.0] = RedundantLabel {
+        root: switched_labels[v.0].root,
+        dist: Some(new_parent_dist + 1),
+        size: switched_labels[v.0].size,
+    };
+    let switch_stage = SwitchStage {
+        description: format!("local switch: {v} reparents from {old_parent} to {new_parent}"),
+        tree: switched_tree.clone(),
+        labels: switched_labels,
+    };
+
+    // Phase 3: relabeling — full labels of the new tree.
+    let relabel_stage = SwitchStage {
+        description: format!("relabeling after the local switch of {v}"),
+        tree: switched_tree.clone(),
+        labels: scheme.prove(graph, &switched_tree),
+    };
+
+    (vec![prune_stage, switch_stage, relabel_stage], switched_tree)
+}
+
+/// Performs the loop-free switch `T ← T + e − f` with malleable-label maintenance.
+///
+/// # Panics
+///
+/// Panics if `add` is a tree edge or `remove` does not lie on the fundamental cycle of
+/// `T + add`.
+pub fn loop_free_switch(graph: &Graph, tree: &Tree, add: EdgeId, remove: EdgeId) -> SwitchOutcome {
+    let cycle_edges = tree.fundamental_cycle_tree_edges(graph, add);
+    assert!(
+        cycle_edges.contains(&remove),
+        "the removed edge must lie on the fundamental cycle of the added edge"
+    );
+    let add_edge = graph.edge(add);
+    let remove_edge = graph.edge(remove);
+    // The child-side endpoint of the removed edge roots the subtree that gets detached.
+    let child_side = if tree.parent(remove_edge.u) == Some(remove_edge.v) {
+        remove_edge.u
+    } else {
+        remove_edge.v
+    };
+    let in_detached_subtree = |x: NodeId| tree.path_to_root(x).contains(&child_side);
+    let (inside, outside) = if in_detached_subtree(add_edge.u) {
+        (add_edge.u, add_edge.v)
+    } else {
+        (add_edge.v, add_edge.u)
+    };
+    // Reparenting path: from the endpoint of `e` inside the detached subtree up to the
+    // child side of `f`.
+    let mut path = Vec::new();
+    let mut cur = inside;
+    loop {
+        path.push(cur);
+        if cur == child_side {
+            break;
+        }
+        cur = tree
+            .parent(cur)
+            .expect("the child side of f is an ancestor of the inside endpoint of e");
+    }
+
+    let mut stages = Vec::new();
+    let mut current = tree.clone();
+    let mut new_parent = outside;
+    for &v in &path {
+        let (local_stages, next) = local_switch_stages(graph, &current, v, new_parent);
+        stages.extend(local_stages);
+        current = next;
+        new_parent = v;
+    }
+
+    // Pipelined round estimate: one pruning wave and one relabeling wave over the tree,
+    // plus two rounds (switch + local fix-up) per local switch.
+    let rounds = waves::broadcast_rounds(tree)
+        + waves::convergecast_rounds(tree)
+        + 2 * path.len() as u64
+        + waves::broadcast_rounds(&current)
+        + waves::convergecast_rounds(&current);
+
+    SwitchOutcome { tree: current, stages, local_switches: path.len(), rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::bfs::bfs_tree;
+    use stst_graph::generators;
+    use stst_labeling::scheme::Instance;
+
+    fn some_non_tree_edge(graph: &Graph, tree: &Tree, skip: usize) -> EdgeId {
+        let candidates: Vec<EdgeId> = graph
+            .edge_ids()
+            .filter(|&e| {
+                let ed = graph.edge(e);
+                !tree.contains_edge(ed.u, ed.v)
+            })
+            .collect();
+        candidates[skip % candidates.len()]
+    }
+
+    #[test]
+    fn switch_result_matches_the_atomic_swap() {
+        for seed in 0..5 {
+            let g = generators::workload(22, 0.25, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            let e = some_non_tree_edge(&g, &t, seed as usize);
+            let f = *t.fundamental_cycle_tree_edges(&g, e).last().unwrap();
+            let outcome = loop_free_switch(&g, &t, e, f);
+            let expected = t.with_swap(&g, e, f);
+            let mut got = outcome.tree.edge_ids_in(&g);
+            let mut want = expected.edge_ids_in(&g);
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "seed {seed}");
+            assert!(outcome.local_switches >= 1);
+        }
+    }
+
+    #[test]
+    fn every_intermediate_configuration_is_a_spanning_tree() {
+        let g = generators::workload(30, 0.2, 3);
+        let t = bfs_tree(&g, g.min_ident_node());
+        let e = some_non_tree_edge(&g, &t, 1);
+        let f = t.fundamental_cycle_tree_edges(&g, e)[0];
+        let outcome = loop_free_switch(&g, &t, e, f);
+        for stage in &outcome.stages {
+            assert!(
+                stage.tree.is_spanning_tree_of(&g),
+                "loop-freedom violated at stage '{}'",
+                stage.description
+            );
+        }
+    }
+
+    #[test]
+    fn the_malleable_scheme_never_raises_an_alarm_during_the_switch() {
+        for seed in 0..4 {
+            let g = generators::workload(18, 0.3, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            let e = some_non_tree_edge(&g, &t, seed as usize);
+            let cycle = t.fundamental_cycle_tree_edges(&g, e);
+            let f = cycle[cycle.len() / 2];
+            let outcome = loop_free_switch(&g, &t, e, f);
+            for stage in &outcome.stages {
+                let inst = Instance { graph: &g, parents: stage.tree.parents() };
+                let verdict = RedundantScheme.verify_all(&inst, &stage.labels);
+                assert!(
+                    verdict.accepted(),
+                    "seed {seed}: stage '{}' rejected at {:?}",
+                    stage.description,
+                    verdict.rejecting
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_linear_in_the_tree_size() {
+        let g = generators::ring(64);
+        let t = bfs_tree(&g, stst_graph::NodeId(0));
+        let e = some_non_tree_edge(&g, &t, 0);
+        let f = t.fundamental_cycle_tree_edges(&g, e)[10];
+        let outcome = loop_free_switch(&g, &t, e, f);
+        assert!(
+            outcome.rounds <= 8 * 64,
+            "a switch must cost O(n) rounds, got {}",
+            outcome.rounds
+        );
+        assert!(outcome.rounds >= outcome.local_switches as u64);
+    }
+
+    #[test]
+    fn single_hop_switch_degenerates_gracefully() {
+        // When f is incident to the inside endpoint of e, a single local switch suffices.
+        let g = generators::ring(8);
+        let t = bfs_tree(&g, stst_graph::NodeId(0));
+        let e = some_non_tree_edge(&g, &t, 0);
+        let ed = g.edge(e);
+        // Pick f incident to whichever endpoint of e is deeper in the tree.
+        let depths = t.depths();
+        let deep = if depths[ed.u.0] > depths[ed.v.0] { ed.u } else { ed.v };
+        let f = g.edge_between(deep, t.parent(deep).unwrap()).unwrap();
+        let outcome = loop_free_switch(&g, &t, e, f);
+        assert_eq!(outcome.local_switches, 1);
+        assert_eq!(outcome.stages.len(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Round accounting for broadcast / convergecast waves over the current tree.
+//!
+//! The paper composes its constructions out of waves over the current spanning tree
+//! (label construction, fundamental-cycle searches, pruning/relabeling during switches).
+//! Each wave costs a number of rounds proportional to the height of the tree (or the
+//! length of the affected path); the [`RoundLedger`] records every charge with its
+//! provenance so experiment reports can break the total down by phase.
+
+use stst_graph::Tree;
+
+/// Itemized record of rounds charged to the different phases of a composed run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundLedger {
+    entries: Vec<(String, u64)>,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Records `rounds` rounds spent in the phase `label`.
+    pub fn charge(&mut self, label: impl Into<String>, rounds: u64) {
+        self.entries.push((label.into(), rounds));
+    }
+
+    /// Total rounds charged.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, r)| r).sum()
+    }
+
+    /// The itemized entries, in charge order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Sums the entries grouped by label (for compact reports).
+    pub fn by_phase(&self) -> Vec<(String, u64)> {
+        let mut grouped: Vec<(String, u64)> = Vec::new();
+        for (label, rounds) in &self.entries {
+            match grouped.iter_mut().find(|(l, _)| l == label) {
+                Some((_, total)) => *total += rounds,
+                None => grouped.push((label.clone(), *rounds)),
+            }
+        }
+        grouped
+    }
+}
+
+/// Rounds for one top-down broadcast wave over `tree` (the root informs the leaves):
+/// one round per level.
+pub fn broadcast_rounds(tree: &Tree) -> u64 {
+    tree.height() as u64 + 1
+}
+
+/// Rounds for one bottom-up convergecast wave over `tree` (the leaves inform the root).
+pub fn convergecast_rounds(tree: &Tree) -> u64 {
+    tree.height() as u64 + 1
+}
+
+/// Rounds for constructing the Borůvka-trace fragment labels of §VI on `tree`: each of
+/// the `levels` levels needs a convergecast (minimum outgoing edge per fragment) and a
+/// broadcast (fragment identity and chosen edge).
+pub fn fragment_labeling_rounds(tree: &Tree, levels: usize) -> u64 {
+    (convergecast_rounds(tree) + broadcast_rounds(tree)) * levels as u64
+}
+
+/// Rounds for constructing the NCA labels of §V on `tree`: a convergecast computing
+/// subtree sizes (heavy-child selection) followed by a broadcast extending labels
+/// downward.
+pub fn nca_labeling_rounds(tree: &Tree) -> u64 {
+    convergecast_rounds(tree) + broadcast_rounds(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_totals_and_grouping() {
+        let mut ledger = RoundLedger::new();
+        ledger.charge("label", 10);
+        ledger.charge("switch", 5);
+        ledger.charge("label", 7);
+        assert_eq!(ledger.total(), 22);
+        assert_eq!(ledger.entries().len(), 3);
+        assert_eq!(
+            ledger.by_phase(),
+            vec![("label".to_string(), 17), ("switch".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn wave_costs_scale_with_height() {
+        let path = Tree::path(10);
+        assert_eq!(broadcast_rounds(&path), 10);
+        assert_eq!(convergecast_rounds(&path), 10);
+        assert_eq!(nca_labeling_rounds(&path), 20);
+        assert_eq!(fragment_labeling_rounds(&path, 4), 80);
+        let singleton = Tree::from_parents(vec![None]).unwrap();
+        assert_eq!(broadcast_rounds(&singleton), 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! Minimum-degree spanning trees: the sequential Fürer–Raghavachari (+1)-approximation,
+//! FR-tree certification (Definition 8.1 of the paper), and an exact branch-and-bound
+//! search for small instances.
+//!
+//! The paper's MDST construction (§VIII) stabilizes on *FR-trees*: spanning trees that
+//! admit a good/bad marking certifying that their degree is at most `OPT + 1`. This
+//! module provides the sequential ground truth: the FR local-search algorithm
+//! (Algorithm 4), the marking/certification procedure, and exact optima for small `n`.
+
+use std::collections::HashMap;
+
+use crate::graph::{EdgeId, Graph};
+use crate::ids::NodeId;
+use crate::tree::Tree;
+use crate::union_find::UnionFind;
+
+/// A good/bad marking of the nodes certifying that a tree is an FR-tree
+/// (Definition 8.1): max-degree nodes are bad, degree ≤ k−2 nodes are good, and no graph
+/// edge joins two good nodes lying in different fragments (components of the tree minus
+/// the bad nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrCertificate {
+    /// The tree degree `k` the certificate refers to.
+    pub degree: usize,
+    /// `good[v]` is `true` iff node `v` is marked good.
+    pub good: Vec<bool>,
+    /// `fragment[v]` identifies the fragment of `v` (meaningful only for good nodes):
+    /// the smallest dense index in the fragment.
+    pub fragment: Vec<usize>,
+}
+
+impl FrCertificate {
+    /// `true` if `v` is marked good.
+    pub fn is_good(&self, v: NodeId) -> bool {
+        self.good[v.0]
+    }
+
+    /// Verifies the three conditions of Definition 8.1 against `graph` and `tree`.
+    pub fn verify(&self, graph: &Graph, tree: &Tree) -> bool {
+        let n = graph.node_count();
+        if self.good.len() != n || self.fragment.len() != n {
+            return false;
+        }
+        let k = tree.max_degree();
+        if k != self.degree {
+            return false;
+        }
+        for v in tree.nodes() {
+            let d = tree.degree(v);
+            // (1) every node with degree k is bad.
+            if d == k && self.good[v.0] {
+                return false;
+            }
+            // (2) every node with degree ≤ k−2 is good.
+            if d + 2 <= k && !self.good[v.0] {
+                return false;
+            }
+        }
+        // Recompute fragments (components of T minus bad nodes) and check they match the
+        // certificate, then check (3): no graph edge between good nodes of different
+        // fragments.
+        let frag = fragments_of_good_nodes(tree, &self.good);
+        for v in 0..n {
+            if self.good[v] && frag[v] != self.fragment[v] {
+                return false;
+            }
+        }
+        for e in graph.edges() {
+            let (u, v) = (e.u.0, e.v.0);
+            if self.good[u] && self.good[v] && frag[u] != frag[v] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Components of the forest obtained from `tree` by deleting the nodes marked bad,
+/// identified by the smallest dense index they contain. Bad nodes get their own index.
+fn fragments_of_good_nodes(tree: &Tree, good: &[bool]) -> Vec<usize> {
+    let n = tree.node_count();
+    let mut uf = UnionFind::new(n);
+    for v in tree.nodes() {
+        if let Some(p) = tree.parent(v) {
+            if good[v.0] && good[p.0] {
+                uf.union(v.0, p.0);
+            }
+        }
+    }
+    let mut smallest: HashMap<usize, usize> = HashMap::new();
+    for v in 0..n {
+        let r = uf.find(v);
+        let entry = smallest.entry(r).or_insert(v);
+        if v < *entry {
+            *entry = v;
+        }
+    }
+    (0..n).map(|v| smallest[&uf.find(v)]).collect()
+}
+
+/// Result of the good-propagation phase of the FR algorithm on a given tree.
+#[derive(Clone, Debug)]
+struct Propagation {
+    /// Final good marks.
+    good: Vec<bool>,
+    /// For nodes that started bad and were marked good: the non-tree witness edge whose
+    /// fundamental cycle contains them.
+    witness: HashMap<NodeId, EdgeId>,
+    /// A max-degree node that became good, if any (then the tree is improvable).
+    improvable: Option<NodeId>,
+}
+
+/// The marking/propagation phase of Fürer–Raghavachari (Algorithm 4, lines 3–9):
+/// nodes of degree ≥ d−1 start bad, all others good; repeatedly, a non-tree edge whose
+/// endpoints are good and lie in different fragments marks every bad node on its
+/// fundamental cycle good (recording the edge as witness) and merges the fragments.
+fn propagate(graph: &Graph, tree: &Tree) -> Propagation {
+    let n = graph.node_count();
+    let d = tree.max_degree();
+    let mut good: Vec<bool> = tree.nodes().map(|v| tree.degree(v) + 1 < d).collect();
+    let mut uf = UnionFind::new(n);
+    for v in tree.nodes() {
+        if let Some(p) = tree.parent(v) {
+            if good[v.0] && good[p.0] {
+                uf.union(v.0, p.0);
+            }
+        }
+    }
+    let mut witness: HashMap<NodeId, EdgeId> = HashMap::new();
+    let mut improvable: Option<NodeId> = None;
+    let mut changed = true;
+    while changed && improvable.is_none() {
+        changed = false;
+        for e in graph.edge_ids() {
+            let edge = graph.edge(e);
+            if tree.contains_edge(edge.u, edge.v) {
+                continue;
+            }
+            if !(good[edge.u.0] && good[edge.v.0]) {
+                continue;
+            }
+            if uf.same(edge.u.0, edge.v.0) {
+                continue;
+            }
+            // This edge connects two different fragments of good nodes: every bad node
+            // on its fundamental cycle can be improved, so mark it good.
+            let cycle = tree.fundamental_cycle_nodes(graph, e);
+            for &x in &cycle {
+                if !good[x.0] {
+                    good[x.0] = true;
+                    witness.insert(x, e);
+                    if tree.degree(x) == d && improvable.is_none() {
+                        improvable = Some(x);
+                    }
+                }
+            }
+            // Merge the fragments along the cycle (all cycle nodes are now good).
+            for w in cycle.windows(2) {
+                uf.union(w[0].0, w[1].0);
+            }
+            uf.union(edge.u.0, edge.v.0);
+            changed = true;
+            if improvable.is_some() {
+                break;
+            }
+        }
+    }
+    Propagation { good, witness, improvable }
+}
+
+/// Attempts to certify `tree` as an FR-tree. Returns the certificate if the
+/// propagation fixed point leaves every max-degree node bad (Definition 8.1), or `None`
+/// if the tree is improvable (hence not an FR-tree with this marking).
+pub fn fr_certificate(graph: &Graph, tree: &Tree) -> Option<FrCertificate> {
+    if !tree.is_spanning_tree_of(graph) {
+        return None;
+    }
+    let prop = propagate(graph, tree);
+    if prop.improvable.is_some() {
+        return None;
+    }
+    let fragment = fragments_of_good_nodes(tree, &prop.good);
+    Some(FrCertificate { degree: tree.max_degree(), good: prop.good, fragment })
+}
+
+/// `true` if the tree is certified as an FR-tree (hence has degree at most `OPT + 1`).
+pub fn is_fr_tree(graph: &Graph, tree: &Tree) -> bool {
+    fr_certificate(graph, tree).is_some()
+}
+
+/// Recursively applies the improvement rooted at the good node `x` (which carries a
+/// witness edge): first reduces the degree of any witness-edge endpoint that is still at
+/// degree ≥ d−1, then performs the swap that removes a tree edge incident to `x` on the
+/// witness cycle. Returns the improved tree, or `None` if the nested structure was
+/// invalidated (the caller then restarts the outer loop).
+fn apply_improvement(
+    graph: &Graph,
+    tree: &Tree,
+    x: NodeId,
+    d: usize,
+    witness: &HashMap<NodeId, EdgeId>,
+    depth: usize,
+) -> Option<Tree> {
+    if depth > graph.node_count() {
+        return None;
+    }
+    let &e = witness.get(&x)?;
+    let edge = graph.edge(e);
+    let mut current = tree.clone();
+    for endpoint in [edge.u, edge.v] {
+        if current.degree(endpoint) + 1 >= d {
+            // The endpoint would reach degree d after the swap: reduce it first
+            // (this is the "well nested" sequence of §VII).
+            current = apply_improvement(graph, &current, endpoint, d, witness, depth + 1)?;
+        }
+    }
+    if current.contains_edge(edge.u, edge.v) {
+        return None;
+    }
+    let cycle_edges = current.fundamental_cycle_tree_edges(graph, e);
+    let f = cycle_edges.into_iter().find(|&f| graph.edge(f).touches(x))?;
+    Some(current.with_swap(graph, e, f))
+}
+
+/// Statistics of a Fürer–Raghavachari run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrStats {
+    /// Number of applied improvements (well-nested swap sequences).
+    pub improvements: usize,
+    /// Number of individual edge swaps performed across all improvements.
+    pub swaps: usize,
+    /// Degree of the initial tree.
+    pub initial_degree: usize,
+    /// Degree of the final tree.
+    pub final_degree: usize,
+}
+
+/// The sequential Fürer–Raghavachari algorithm (Algorithm 4 of the paper), starting from
+/// `initial` (any spanning tree of `graph`). Returns an FR-tree (degree ≤ OPT+1) together
+/// with run statistics.
+///
+/// # Panics
+///
+/// Panics if `initial` is not a spanning tree of `graph`.
+pub fn furer_raghavachari_from(graph: &Graph, initial: &Tree) -> (Tree, FrStats) {
+    assert!(initial.is_spanning_tree_of(graph), "initial tree must span the graph");
+    let mut tree = initial.clone();
+    let mut stats = FrStats {
+        initial_degree: tree.max_degree(),
+        final_degree: tree.max_degree(),
+        ..FrStats::default()
+    };
+    // Each successful improvement reduces (degree, #max-degree nodes) lexicographically,
+    // so at most n·d iterations happen; we add a hard guard for safety.
+    let guard = graph.node_count() * graph.node_count() + 10;
+    for _ in 0..guard {
+        let d = tree.max_degree();
+        if d <= 2 {
+            break; // A Hamiltonian path: cannot do better.
+        }
+        let prop = propagate(graph, &tree);
+        let Some(w) = prop.improvable else {
+            break; // All max-degree nodes are bad: the tree is an FR-tree.
+        };
+        let before_edges = tree.edge_ids_in(graph).len();
+        match apply_improvement(graph, &tree, w, d, &prop.witness, 0) {
+            Some(next) => {
+                debug_assert!(next.is_spanning_tree_of(graph));
+                debug_assert_eq!(next.edge_ids_in(graph).len(), before_edges);
+                // Count swaps as symmetric difference / 2.
+                let old: std::collections::HashSet<EdgeId> =
+                    tree.edge_ids_in(graph).into_iter().collect();
+                let new: std::collections::HashSet<EdgeId> =
+                    next.edge_ids_in(graph).into_iter().collect();
+                stats.swaps += old.symmetric_difference(&new).count() / 2;
+                stats.improvements += 1;
+                tree = next;
+            }
+            None => break,
+        }
+    }
+    stats.final_degree = tree.max_degree();
+    (tree, stats)
+}
+
+/// Applies *one* Fürer–Raghavachari improvement (a single well-nested swap sequence
+/// reducing the number of max-degree nodes), if the tree admits one. Returns `None` when
+/// the tree is already an FR-tree (or the nested application was invalidated).
+///
+/// # Panics
+///
+/// Panics if `tree` is not a spanning tree of `graph`.
+pub fn improve_once(graph: &Graph, tree: &Tree) -> Option<Tree> {
+    assert!(tree.is_spanning_tree_of(graph), "improvements need a spanning tree");
+    let d = tree.max_degree();
+    if d <= 2 {
+        return None;
+    }
+    let prop = propagate(graph, tree);
+    let w = prop.improvable?;
+    apply_improvement(graph, tree, w, d, &prop.witness, 0)
+}
+
+/// The sequential Fürer–Raghavachari algorithm starting from a BFS tree rooted at the
+/// minimum-identity node.
+pub fn furer_raghavachari(graph: &Graph) -> (Tree, FrStats) {
+    let initial = crate::bfs::bfs_tree(graph, graph.min_ident_node());
+    furer_raghavachari_from(graph, &initial)
+}
+
+/// Exact minimum spanning-tree degree `∆_min(G)` by branch-and-bound, feasible only for
+/// small graphs (`n ≲ 20`). Returns the optimal degree and one optimal tree.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or has more than `max_nodes` nodes.
+pub fn exact_min_degree_spanning_tree(graph: &Graph, max_nodes: usize) -> (usize, Tree) {
+    assert!(graph.is_connected(), "minimum-degree spanning trees need a connected graph");
+    assert!(
+        graph.node_count() <= max_nodes,
+        "exact search is limited to {max_nodes} nodes"
+    );
+    let n = graph.node_count();
+    if n == 1 {
+        return (0, Tree::from_parents(vec![None]).expect("singleton tree"));
+    }
+    // Try degree bounds k = 2, 3, … until a spanning tree within the bound exists.
+    for k in 2..n {
+        if let Some(tree) = spanning_tree_with_degree_at_most(graph, k) {
+            return (k, tree);
+        }
+    }
+    // A star always works with degree n − 1.
+    let (t, _) = furer_raghavachari(graph);
+    (t.max_degree(), t)
+}
+
+/// Backtracking search for a spanning tree with maximum degree at most `k`.
+fn spanning_tree_with_degree_at_most(graph: &Graph, k: usize) -> Option<Tree> {
+    let n = graph.node_count();
+    let edges: Vec<EdgeId> = graph.edge_ids().collect();
+    let mut degree = vec![0usize; n];
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut uf = UnionFind::new(n);
+
+    fn backtrack(
+        graph: &Graph,
+        edges: &[EdgeId],
+        idx: usize,
+        k: usize,
+        degree: &mut Vec<usize>,
+        chosen: &mut Vec<EdgeId>,
+        uf: &mut UnionFind,
+    ) -> bool {
+        let n = graph.node_count();
+        if chosen.len() == n - 1 {
+            return true;
+        }
+        if idx >= edges.len() {
+            return false;
+        }
+        // Prune: not enough remaining edges to finish the tree.
+        if edges.len() - idx < (n - 1) - chosen.len() {
+            return false;
+        }
+        let e = edges[idx];
+        let edge = graph.edge(e);
+        let (u, v) = (edge.u.0, edge.v.0);
+        // Branch 1: take the edge if it keeps the forest acyclic and within the degree
+        // budget.
+        if degree[u] < k && degree[v] < k && !uf.same(u, v) {
+            let snapshot = uf.clone();
+            uf.union(u, v);
+            degree[u] += 1;
+            degree[v] += 1;
+            chosen.push(e);
+            if backtrack(graph, edges, idx + 1, k, degree, chosen, uf) {
+                return true;
+            }
+            chosen.pop();
+            degree[u] -= 1;
+            degree[v] -= 1;
+            *uf = snapshot;
+        }
+        // Branch 2: skip the edge.
+        backtrack(graph, edges, idx + 1, k, degree, chosen, uf)
+    }
+
+    if backtrack(graph, &edges, 0, k, &mut degree, &mut chosen, &mut uf) {
+        Some(Tree::from_edge_set(graph, &chosen, graph.min_ident_node()).expect("valid tree"))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn hamiltonian_graphs_get_low_degree_trees() {
+        // On a ring the unique spanning trees are Hamiltonian paths: degree 2.
+        let g = generators::ring(12);
+        let (t, stats) = furer_raghavachari(&g);
+        assert_eq!(t.max_degree(), 2);
+        assert!(is_fr_tree(&g, &t));
+        assert!(stats.final_degree <= stats.initial_degree);
+    }
+
+    #[test]
+    fn star_graph_forces_high_degree() {
+        // The star has a unique spanning tree: the star itself.
+        let g = generators::star(9);
+        let (t, _) = furer_raghavachari(&g);
+        assert_eq!(t.max_degree(), 8);
+        assert!(is_fr_tree(&g, &t));
+        let cert = fr_certificate(&g, &t).unwrap();
+        assert!(cert.verify(&g, &t));
+    }
+
+    #[test]
+    fn fr_is_within_one_of_optimal_on_small_graphs() {
+        for seed in 0..10 {
+            let g = generators::random_connected(11, 0.3, seed);
+            let (t, _) = furer_raghavachari(&g);
+            let (opt, opt_tree) = exact_min_degree_spanning_tree(&g, 16);
+            assert_eq!(opt_tree.max_degree(), opt);
+            assert!(
+                t.max_degree() <= opt + 1,
+                "seed {seed}: FR degree {} vs OPT {opt}",
+                t.max_degree()
+            );
+            assert!(is_fr_tree(&g, &t), "seed {seed}: result must be FR-certified");
+        }
+    }
+
+    #[test]
+    fn fr_improves_a_deliberately_bad_initial_tree() {
+        // Complete graph: OPT = 2 (Hamiltonian path); start from the star.
+        let g = generators::complete(10);
+        let star_parents: Vec<Option<NodeId>> = std::iter::once(None)
+            .chain((1..10).map(|_| Some(NodeId(0))))
+            .collect();
+        let star = Tree::from_parents(star_parents).unwrap();
+        assert_eq!(star.max_degree(), 9);
+        let (t, stats) = furer_raghavachari_from(&g, &star);
+        assert!(t.max_degree() <= 3, "got degree {}", t.max_degree());
+        assert!(stats.improvements > 0);
+        assert!(is_fr_tree(&g, &t));
+    }
+
+    #[test]
+    fn certificate_verification_rejects_tampering() {
+        let g = generators::random_connected(14, 0.3, 5);
+        let (t, _) = furer_raghavachari(&g);
+        let cert = fr_certificate(&g, &t).unwrap();
+        assert!(cert.verify(&g, &t));
+        // Tamper: mark a max-degree node good.
+        let mut bad_cert = cert.clone();
+        let w = t.max_degree_nodes()[0];
+        bad_cert.good[w.0] = true;
+        assert!(!bad_cert.verify(&g, &t));
+        // Tamper: wrong degree.
+        let mut bad_cert = cert.clone();
+        bad_cert.degree += 1;
+        assert!(!bad_cert.verify(&g, &t));
+    }
+
+    #[test]
+    fn improvable_trees_are_not_fr_trees() {
+        // Complete graph with a star tree: clearly improvable, so not an FR-tree.
+        let g = generators::complete(8);
+        let star_parents: Vec<Option<NodeId>> = std::iter::once(None)
+            .chain((1..8).map(|_| Some(NodeId(0))))
+            .collect();
+        let star = Tree::from_parents(star_parents).unwrap();
+        assert!(!is_fr_tree(&g, &star));
+    }
+
+    #[test]
+    fn exact_search_matches_known_optima() {
+        // Ring: OPT = 2. Star: OPT = n − 1. Grid 3×3: OPT = 2 (it is Hamiltonian-pathable).
+        let (d, _) = exact_min_degree_spanning_tree(&generators::ring(8), 16);
+        assert_eq!(d, 2);
+        let (d, _) = exact_min_degree_spanning_tree(&generators::star(7), 16);
+        assert_eq!(d, 6);
+        let (d, t) = exact_min_degree_spanning_tree(&generators::grid(3, 3), 16);
+        assert_eq!(d, 2);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    fn fr_on_grids_and_caterpillars() {
+        let g = generators::grid(4, 4);
+        let (t, _) = furer_raghavachari(&g);
+        assert!(t.max_degree() <= 3, "grid FR degree {} too high", t.max_degree());
+        assert!(is_fr_tree(&g, &t));
+
+        let g = generators::caterpillar(5, 2);
+        let (t, _) = furer_raghavachari(&g);
+        // The caterpillar is a tree: the only spanning tree is the graph itself.
+        assert_eq!(t.max_degree(), 4);
+        assert!(is_fr_tree(&g, &t));
+    }
+}

@@ -1,0 +1,327 @@
+//! Graph generators used as experiment workloads.
+//!
+//! All generators are deterministic given their `seed`, produce *connected* graphs, and
+//! leave every edge with weight 1; combine with [`randomize_weights`] or
+//! [`crate::Graph::with_unique_weights`] to obtain the distinct weights assumed by the
+//! MST experiments, and with [`shuffle_idents`] to decorrelate node identities from the
+//! dense indices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+use crate::ids::{Ident, NodeId, Weight};
+
+/// The path `0 - 1 - … - (n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i - 1), NodeId(i), 1);
+    }
+    g
+}
+
+/// The cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut g = path(n);
+    g.add_edge(NodeId(n - 1), NodeId(0), 1);
+    g
+}
+
+/// The star with center 0 and `n - 1` leaves.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i), 1);
+    }
+    g
+}
+
+/// The complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i), NodeId(j), 1);
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::new(rows * cols);
+    let at = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c), 1);
+            }
+        }
+    }
+    g
+}
+
+/// The `rows × cols` torus (grid with wrap-around edges). Needs both dimensions ≥ 3 to
+/// stay a simple graph.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut g = grid(rows, cols);
+    let at = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        g.add_edge(at(r, cols - 1), at(r, 0), 1);
+    }
+    for c in 0..cols {
+        g.add_edge(at(rows - 1, c), at(0, c), 1);
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` nodes (via a random Prüfer-like attachment:
+/// node `i` attaches to a uniformly random earlier node).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(NodeId(j), NodeId(i), 1);
+    }
+    g
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs` pendant leaves.
+/// Worst-case-ish workload for NCA labels and degree-based potentials.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "the spine must be non-empty");
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for i in 1..spine {
+        g.add_edge(NodeId(i - 1), NodeId(i), 1);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            g.add_edge(NodeId(s), NodeId(next), 1);
+            next += 1;
+        }
+    }
+    g
+}
+
+/// A lollipop: a clique of `clique` nodes attached to a path of `tail` nodes.
+/// Classic worst case for walk-based algorithms.
+///
+/// # Panics
+///
+/// Panics if `clique < 1`.
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 1, "the clique must be non-empty");
+    let n = clique + tail;
+    let mut g = Graph::new(n);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            g.add_edge(NodeId(i), NodeId(j), 1);
+        }
+    }
+    for i in 0..tail {
+        let prev = if i == 0 { clique - 1 } else { clique + i - 1 };
+        g.add_edge(NodeId(prev), NodeId(clique + i), 1);
+    }
+    g
+}
+
+/// An Erdős–Rényi-style random *connected* graph: a random spanning tree plus each other
+/// pair independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Random spanning tree backbone guarantees connectivity.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(NodeId(order[j]), NodeId(order[i]), 1);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_between(NodeId(u), NodeId(v)).is_none() && rng.gen_bool(p) {
+                g.add_edge(NodeId(u), NodeId(v), 1);
+            }
+        }
+    }
+    g
+}
+
+/// A random connected graph with average degree approximately `avg_degree`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_with_avg_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    if n == 1 {
+        return Graph::new(1);
+    }
+    let target_edges = (avg_degree * n as f64 / 2.0).max((n - 1) as f64);
+    let extra = (target_edges - (n - 1) as f64).max(0.0);
+    let possible_extra = (n * (n - 1) / 2 - (n - 1)) as f64;
+    let p = if possible_extra <= 0.0 { 0.0 } else { (extra / possible_extra).min(1.0) };
+    random_connected(n, p, seed)
+}
+
+/// Replaces every edge weight with a distinct value drawn as a random permutation of
+/// `1..=m` (deterministic in `seed`).
+pub fn randomize_weights(graph: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_u64);
+    let mut weights: Vec<Weight> = (1..=graph.edge_count() as Weight).collect();
+    weights.shuffle(&mut rng);
+    let mut g = Graph::new(graph.node_count());
+    g.set_idents((0..graph.node_count()).map(|v| graph.ident(NodeId(v))).collect());
+    for (i, e) in graph.edges().iter().enumerate() {
+        g.add_edge(e.u, e.v, weights[i]);
+    }
+    g
+}
+
+/// Replaces node identities with a random permutation of `1..=n` (deterministic in
+/// `seed`), decorrelating identities from dense indices so that min-identity leader
+/// election is not trivially node 0.
+pub fn shuffle_idents(graph: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1de57_u64);
+    let mut ids: Vec<Ident> = (1..=graph.node_count() as Ident).collect();
+    ids.shuffle(&mut rng);
+    let mut g = graph.clone();
+    g.set_idents(ids);
+    g
+}
+
+/// The standard workload of the experiments: a random connected graph with shuffled
+/// identities and distinct random weights.
+pub fn workload(n: usize, p: f64, seed: u64) -> Graph {
+    let g = random_connected(n, p, seed);
+    let g = shuffle_idents(&g, seed.wrapping_add(1));
+    randomize_weights(&g, seed.wrapping_add(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(torus(3, 3).edge_count(), 18);
+        assert_eq!(random_tree(17, 3).edge_count(), 16);
+        assert_eq!(caterpillar(4, 2).node_count(), 12);
+        assert_eq!(lollipop(4, 3).node_count(), 7);
+    }
+
+    #[test]
+    fn everything_is_connected() {
+        for (name, g) in [
+            ("path", path(8)),
+            ("ring", ring(8)),
+            ("star", star(8)),
+            ("complete", complete(8)),
+            ("grid", grid(3, 5)),
+            ("torus", torus(3, 4)),
+            ("random_tree", random_tree(20, 11)),
+            ("caterpillar", caterpillar(5, 3)),
+            ("lollipop", lollipop(5, 4)),
+            ("random_connected", random_connected(20, 0.1, 42)),
+            ("avg_degree", random_with_avg_degree(30, 4.0, 42)),
+            ("workload", workload(25, 0.15, 9)),
+        ] {
+            assert!(g.is_connected(), "{name} should be connected");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        assert_eq!(random_connected(30, 0.2, 5), random_connected(30, 0.2, 5));
+        assert_ne!(random_connected(30, 0.2, 5), random_connected(30, 0.2, 6));
+        assert_eq!(workload(20, 0.3, 5), workload(20, 0.3, 5));
+    }
+
+    #[test]
+    fn randomized_weights_are_distinct_permutation() {
+        let g = randomize_weights(&complete(6), 3);
+        assert!(g.has_unique_weights());
+        let mut w: Vec<_> = g.edges().iter().map(|e| e.weight).collect();
+        w.sort_unstable();
+        assert_eq!(w, (1..=15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_idents_are_a_permutation() {
+        let g = shuffle_idents(&path(10), 4);
+        let mut ids: Vec<_> = g.nodes().map(|v| g.ident(v)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn avg_degree_is_in_the_ballpark() {
+        let g = random_with_avg_degree(100, 6.0, 1);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(avg > 3.0 && avg < 9.0, "average degree {avg} too far from 6");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn ring_needs_three_nodes() {
+        let _ = ring(2);
+    }
+}

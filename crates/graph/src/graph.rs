@@ -1,0 +1,377 @@
+//! The network model: a simple connected undirected graph with distinct node identities
+//! and (optionally) distinct edge weights.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::{bits_for, Ident, NodeId, Weight};
+
+/// Dense index of an edge inside a [`Graph`] (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected edge record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// One endpoint (always the smaller `NodeId`).
+    pub u: NodeId,
+    /// The other endpoint (always the larger `NodeId`).
+    pub v: NodeId,
+    /// The (incorruptible) weight of the edge.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Returns the endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of the edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x:?} is not an endpoint of edge {self:?}")
+        }
+    }
+
+    /// Returns `true` if `x` is an endpoint of this edge.
+    pub fn touches(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// A simple undirected graph with stable dense node indices, distinct node identities
+/// and edge weights.
+///
+/// This is the *network* of the state model (paper §II-A): node identities and incident
+/// edge weights are incorruptible constants; everything a distributed algorithm stores
+/// lives in the runtime crate's registers instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    ids: Vec<Ident>,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes, no edges, and the default identity assignment
+    /// `ident(v) = v + 1`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            ids: (0..n as u64).map(|i| i + 1).collect(),
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` nodes and the given edge list `(u, v, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is a self-loop, references an out-of-range node, or duplicates
+    /// an existing edge.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(NodeId(u), NodeId(v), w);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all edge indices.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId)
+    }
+
+    /// All edge records.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge record for `e`.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.0]
+    }
+
+    /// The identity of node `v` (an incorruptible constant of the model).
+    pub fn ident(&self, v: NodeId) -> Ident {
+        self.ids[v.0]
+    }
+
+    /// The node carrying identity `id`, if any.
+    pub fn node_with_ident(&self, id: Ident) -> Option<NodeId> {
+        self.ids.iter().position(|&x| x == id).map(NodeId)
+    }
+
+    /// The node with the minimum identity. This is the canonical root elected by the
+    /// leader-election layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no nodes.
+    pub fn min_ident_node(&self) -> NodeId {
+        self.nodes()
+            .min_by_key(|&v| self.ident(v))
+            .expect("graph has at least one node")
+    }
+
+    /// Overrides the identity assignment. Identities must be pairwise distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != n` or identities are not pairwise distinct.
+    pub fn set_idents(&mut self, ids: Vec<Ident>) {
+        assert_eq!(ids.len(), self.node_count(), "one identity per node");
+        let distinct: HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len(), "identities must be distinct");
+        self.ids = ids;
+    }
+
+    /// Adds an undirected edge and returns its [`EdgeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        assert!(u != v, "self-loops are not allowed");
+        assert!(u.0 < self.node_count() && v.0 < self.node_count(), "endpoint out of range");
+        assert!(
+            self.edge_between(u, v).is_none(),
+            "duplicate edge between {u:?} and {v:?}"
+        );
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { u: a, v: b, weight });
+        self.adjacency[a.0].push((b, id));
+        self.adjacency[b.0].push((a, id));
+        id
+    }
+
+    /// Neighbors of `v` with the connecting edge ids, in insertion order.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[v.0]
+    }
+
+    /// Degree of `v` in the graph.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.0].len()
+    }
+
+    /// The edge between `u` and `v`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency[u.0]
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Weight of the edge `e`.
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.edges[e.0].weight
+    }
+
+    /// Returns a copy of the graph where edge weights have been replaced by a permutation
+    /// of `1..=m` (pairwise distinct, as the paper assumes w.l.o.g.), chosen
+    /// deterministically from `seed` while preserving the *relative order* of the
+    /// original weights (ties broken by edge id).
+    pub fn with_unique_weights(&self, seed: u64) -> Graph {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut g = self.clone();
+        let mut order: Vec<usize> = (0..g.edges.len()).collect();
+        // Stable ordering by (weight, id) keeps intent of caller-provided weights,
+        // then a seeded shuffle breaks ties among equal weights reproducibly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        order.sort_by_key(|&i| (g.edges[i].weight, i));
+        for (rank, &i) in order.iter().enumerate() {
+            g.edges[i].weight = rank as Weight + 1;
+        }
+        g
+    }
+
+    /// `true` if all edge weights are pairwise distinct.
+    pub fn has_unique_weights(&self) -> bool {
+        let set: HashSet<Weight> = self.edges.iter().map(|e| e.weight).collect();
+        set.len() == self.edges.len()
+    }
+
+    /// `true` if the graph is connected (the paper only considers connected graphs).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in self.neighbors(v) {
+                if !seen[w.0] {
+                    seen[w.0] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.node_count()
+    }
+
+    /// Number of bits needed to store a node identity of this graph.
+    pub fn ident_bits(&self) -> usize {
+        bits_for(self.ids.iter().copied().max().unwrap_or(1))
+    }
+
+    /// Number of bits needed to store an edge weight of this graph.
+    pub fn weight_bits(&self) -> usize {
+        bits_for(self.edges.iter().map(|e| e.weight).max().unwrap_or(1))
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 5), (1, 2, 3), (0, 2, 9)])
+    }
+
+    #[test]
+    fn builds_adjacency_both_directions() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!(g.edge_between(NodeId(2), NodeId(0)).is_some());
+        assert!(g.edge_between(NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+        assert!(e.touches(NodeId(0)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = triangle();
+        g.edge(EdgeId(0)).other(NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(0), 2);
+    }
+
+    #[test]
+    fn default_identities_are_distinct_and_positive() {
+        let g = Graph::new(5);
+        let ids: Vec<_> = g.nodes().map(|v| g.ident(v)).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.min_ident_node(), NodeId(0));
+        assert_eq!(g.node_with_ident(3), Some(NodeId(2)));
+        assert_eq!(g.node_with_ident(77), None);
+    }
+
+    #[test]
+    fn set_idents_changes_root_election() {
+        let mut g = triangle();
+        g.set_idents(vec![30, 10, 20]);
+        assert_eq!(g.min_ident_node(), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn set_idents_rejects_duplicates() {
+        let mut g = triangle();
+        g.set_idents(vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn unique_weights_preserve_order() {
+        let g = Graph::from_edges(4, &[(0, 1, 50), (1, 2, 7), (2, 3, 7), (0, 3, 100)]);
+        let u = g.with_unique_weights(3);
+        assert!(u.has_unique_weights());
+        // The lightest original edges stay lighter than the heavier ones.
+        assert!(u.weight(EdgeId(1)) < u.weight(EdgeId(0)));
+        assert!(u.weight(EdgeId(2)) < u.weight(EdgeId(0)));
+        assert!(u.weight(EdgeId(0)) < u.weight(EdgeId(3)));
+        // Weights are a permutation of 1..=m.
+        let mut ws: Vec<_> = u.edges().iter().map(|e| e.weight).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        assert!(!g.is_connected());
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        assert!(g.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn bit_measures() {
+        let g = triangle();
+        assert_eq!(g.ident_bits(), 2); // identities 1..=3
+        assert_eq!(g.weight_bits(), 4); // max weight 9
+        assert_eq!(g.max_degree(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Nearest-common-ancestor oracle (Euler tour + sparse table).
+//!
+//! This is the sequential ground truth against which the distributed NCA *labeling*
+//! scheme of the paper (§V, after Alstrup–Gavoille–Kaplan–Rauhe) is validated.
+
+use crate::ids::NodeId;
+use crate::tree::Tree;
+
+/// An NCA oracle built once per tree; queries run in `O(1)` after `O(n log n)` setup.
+#[derive(Clone, Debug)]
+pub struct NcaOracle {
+    /// Euler tour of the tree (node visited at each tour step).
+    tour: Vec<NodeId>,
+    /// Depth of the node at each tour step.
+    tour_depth: Vec<usize>,
+    /// First occurrence of each node in the tour.
+    first: Vec<usize>,
+    /// Sparse table of minima over `tour_depth` (stores tour indices).
+    table: Vec<Vec<usize>>,
+}
+
+impl NcaOracle {
+    /// Builds the oracle for `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.node_count();
+        let children = tree.children_table();
+        let depths = tree.depths();
+        let mut tour = Vec::with_capacity(2 * n);
+        let mut tour_depth = Vec::with_capacity(2 * n);
+        let mut first = vec![usize::MAX; n];
+        // Iterative Euler tour to avoid recursion limits on path-like trees.
+        enum Frame {
+            Enter(NodeId),
+            Revisit(NodeId),
+        }
+        let mut stack = vec![Frame::Enter(tree.root())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    if first[v.0] == usize::MAX {
+                        first[v.0] = tour.len();
+                    }
+                    tour.push(v);
+                    tour_depth.push(depths[v.0]);
+                    // Visit children; after each child, revisit v.
+                    for &c in children[v.0].iter().rev() {
+                        stack.push(Frame::Revisit(v));
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Revisit(v) => {
+                    tour.push(v);
+                    tour_depth.push(depths[v.0]);
+                }
+            }
+        }
+        // Sparse table over tour_depth.
+        let m = tour.len();
+        let levels = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let mut table = Vec::with_capacity(levels);
+        table.push((0..m).collect::<Vec<usize>>());
+        let mut len = 1usize;
+        for l in 1..levels {
+            let prev = &table[l - 1];
+            let mut row = Vec::with_capacity(m.saturating_sub(2 * len) + 1);
+            for i in 0..m.saturating_sub(2 * len - 1) {
+                let a = prev[i];
+                let b = prev[i + len];
+                row.push(if tour_depth[a] <= tour_depth[b] { a } else { b });
+            }
+            table.push(row);
+            len *= 2;
+        }
+        NcaOracle { tour, tour_depth, first, table }
+    }
+
+    /// The nearest common ancestor of `u` and `v`.
+    pub fn nca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (self.first[u.0], self.first[v.0]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let span = b - a + 1;
+        let level = if span <= 1 { 0 } else { (usize::BITS - 1 - span.leading_zeros()) as usize };
+        let len = 1usize << level;
+        let left = self.table[level][a];
+        let right = self.table[level][b + 1 - len];
+        let idx = if self.tour_depth[left] <= self.tour_depth[right] { left } else { right };
+        self.tour[idx]
+    }
+
+    /// `true` if `a` is an ancestor of `v` (every node is an ancestor of itself).
+    pub fn is_ancestor(&self, a: NodeId, v: NodeId) -> bool {
+        self.nca(a, v) == a
+    }
+
+    /// The hop distance between `u` and `v` in the tree.
+    pub fn tree_distance(&self, tree: &Tree, u: NodeId, v: NodeId) -> usize {
+        let depths = tree.depths();
+        let w = self.nca(u, v);
+        depths[u.0] + depths[v.0] - 2 * depths[w.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    fn random_tree_as_tree(n: usize, seed: u64) -> (Graph, Tree) {
+        let g = generators::random_tree(n, seed);
+        let t = crate::bfs::bfs_tree(&g, NodeId(0));
+        (g, t)
+    }
+
+    #[test]
+    fn matches_naive_nca_on_random_trees() {
+        for seed in 0..6 {
+            let (_, t) = random_tree_as_tree(40, seed);
+            let oracle = NcaOracle::new(&t);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    assert_eq!(oracle.nca(u, v), t.nca(u, v), "seed {seed}, pair {u} {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_a_path_and_a_star() {
+        let path = Tree::path(50);
+        let oracle = NcaOracle::new(&path);
+        assert_eq!(oracle.nca(NodeId(30), NodeId(45)), NodeId(30));
+        assert_eq!(oracle.nca(NodeId(49), NodeId(0)), NodeId(0));
+        assert!(oracle.is_ancestor(NodeId(10), NodeId(40)));
+        assert!(!oracle.is_ancestor(NodeId(40), NodeId(10)));
+
+        let star = Tree::from_parents(
+            std::iter::once(None)
+                .chain((1..20).map(|_| Some(NodeId(0))))
+                .collect(),
+        )
+        .unwrap();
+        let oracle = NcaOracle::new(&star);
+        assert_eq!(oracle.nca(NodeId(3), NodeId(17)), NodeId(0));
+        assert_eq!(oracle.nca(NodeId(3), NodeId(3)), NodeId(3));
+    }
+
+    #[test]
+    fn tree_distance_matches_path_length() {
+        let (_, t) = random_tree_as_tree(30, 9);
+        let oracle = NcaOracle::new(&t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                let expected = t.tree_path(u, v).len() - 1;
+                assert_eq!(oracle.tree_distance(&t, u, v), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = Tree::from_parents(vec![None]).unwrap();
+        let oracle = NcaOracle::new(&t);
+        assert_eq!(oracle.nca(NodeId(0), NodeId(0)), NodeId(0));
+    }
+}

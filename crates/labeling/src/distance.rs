@@ -1,0 +1,138 @@
+//! The classical distance-based proof-labeling scheme for spanning trees (§II-C).
+//!
+//! The label of node `v` is the pair `(ID, d)` where `ID` is the identity of the root
+//! and `d` the hop distance from `v` to the root *in the tree*. The verifier checks that
+//! the root identity is shared with all neighbors and that `d(v) = d(p(v)) + 1`
+//! (`d = 0` at the root, whose identity must match `ID`).
+
+use stst_graph::ids::bits_for;
+use stst_graph::{Graph, Ident, NodeId, Tree};
+
+use crate::scheme::{Instance, ProofLabelingScheme};
+
+/// Label of the distance-based scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistanceLabel {
+    /// Identity of the claimed root.
+    pub root: Ident,
+    /// Claimed hop distance to the root in the tree.
+    pub dist: u64,
+}
+
+/// The distance-based proof-labeling scheme for the family of all spanning trees.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistanceScheme;
+
+impl ProofLabelingScheme for DistanceScheme {
+    type Label = DistanceLabel;
+
+    fn name(&self) -> &str {
+        "distance-based spanning tree PLS"
+    }
+
+    fn prove(&self, graph: &Graph, tree: &Tree) -> Vec<DistanceLabel> {
+        let root_ident = graph.ident(tree.root());
+        tree.depths()
+            .into_iter()
+            .map(|d| DistanceLabel { root: root_ident, dist: d as u64 })
+            .collect()
+    }
+
+    fn verify_at(&self, instance: &Instance<'_>, labels: &[DistanceLabel], v: NodeId) -> bool {
+        let graph = instance.graph;
+        let own = labels[v.0];
+        // The claimed root identity must be shared with every neighbor.
+        for &(w, _) in graph.neighbors(v) {
+            if labels[w.0].root != own.root {
+                return false;
+            }
+        }
+        match instance.parents[v.0] {
+            None => {
+                // The root: distance 0 and its own identity is the claimed root identity.
+                own.dist == 0 && graph.ident(v) == own.root
+            }
+            Some(p) => {
+                // The parent must be a neighbor and be one hop closer.
+                if graph.edge_between(v, p).is_none() {
+                    return false;
+                }
+                own.dist == labels[p.0].dist + 1
+            }
+        }
+    }
+
+    fn label_bits(&self, label: &DistanceLabel) -> usize {
+        bits_for(label.root) + bits_for(label.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::bfs::bfs_tree;
+    use stst_graph::generators;
+
+    #[test]
+    fn completeness_on_many_workloads() {
+        for seed in 0..5 {
+            let g = generators::workload(24, 0.2, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            assert!(DistanceScheme.accepts_legal(&g, &t));
+        }
+    }
+
+    #[test]
+    fn soundness_rejects_two_roots() {
+        let g = generators::path(4);
+        let parents = vec![None, Some(NodeId(0)), None, Some(NodeId(2))];
+        // Forge labels claiming two different roots.
+        let labels = vec![
+            DistanceLabel { root: 1, dist: 0 },
+            DistanceLabel { root: 1, dist: 1 },
+            DistanceLabel { root: 3, dist: 0 },
+            DistanceLabel { root: 3, dist: 1 },
+        ];
+        let inst = Instance { graph: &g, parents: &parents };
+        // Nodes 1 and 2 are adjacent with different claimed roots: one of them rejects.
+        assert!(!DistanceScheme.verify_all(&inst, &labels).accepted());
+    }
+
+    #[test]
+    fn soundness_rejects_cycles_for_any_labels() {
+        // 4-cycle of parent pointers on the ring.
+        let g = generators::ring(4);
+        let parents = vec![Some(NodeId(1)), Some(NodeId(2)), Some(NodeId(3)), Some(NodeId(0))];
+        let inst = Instance { graph: &g, parents: &parents };
+        // Distances must strictly increase around the cycle — impossible, so whatever
+        // labels we try, someone rejects. Try a few adversarial assignments.
+        for base in 0..4u64 {
+            let labels: Vec<DistanceLabel> = (0..4)
+                .map(|i| DistanceLabel { root: 1, dist: base + i as u64 })
+                .collect();
+            assert!(!DistanceScheme.verify_all(&inst, &labels).accepted());
+        }
+    }
+
+    #[test]
+    fn wrong_distance_is_pinpointed() {
+        let g = generators::path(5);
+        let t = bfs_tree(&g, NodeId(0));
+        let mut labels = DistanceScheme.prove(&g, &t);
+        labels[3].dist = 7;
+        let outcome = DistanceScheme.verify_all(&Instance::from_tree(&g, &t), &labels);
+        assert!(!outcome.accepted());
+        // Either node 3 (its own distance is wrong w.r.t. its parent) or node 4 (whose
+        // parent is node 3) rejects.
+        assert!(outcome.rejecting.iter().all(|v| v.0 == 3 || v.0 == 4));
+    }
+
+    #[test]
+    fn label_sizes_are_logarithmic() {
+        let g = generators::workload(200, 0.05, 1);
+        let t = bfs_tree(&g, g.min_ident_node());
+        let labels = DistanceScheme.prove(&g, &t);
+        let max_bits = DistanceScheme.max_label_bits(&labels);
+        assert!(max_bits <= 2 * 8 + 2, "distance labels should be O(log n), got {max_bits} bits");
+    }
+}

@@ -1,0 +1,313 @@
+//! The FR-tree proof-labeling scheme of §VIII (Lemma 8.1).
+//!
+//! Certifying that an arbitrary spanning tree has degree ≤ OPT + 1 is impossible with
+//! short labels unless NP = co-NP (Proposition 8.1), so the paper certifies membership
+//! in the subclass of **FR-trees** instead: trees admitting a good/bad marking such that
+//! (1) max-degree nodes are bad, (2) nodes of degree ≤ k − 2 are good, and (3) no graph
+//! edge joins good nodes of two different fragments (components of the tree minus the
+//! bad nodes). Fürer–Raghavachari's theorem then bounds the degree by OPT + 1.
+//!
+//! The label of a node carries the tree degree `k`, its good/bad mark, and — for good
+//! nodes — a certified pointer into its fragment (the fragment head's identity plus the
+//! distance to it inside the fragment), so that fragment identities cannot be forged.
+//! An extra `subtree_max_degree` field, aggregated bottom-up along the (separately
+//! certified) spanning tree, prevents overstating `k`.
+
+use stst_graph::ids::bits_for;
+use stst_graph::{Graph, Ident, NodeId, Tree};
+
+use crate::scheme::{Instance, ProofLabelingScheme};
+
+/// Label of the FR-tree scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrLabel {
+    /// The degree `k` of the tree (claimed; certified via `subtree_max_degree`).
+    pub tree_degree: u64,
+    /// Maximum tree degree within the node's subtree (convergecast certificate for
+    /// `tree_degree`).
+    pub subtree_max_degree: u64,
+    /// `true` if the node is marked good.
+    pub good: bool,
+    /// For good nodes: the identity of the fragment head (the smallest identity in the
+    /// fragment) and the distance to it within the fragment. `None` for bad nodes.
+    pub fragment: Option<(Ident, u64)>,
+}
+
+/// The FR-tree proof-labeling scheme.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrScheme;
+
+impl FrScheme {
+    /// Builds the canonical marking used by the prover: degree ≥ k − 1 nodes start bad
+    /// and the propagation of [`stst_graph::fr::fr_certificate`] decides the rest.
+    fn marking(graph: &Graph, tree: &Tree) -> Option<stst_graph::fr::FrCertificate> {
+        stst_graph::fr::fr_certificate(graph, tree)
+    }
+}
+
+impl ProofLabelingScheme for FrScheme {
+    type Label = FrLabel;
+
+    fn name(&self) -> &str {
+        "FR-tree PLS"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `tree` is not an FR-tree of `graph` (there is nothing to certify then);
+    /// use [`stst_graph::fr::is_fr_tree`] to check first.
+    fn prove(&self, graph: &Graph, tree: &Tree) -> Vec<FrLabel> {
+        let cert = Self::marking(graph, tree)
+            .expect("the prover is only defined on FR-trees (Definition 8.1)");
+        let k = tree.max_degree() as u64;
+        // Distance to the fragment head within the fragment, for good nodes.
+        let n = graph.node_count();
+        let mut frag_dist = vec![0u64; n];
+        let mut frag_head: Vec<Option<Ident>> = vec![None; n];
+        // Fragment heads: smallest identity among the good nodes of each fragment.
+        use std::collections::HashMap;
+        let mut head_of: HashMap<usize, NodeId> = HashMap::new();
+        for v in graph.nodes() {
+            if cert.good[v.0] {
+                let f = cert.fragment[v.0];
+                let entry = head_of.entry(f).or_insert(v);
+                if graph.ident(v) < graph.ident(*entry) {
+                    *entry = v;
+                }
+            }
+        }
+        // BFS inside each fragment from its head (fragments are subtrees of T restricted
+        // to good nodes).
+        for (&f, &head) in &head_of {
+            let mut queue = std::collections::VecDeque::from([head]);
+            frag_dist[head.0] = 0;
+            frag_head[head.0] = Some(graph.ident(head));
+            let mut seen = vec![false; n];
+            seen[head.0] = true;
+            while let Some(v) = queue.pop_front() {
+                for &(w, _) in graph.neighbors(v) {
+                    if !seen[w.0]
+                        && cert.good[w.0]
+                        && cert.fragment[w.0] == f
+                        && tree.contains_edge(v, w)
+                    {
+                        seen[w.0] = true;
+                        frag_dist[w.0] = frag_dist[v.0] + 1;
+                        frag_head[w.0] = Some(graph.ident(head));
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        // Subtree max degree, bottom-up.
+        let children = tree.children_table();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut stack = vec![tree.root()];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            stack.extend(children[v.0].iter().copied());
+        }
+        let mut submax = vec![0u64; n];
+        for &v in order.iter().rev() {
+            let mut m = tree.degree(v) as u64;
+            for &c in &children[v.0] {
+                m = m.max(submax[c.0]);
+            }
+            submax[v.0] = m;
+        }
+        graph
+            .nodes()
+            .map(|v| FrLabel {
+                tree_degree: k,
+                subtree_max_degree: submax[v.0],
+                good: cert.good[v.0],
+                fragment: if cert.good[v.0] {
+                    Some((frag_head[v.0].expect("good nodes belong to a fragment"), frag_dist[v.0]))
+                } else {
+                    None
+                },
+            })
+            .collect()
+    }
+
+    fn verify_at(&self, instance: &Instance<'_>, labels: &[FrLabel], v: NodeId) -> bool {
+        let graph = instance.graph;
+        let own = labels[v.0];
+        let k = own.tree_degree;
+        // Everyone must agree on k.
+        for &(w, _) in graph.neighbors(v) {
+            if labels[w.0].tree_degree != k {
+                return false;
+            }
+        }
+        // Tree degree of v according to the parent pointers.
+        let children = instance.children(v);
+        let deg = children.len() as u64 + u64::from(instance.parents[v.0].is_some());
+        // subtree_max_degree is the max of own degree and children's values; the root
+        // additionally certifies that the global maximum equals k.
+        let mut submax = deg;
+        for &c in &children {
+            submax = submax.max(labels[c.0].subtree_max_degree);
+        }
+        if own.subtree_max_degree != submax {
+            return false;
+        }
+        if deg > k {
+            return false;
+        }
+        if instance.parents[v.0].is_none() && own.subtree_max_degree != k {
+            return false;
+        }
+        // Condition (1): degree-k nodes are bad. Condition (2): degree ≤ k − 2 nodes are
+        // good.
+        if deg == k && own.good {
+            return false;
+        }
+        if deg + 2 <= k && !own.good {
+            return false;
+        }
+        match own.fragment {
+            None => {
+                // Bad nodes carry no fragment pointer.
+                if own.good {
+                    return false;
+                }
+            }
+            Some((head, dist)) => {
+                if !own.good {
+                    return false;
+                }
+                if dist == 0 {
+                    // The fragment head is the node itself.
+                    if head != graph.ident(v) {
+                        return false;
+                    }
+                } else {
+                    // Some tree-adjacent good neighbor is one step closer to the head.
+                    let has_witness = graph.neighbors(v).iter().any(|&(w, _)| {
+                        let adjacent_in_tree = instance.parents[v.0] == Some(w)
+                            || instance.parents[w.0] == Some(v);
+                        adjacent_in_tree
+                            && labels[w.0].good
+                            && labels[w.0].fragment == Some((head, dist - 1))
+                    });
+                    if !has_witness {
+                        return false;
+                    }
+                }
+                // Condition (3): no graph edge towards a good node of another fragment;
+                // tree-adjacent good neighbors must be in the same fragment.
+                for &(w, _) in graph.neighbors(v) {
+                    if let Some((other_head, _)) = labels[w.0].fragment {
+                        if labels[w.0].good && other_head != head {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn label_bits(&self, label: &FrLabel) -> usize {
+        bits_for(label.tree_degree)
+            + bits_for(label.subtree_max_degree)
+            + 1
+            + 1
+            + label
+                .fragment
+                .map_or(0, |(head, dist)| bits_for(head) + bits_for(dist))
+    }
+}
+
+/// The MDST potential of §VIII: `φ(T) = (n·∆_T + N_T) · (1 − 1_FR(T))`, where `∆_T` is
+/// the tree degree, `N_T` the number of max-degree nodes, and `1_FR` the FR-tree
+/// indicator. Zero exactly on FR-trees.
+pub fn mdst_potential(graph: &Graph, tree: &Tree) -> u64 {
+    if stst_graph::fr::is_fr_tree(graph, tree) {
+        0
+    } else {
+        let delta = tree.max_degree() as u64;
+        let count = tree.max_degree_nodes().len() as u64;
+        graph.node_count() as u64 * delta + count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::fr::{furer_raghavachari, is_fr_tree};
+    use stst_graph::generators;
+
+    fn setup(n: usize, seed: u64) -> (Graph, Tree) {
+        let g = generators::workload(n, 0.25, seed);
+        let (t, _) = furer_raghavachari(&g);
+        (g, t)
+    }
+
+    #[test]
+    fn completeness_on_fr_trees() {
+        for seed in 0..6 {
+            let (g, t) = setup(18, seed);
+            assert!(is_fr_tree(&g, &t));
+            assert!(FrScheme.accepts_legal(&g, &t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn labels_are_logarithmic() {
+        let (g, t) = setup(120, 1);
+        let labels = FrScheme.prove(&g, &t);
+        let max_bits = FrScheme.max_label_bits(&labels);
+        assert!(max_bits <= 4 * 8 + 4, "FR labels should be O(log n) bits, got {max_bits}");
+    }
+
+    #[test]
+    fn forged_good_mark_on_a_max_degree_node_is_rejected() {
+        let (g, t) = setup(16, 2);
+        let mut labels = FrScheme.prove(&g, &t);
+        let w = t.max_degree_nodes()[0];
+        labels[w.0].good = true;
+        labels[w.0].fragment = Some((g.ident(w), 0));
+        assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &labels).accepted());
+    }
+
+    #[test]
+    fn forged_fragment_identity_is_rejected() {
+        let (g, t) = setup(16, 3);
+        let labels = FrScheme.prove(&g, &t);
+        // Give some good node a bogus fragment head it cannot justify.
+        let v = g
+            .nodes()
+            .find(|&v| labels[v.0].good && labels[v.0].fragment.map_or(false, |(_, d)| d > 0));
+        if let Some(v) = v {
+            let mut bad = labels.clone();
+            bad[v.0].fragment = Some((9999, 1));
+            assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        }
+        // Overstating the tree degree: the root's subtree_max_degree check fails.
+        let mut bad = labels;
+        for l in &mut bad {
+            l.tree_degree += 1;
+        }
+        assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+    }
+
+    #[test]
+    fn potential_is_zero_exactly_on_fr_trees() {
+        let g = generators::complete(9);
+        // The star is not an FR-tree of the complete graph.
+        let star = Tree::from_parents(
+            std::iter::once(None)
+                .chain((1..9).map(|_| Some(NodeId(0))))
+                .collect(),
+        )
+        .unwrap();
+        assert!(mdst_potential(&g, &star) > 0);
+        let (t, _) = furer_raghavachari(&g);
+        assert_eq!(mdst_potential(&g, &t), 0);
+        // The potential dominates (degree, count) lexicographically: a degree-9 star on
+        // 9 nodes scores higher than any degree-3 tree.
+        assert!(mdst_potential(&g, &star) > 9 * 3 + 9);
+    }
+}

@@ -1,0 +1,334 @@
+//! MST fragment labels and the MST potential function of §VI.
+//!
+//! Each node stores the trace of a *virtual execution of Borůvka's algorithm on the
+//! current tree `T`*: for every level `i`, the identity of the level-`i` fragment it
+//! belongs to and the minimum-weight **tree** edge outgoing from that fragment
+//! (Fig. 2 of the paper). The potential
+//! `φ(T) = k·n − Σ_x φ_x(T)`, where `φ_x(T)` is the largest level up to which the
+//! recorded outgoing edges are also minimum-weight outgoing edges *in the whole graph*,
+//! is zero exactly on minimum spanning trees; when it is positive, the lightest outgoing
+//! edge `e` of a violating fragment and the heaviest edge `f` of the fundamental cycle
+//! `T + e` form an improving swap (`φ(T + e − f) < φ(T)` — Tarjan's red rule).
+
+use stst_graph::ids::bits_for;
+use stst_graph::mst::{boruvka_on_tree, BoruvkaRun};
+use stst_graph::{EdgeId, Graph, Ident, NodeId, Tree, Weight};
+
+use crate::scheme::{Instance, ProofLabelingScheme};
+
+/// One level of a fragment label: the fragment identity and the recorded outgoing tree
+/// edge `(ID(a), ID(b), w(a, b))` (or `⊥` once the fragment spans the tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentLevel {
+    /// Identity of the level-`i` fragment (smallest node identity it contains).
+    pub fragment: Ident,
+    /// The minimum-weight tree edge outgoing from the fragment, as an identity pair plus
+    /// weight, or `None` at the final level.
+    pub outgoing: Option<(Ident, Ident, Weight)>,
+}
+
+/// The fragment label of one node: one [`FragmentLevel`] per Borůvka level
+/// (`k ≤ ⌈log₂ n⌉ + 1` levels), `O(log² n)` bits in total — the space-optimal budget for
+/// silent MST (Korman–Kutten).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FragmentLabel {
+    /// Levels from 0 (singleton fragments) to `k − 1` (the whole tree).
+    pub levels: Vec<FragmentLevel>,
+}
+
+impl FragmentLabel {
+    /// Number of bits of the label.
+    pub fn bit_size(&self) -> usize {
+        bits_for(self.levels.len() as u64)
+            + self
+                .levels
+                .iter()
+                .map(|l| {
+                    bits_for(l.fragment)
+                        + 1
+                        + l.outgoing
+                            .map_or(0, |(a, b, w)| bits_for(a) + bits_for(b) + bits_for(w))
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Builds the fragment labels of every node for the spanning tree `tree` by running
+/// Borůvka virtually on the tree's edges.
+///
+/// # Panics
+///
+/// Panics if `tree` is not a spanning tree of `graph`.
+pub fn assign_fragment_labels(graph: &Graph, tree: &Tree) -> Vec<FragmentLabel> {
+    let run: BoruvkaRun =
+        boruvka_on_tree(graph, tree).expect("fragment labels need a spanning tree of the graph");
+    run.traces
+        .iter()
+        .map(|trace| FragmentLabel {
+            levels: trace
+                .fragment
+                .iter()
+                .zip(trace.chosen_edge.iter())
+                .map(|(&fragment, &edge)| FragmentLevel {
+                    fragment,
+                    outgoing: edge.map(|e| {
+                        let ed = graph.edge(e);
+                        (graph.ident(ed.u), graph.ident(ed.v), ed.weight)
+                    }),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// `φ_x(T)`: the largest level `i` such that for every level `j ≤ i` the recorded
+/// outgoing edge of `x`'s level-`j` fragment is the minimum-weight outgoing edge of that
+/// fragment *in the whole graph* (levels are 1-indexed in the paper; we return a count
+/// in `0..=k`).
+fn node_potential(graph: &Graph, labels: &[FragmentLabel], x: NodeId) -> usize {
+    let k = labels[x.0].levels.len();
+    for i in 0..k {
+        let level = &labels[x.0].levels[i];
+        // The true minimum-weight outgoing edge of x's level-i fragment in G.
+        let fragment = level.fragment;
+        let min_out = min_outgoing_edge_of_fragment(graph, labels, i, fragment);
+        let recorded = level.outgoing;
+        match (recorded, min_out) {
+            (None, None) => continue, // final level: the fragment spans everything
+            (Some((a, b, w)), Some(e)) => {
+                let ed = graph.edge(e);
+                let same = (graph.ident(ed.u), graph.ident(ed.v), ed.weight) == (a, b, w)
+                    || (graph.ident(ed.v), graph.ident(ed.u), ed.weight) == (a, b, w);
+                if !same {
+                    return i;
+                }
+            }
+            _ => return i,
+        }
+    }
+    k
+}
+
+/// The minimum-weight edge of `graph` with exactly one endpoint in the level-`i`
+/// fragment identified by `fragment` (fragments are read off the labels).
+fn min_outgoing_edge_of_fragment(
+    graph: &Graph,
+    labels: &[FragmentLabel],
+    level: usize,
+    fragment: Ident,
+) -> Option<EdgeId> {
+    let in_fragment = |v: NodeId| {
+        labels[v.0]
+            .levels
+            .get(level)
+            .map_or(false, |l| l.fragment == fragment)
+    };
+    graph
+        .edge_ids()
+        .filter(|&e| {
+            let ed = graph.edge(e);
+            in_fragment(ed.u) ^ in_fragment(ed.v)
+        })
+        .min_by_key(|&e| (graph.weight(e), e.index()))
+}
+
+/// The MST potential `φ(T) = k·n − Σ_x φ_x(T)` of §VI, computed from freshly assigned
+/// fragment labels. Zero iff `T` is a minimum spanning tree.
+pub fn mst_potential(graph: &Graph, tree: &Tree) -> u64 {
+    let labels = assign_fragment_labels(graph, tree);
+    let k = labels.first().map_or(0, |l| l.levels.len());
+    let total: usize = graph
+        .nodes()
+        .map(|x| node_potential(graph, &labels, x))
+        .sum();
+    (k * graph.node_count() - total) as u64
+}
+
+/// The improving swap prescribed by the potential: for a node `x` whose level-`(i+1)`
+/// recorded edge is not the true minimum outgoing edge, take `e` = the true
+/// minimum-weight outgoing edge of that fragment in `G` and `f` = the heaviest tree edge
+/// on the fundamental cycle of `T + e`. Returns `None` iff the tree is an MST.
+pub fn fragment_guided_swap(graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
+    let labels = assign_fragment_labels(graph, tree);
+    let k = labels.first().map_or(0, |l| l.levels.len());
+    // Find the node with the smallest φ_x < k (any violating node works; picking the
+    // smallest index keeps the choice deterministic, mirroring the root's arbitration).
+    let mut violating: Option<(NodeId, usize)> = None;
+    for x in graph.nodes() {
+        let px = node_potential(graph, &labels, x);
+        if px < k && violating.map_or(true, |(_, best)| px < best) {
+            violating = Some((x, px));
+        }
+    }
+    let (x, i) = violating?;
+    let fragment = labels[x.0].levels[i].fragment;
+    let e = min_outgoing_edge_of_fragment(graph, &labels, i, fragment)
+        .expect("a violating fragment has an outgoing edge");
+    let edge = graph.edge(e);
+    if tree.contains_edge(edge.u, edge.v) {
+        // The recorded edge was wrong but the true minimum is already a tree edge; the
+        // discrepancy is in the labels, not the tree. Re-labelling fixes it, no swap.
+        return None;
+    }
+    let f = stst_graph::mst::heaviest_cycle_edge(graph, tree, e);
+    Some((e, f))
+}
+
+/// The fragment labels as a proof-labeling scheme for MST (completeness: the labels of
+/// an MST are accepted; soundness: for a non-MST tree, *these prover-built* labels make
+/// some node detect a violating fragment). The verifier at `v` checks that the level-0
+/// fragment is `v`'s own identity, that consecutive levels are consistent with the
+/// parent/children labels it can see, and that each recorded outgoing edge incident to
+/// `v` is not beaten by a lighter incident graph edge leaving the fragment — the local
+/// part of the Korman–Kutten style verification.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FragmentScheme;
+
+impl ProofLabelingScheme for FragmentScheme {
+    type Label = FragmentLabel;
+
+    fn name(&self) -> &str {
+        "MST fragment (Borůvka trace) labels"
+    }
+
+    fn prove(&self, graph: &Graph, tree: &Tree) -> Vec<FragmentLabel> {
+        assign_fragment_labels(graph, tree)
+    }
+
+    fn verify_at(&self, instance: &Instance<'_>, labels: &[FragmentLabel], v: NodeId) -> bool {
+        let graph = instance.graph;
+        let own = &labels[v.0];
+        if own.levels.is_empty() {
+            return false;
+        }
+        // Level 0: the singleton fragment is the node itself.
+        if own.levels[0].fragment != graph.ident(v) {
+            return false;
+        }
+        // All nodes must agree on the number of levels (checked against neighbors).
+        for &(w, _) in graph.neighbors(v) {
+            if labels[w.0].levels.len() != own.levels.len() {
+                return false;
+            }
+        }
+        // The final level must have no outgoing edge and a fragment identity shared with
+        // every neighbor (a single fragment spans the tree).
+        let last = own.levels.last().expect("non-empty");
+        if last.outgoing.is_some() {
+            return false;
+        }
+        for &(w, _) in graph.neighbors(v) {
+            if labels[w.0].levels.last().map(|l| l.fragment) != Some(last.fragment) {
+                return false;
+            }
+        }
+        // Local optimality: for every level, if an incident graph edge leaves v's
+        // fragment and is lighter than the recorded outgoing edge, reject (this is what
+        // lets at least one node notice φ(T) > 0).
+        for (i, level) in own.levels.iter().enumerate() {
+            if let Some((_, _, recorded_w)) = level.outgoing {
+                for &(w, e) in graph.neighbors(v) {
+                    let neighbor_frag = labels[w.0].levels.get(i).map(|l| l.fragment);
+                    if neighbor_frag != Some(level.fragment) && graph.weight(e) < recorded_w {
+                        return false;
+                    }
+                }
+            }
+            // Fragment monotonicity: the fragment of level i+1 contains the fragment of
+            // level i, so its identity can only get smaller or stay equal.
+            if i + 1 < own.levels.len() && own.levels[i + 1].fragment > level.fragment {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn label_bits(&self, label: &FragmentLabel) -> usize {
+        label.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::bfs::bfs_tree;
+    use stst_graph::generators;
+    use stst_graph::mst::{is_mst, kruskal};
+
+    fn setup(n: usize, seed: u64) -> (Graph, Tree) {
+        let g = generators::workload(n, 0.25, seed);
+        let t = bfs_tree(&g, g.min_ident_node());
+        (g, t)
+    }
+
+    #[test]
+    fn potential_is_zero_exactly_on_msts() {
+        for seed in 0..6 {
+            let (g, t) = setup(20, seed);
+            let mst = kruskal(&g).unwrap();
+            assert_eq!(mst_potential(&g, &mst), 0, "seed {seed}: MST must have φ = 0");
+            if !is_mst(&g, &t) {
+                assert!(mst_potential(&g, &t) > 0, "seed {seed}: non-MST must have φ > 0");
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_guided_local_search_reaches_the_mst() {
+        for seed in 0..5 {
+            let (g, mut t) = setup(18, seed);
+            let opt = kruskal(&g).unwrap().total_weight(&g);
+            let mut guard = 0;
+            while let Some((e, f)) = fragment_guided_swap(&g, &t) {
+                assert!(g.weight(e) < g.weight(f), "swaps strictly decrease the weight");
+                t = t.with_swap(&g, e, f);
+                guard += 1;
+                assert!(guard < 500, "local search must terminate");
+            }
+            assert_eq!(t.total_weight(&g), opt, "seed {seed}");
+            assert!(is_mst(&g, &t));
+            assert_eq!(mst_potential(&g, &t), 0);
+        }
+    }
+
+    #[test]
+    fn labels_have_logarithmically_many_levels_and_quadratic_log_bits() {
+        let (g, t) = setup(64, 2);
+        let labels = assign_fragment_labels(&g, &t);
+        let levels = labels[0].levels.len();
+        assert!(levels <= 8, "64 nodes: at most 7 Borůvka levels, got {levels}");
+        let max_bits = labels.iter().map(|l| l.bit_size()).max().unwrap();
+        // O(log² n): generous constant, but far below the O(n log n) of explicit lists.
+        assert!(max_bits <= 60 * 8, "labels too large: {max_bits} bits");
+    }
+
+    #[test]
+    fn scheme_completeness_on_msts_and_detection_on_non_msts() {
+        for seed in 0..5 {
+            let (g, t) = setup(16, seed);
+            let mst = kruskal(&g).unwrap();
+            assert!(FragmentScheme.accepts_legal(&g, &mst), "seed {seed}");
+            if !is_mst(&g, &t) {
+                // The prover-built labels of a non-MST tree must alert at least one node.
+                let labels = FragmentScheme.prove(&g, &t);
+                let outcome = FragmentScheme.verify_all(&Instance::from_tree(&g, &t), &labels);
+                assert!(!outcome.accepted(), "seed {seed}: non-MST must be flagged");
+            }
+        }
+    }
+
+    #[test]
+    fn tampering_with_levels_is_detected() {
+        let (g, _) = setup(14, 4);
+        let mst = kruskal(&g).unwrap();
+        let labels = FragmentScheme.prove(&g, &mst);
+        // Wrong singleton fragment identity.
+        let mut bad = labels.clone();
+        bad[3].levels[0].fragment = 999;
+        assert!(!FragmentScheme.verify_all(&Instance::from_tree(&g, &mst), &bad).accepted());
+        // Truncated label (wrong number of levels).
+        let mut bad = labels;
+        bad[5].levels.pop();
+        assert!(!FragmentScheme.verify_all(&Instance::from_tree(&g, &mst), &bad).accepted());
+    }
+}

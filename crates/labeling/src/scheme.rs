@@ -1,0 +1,106 @@
+//! The generic prover–verifier interface shared by all proof-labeling schemes.
+
+use stst_graph::{Graph, NodeId, Tree};
+
+/// A candidate configuration to verify: the network plus the parent pointers every node
+/// exposes in its register (possibly corrupted — they need not encode a tree).
+#[derive(Clone, Copy, Debug)]
+pub struct Instance<'a> {
+    /// The communication network.
+    pub graph: &'a Graph,
+    /// `parents[v]` is the parent pointer exposed by node `v` (`None` encodes `⊥`).
+    pub parents: &'a [Option<NodeId>],
+}
+
+impl<'a> Instance<'a> {
+    /// Builds an instance from a (legal) tree.
+    pub fn from_tree(graph: &'a Graph, tree: &'a Tree) -> Self {
+        Instance { graph, parents: tree.parents() }
+    }
+
+    /// The children of `v` according to the parent pointers (neighbors pointing at `v`).
+    pub fn children(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .map(|&(w, _)| w)
+            .filter(|&w| self.parents[w.0] == Some(v))
+            .collect()
+    }
+}
+
+/// Result of running the verifier at every node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerificationOutcome {
+    /// Nodes whose verifier rejected.
+    pub rejecting: Vec<NodeId>,
+}
+
+impl VerificationOutcome {
+    /// `true` if every node accepted.
+    pub fn accepted(&self) -> bool {
+        self.rejecting.is_empty()
+    }
+}
+
+/// A proof-labeling scheme: a prover assigning labels to legal configurations and a
+/// 1-hop verifier run at every node.
+pub trait ProofLabelingScheme {
+    /// The per-node label.
+    type Label: Clone + std::fmt::Debug + PartialEq;
+
+    /// Scheme name (for reports).
+    fn name(&self) -> &str;
+
+    /// The prover: labels for a *legal* configuration (a spanning tree of the graph).
+    fn prove(&self, graph: &Graph, tree: &Tree) -> Vec<Self::Label>;
+
+    /// The verifier at node `v`: may inspect `v`'s label and parent pointer and those of
+    /// `v`'s neighbors only. Returns `true` to accept.
+    fn verify_at(&self, instance: &Instance<'_>, labels: &[Self::Label], v: NodeId) -> bool;
+
+    /// Number of bits of a label.
+    fn label_bits(&self, label: &Self::Label) -> usize;
+
+    /// Runs the verifier at every node.
+    fn verify_all(&self, instance: &Instance<'_>, labels: &[Self::Label]) -> VerificationOutcome {
+        let rejecting = instance
+            .graph
+            .nodes()
+            .filter(|&v| !self.verify_at(instance, labels, v))
+            .collect();
+        VerificationOutcome { rejecting }
+    }
+
+    /// Maximum label size over an assignment, in bits.
+    fn max_label_bits(&self, labels: &[Self::Label]) -> usize {
+        labels.iter().map(|l| self.label_bits(l)).max().unwrap_or(0)
+    }
+
+    /// Completeness check helper: prove a legal tree and verify that every node accepts.
+    fn accepts_legal(&self, graph: &Graph, tree: &Tree) -> bool {
+        let labels = self.prove(graph, tree);
+        self.verify_all(&Instance::from_tree(graph, tree), &labels).accepted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::generators;
+
+    #[test]
+    fn instance_children_follow_parent_pointers() {
+        let g = generators::path(4);
+        let parents = vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))];
+        let inst = Instance { graph: &g, parents: &parents };
+        assert_eq!(inst.children(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(inst.children(NodeId(3)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn outcome_accepts_iff_no_rejections() {
+        assert!(VerificationOutcome { rejecting: vec![] }.accepted());
+        assert!(!VerificationOutcome { rejecting: vec![NodeId(3)] }.accepted());
+    }
+}

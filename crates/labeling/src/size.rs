@@ -1,0 +1,117 @@
+//! The subtree-size-based proof-labeling scheme for spanning trees.
+//!
+//! The label of node `v` is the pair `(ID, s)` where `ID` is the root identity and `s`
+//! the number of nodes in the subtree rooted at `v`. The verifier checks
+//! `s(v) = 1 + Σ_{u ∈ children(v)} s(u)` and root-identity agreement. Together with the
+//! distance-based scheme this forms the *redundant* scheme of §IV.
+
+use stst_graph::ids::bits_for;
+use stst_graph::{Graph, Ident, NodeId, Tree};
+
+use crate::scheme::{Instance, ProofLabelingScheme};
+
+/// Label of the size-based scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeLabel {
+    /// Identity of the claimed root.
+    pub root: Ident,
+    /// Claimed number of nodes in the subtree rooted at the node.
+    pub size: u64,
+}
+
+/// The size-based proof-labeling scheme for the family of all spanning trees.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SizeScheme;
+
+impl ProofLabelingScheme for SizeScheme {
+    type Label = SizeLabel;
+
+    fn name(&self) -> &str {
+        "size-based spanning tree PLS"
+    }
+
+    fn prove(&self, graph: &Graph, tree: &Tree) -> Vec<SizeLabel> {
+        let root_ident = graph.ident(tree.root());
+        tree.subtree_sizes()
+            .into_iter()
+            .map(|s| SizeLabel { root: root_ident, size: s as u64 })
+            .collect()
+    }
+
+    fn verify_at(&self, instance: &Instance<'_>, labels: &[SizeLabel], v: NodeId) -> bool {
+        let graph = instance.graph;
+        let own = labels[v.0];
+        for &(w, _) in graph.neighbors(v) {
+            if labels[w.0].root != own.root {
+                return false;
+            }
+        }
+        // Subtree-size equation over the children designated by the parent pointers.
+        let children_sum: u64 = instance.children(v).iter().map(|c| labels[c.0].size).sum();
+        if own.size != 1 + children_sum {
+            return false;
+        }
+        match instance.parents[v.0] {
+            None => graph.ident(v) == own.root,
+            Some(p) => graph.edge_between(v, p).is_some(),
+        }
+    }
+
+    fn label_bits(&self, label: &SizeLabel) -> usize {
+        bits_for(label.root) + bits_for(label.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::bfs::bfs_tree;
+    use stst_graph::generators;
+
+    #[test]
+    fn completeness_on_many_workloads() {
+        for seed in 0..5 {
+            let g = generators::workload(24, 0.2, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            assert!(SizeScheme.accepts_legal(&g, &t));
+        }
+    }
+
+    #[test]
+    fn soundness_rejects_cycles_for_any_labels() {
+        // A cycle cannot satisfy the size equation: summing s(v) = 1 + Σ children sizes
+        // around the cycle gives a contradiction (every node has exactly one child in
+        // the cycle, so s(v) = 1 + s(next) strictly increases forever).
+        let g = generators::ring(5);
+        let parents = vec![
+            Some(NodeId(1)),
+            Some(NodeId(2)),
+            Some(NodeId(3)),
+            Some(NodeId(4)),
+            Some(NodeId(0)),
+        ];
+        let inst = Instance { graph: &g, parents: &parents };
+        for base in 1..6u64 {
+            let labels: Vec<SizeLabel> =
+                (0..5).map(|i| SizeLabel { root: 1, size: base + i as u64 }).collect();
+            assert!(!SizeScheme.verify_all(&inst, &labels).accepted());
+        }
+    }
+
+    #[test]
+    fn tampered_size_is_detected() {
+        let g = generators::grid(3, 3);
+        let t = bfs_tree(&g, NodeId(0));
+        let mut labels = SizeScheme.prove(&g, &t);
+        labels[4].size += 1;
+        assert!(!SizeScheme.verify_all(&Instance::from_tree(&g, &t), &labels).accepted());
+    }
+
+    #[test]
+    fn root_size_equals_n() {
+        let g = generators::workload(30, 0.1, 3);
+        let t = bfs_tree(&g, g.min_ident_node());
+        let labels = SizeScheme.prove(&g, &t);
+        assert_eq!(labels[t.root().0].size, 30);
+    }
+}

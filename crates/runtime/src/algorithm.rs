@@ -1,0 +1,121 @@
+//! The guarded-rule transition function of a self-stabilizing algorithm.
+
+use rand::rngs::StdRng;
+
+use stst_graph::{Graph, Ident, NodeId};
+
+use crate::register::Register;
+use crate::view::View;
+
+/// A self-stabilizing algorithm in the state model.
+///
+/// An algorithm is a transition function `δ : S* → S` evaluated over the closed 1-hop
+/// neighborhood of a node. A node is **enabled** (activatable) when [`Algorithm::step`]
+/// returns `Some(new_state)` with `new_state` different from the current register
+/// content; the scheduler decides which enabled nodes actually execute their step.
+///
+/// Returning `Some(state)` equal to the node's current state is treated as *disabled*
+/// by the executor — guards should be written so that an enabled node always changes its
+/// register, otherwise the algorithm can never become silent.
+pub trait Algorithm {
+    /// The register content maintained at each node.
+    type State: Register;
+
+    /// Human-readable algorithm name (used in traces and reports).
+    fn name(&self) -> &str;
+
+    /// An arbitrary state for `node`, used both to build *arbitrary initial
+    /// configurations* (self-stabilization must cope with any of them) and to model
+    /// transient faults that corrupt registers. Implementations should cover the whole
+    /// reachable (and ideally some unreachable) state space.
+    fn arbitrary_state(&self, graph: &Graph, node: NodeId, rng: &mut StdRng) -> Self::State;
+
+    /// Evaluate the guarded rules of `view.node`. Returns the new register content if
+    /// some rule is enabled, `None` otherwise.
+    fn step(&self, view: &View<'_, Self::State>) -> Option<Self::State>;
+
+    /// Global legality predicate for the configuration (used by tests and experiments to
+    /// check that the *stabilized* configuration solves the task; it is never consulted
+    /// by the distributed rules themselves).
+    fn is_legal(&self, graph: &Graph, states: &[Self::State]) -> bool;
+}
+
+/// Register contents that encode a parent pointer (the distributed spanning tree
+/// representation of §II-B: each node stores the identity of its parent, the root
+/// stores `⊥`).
+pub trait ParentPointer {
+    /// The identity of the parent, or `None` for `⊥`.
+    fn parent_ident(&self) -> Option<Ident>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Register;
+    use crate::view::View;
+    use rand::Rng;
+
+    /// A toy algorithm used to exercise the trait plumbing: every node copies the
+    /// maximum value seen in its closed neighborhood ("max propagation").
+    pub struct MaxPropagation;
+
+    impl Algorithm for MaxPropagation {
+        type State = u64;
+
+        fn name(&self) -> &str {
+            "max-propagation"
+        }
+
+        fn arbitrary_state(&self, _graph: &Graph, _node: NodeId, rng: &mut StdRng) -> u64 {
+            rng.gen_range(0..100)
+        }
+
+        fn step(&self, view: &View<'_, u64>) -> Option<u64> {
+            let max = view
+                .neighbors
+                .iter()
+                .map(|nb| *nb.state)
+                .chain(std::iter::once(*view.state))
+                .max()
+                .expect("non-empty closed neighborhood");
+            (max != *view.state).then_some(max)
+        }
+
+        fn is_legal(&self, _graph: &Graph, states: &[u64]) -> bool {
+            states.windows(2).all(|w| w[0] == w[1])
+        }
+    }
+
+    #[test]
+    fn max_propagation_is_enabled_only_when_behind() {
+        let algo = MaxPropagation;
+        let states = [3u64, 9u64];
+        let view = View {
+            node: NodeId(0),
+            ident: 1,
+            n: 2,
+            state: &states[0],
+            neighbors: vec![crate::view::NeighborView {
+                node: NodeId(1),
+                ident: 2,
+                weight: 1,
+                state: &states[1],
+            }],
+        };
+        assert_eq!(algo.step(&view), Some(9));
+        let view_ahead = View {
+            node: NodeId(1),
+            ident: 2,
+            n: 2,
+            state: &states[1],
+            neighbors: vec![crate::view::NeighborView {
+                node: NodeId(0),
+                ident: 1,
+                weight: 1,
+                state: &states[0],
+            }],
+        };
+        assert_eq!(algo.step(&view_ahead), None);
+        assert_eq!(9u64.bit_size(), 4);
+    }
+}

@@ -1,0 +1,591 @@
+//! The executor: runs a guarded-rule algorithm under a daemon, counting moves and rounds
+//! exactly as defined in the paper, detecting silence, and injecting transient faults.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use stst_graph::tree::TreeError;
+use stst_graph::{Graph, NodeId, Tree};
+
+use crate::algorithm::{Algorithm, ParentPointer};
+use crate::register::Register;
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::view::{NeighborView, View};
+
+/// Executor configuration: a seed (for the arbitrary initial configuration, the daemon's
+/// random choices, and fault injection) and the daemon kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Seed for every random choice made by the executor.
+    pub seed: u64,
+    /// The daemon under which the algorithm runs.
+    pub scheduler: SchedulerKind,
+}
+
+impl ExecutorConfig {
+    /// Central daemon with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        ExecutorConfig { seed, scheduler: SchedulerKind::Central }
+    }
+
+    /// The given daemon with the given seed.
+    pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
+        ExecutorConfig { seed, scheduler }
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig::seeded(0)
+    }
+}
+
+/// Why an execution stopped before reaching quiescence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step budget was exhausted while some node was still enabled.
+    StepBudgetExhausted {
+        /// Steps taken before giving up.
+        steps: u64,
+        /// Rounds completed before giving up.
+        rounds: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepBudgetExhausted { steps, rounds } => write!(
+                f,
+                "step budget exhausted after {steps} steps ({rounds} rounds) without quiescence"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Measurements of a run that reached quiescence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quiescence {
+    /// `true` — quiescence means no node is enabled, i.e. the algorithm is silent.
+    pub silent: bool,
+    /// Number of rounds until quiescence (paper §II-A definition).
+    pub rounds: u64,
+    /// Number of individual node activations (moves).
+    pub moves: u64,
+    /// Number of daemon steps (a synchronous step may contain many moves).
+    pub steps: u64,
+    /// Whether the final configuration satisfies the algorithm's legality predicate.
+    pub legal: bool,
+}
+
+/// Space usage of a configuration, in bits per node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpaceReport {
+    /// Maximum register size over all nodes, in bits.
+    pub max_bits: usize,
+    /// Average register size, in bits.
+    pub avg_bits: f64,
+    /// Sum of register sizes, in bits.
+    pub total_bits: usize,
+}
+
+/// Runs an [`Algorithm`] on a [`Graph`] under a [`Scheduler`].
+#[derive(Clone, Debug)]
+pub struct Executor<'g, A: Algorithm> {
+    graph: &'g Graph,
+    algo: A,
+    states: Vec<A::State>,
+    scheduler: Scheduler,
+    rng: StdRng,
+    moves: u64,
+    steps: u64,
+    rounds: u64,
+    /// Nodes that were enabled at the start of the current round and have neither been
+    /// activated nor become disabled since.
+    round_pending: Vec<NodeId>,
+    /// Peak register size observed at any point of the execution, per node.
+    peak_bits: Vec<usize>,
+}
+
+impl<'g, A: Algorithm> Executor<'g, A> {
+    /// Creates an executor with an explicit initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the number of nodes.
+    pub fn with_states(graph: &'g Graph, algo: A, states: Vec<A::State>, config: ExecutorConfig) -> Self {
+        assert_eq!(states.len(), graph.node_count(), "one register per node");
+        let peak_bits = states.iter().map(Register::bit_size).collect();
+        let mut exec = Executor {
+            graph,
+            algo,
+            states,
+            scheduler: Scheduler::new(config.scheduler, graph.node_count(), config.seed),
+            rng: StdRng::seed_from_u64(config.seed ^ 0xfa_0717),
+            moves: 0,
+            steps: 0,
+            rounds: 0,
+            round_pending: Vec::new(),
+            peak_bits,
+        };
+        exec.round_pending = exec.enabled_nodes();
+        exec
+    }
+
+    /// Creates an executor whose initial configuration is *arbitrary*: every register is
+    /// set to a state drawn by [`Algorithm::arbitrary_state`]. This is the standard
+    /// starting point for self-stabilization experiments.
+    pub fn from_arbitrary(graph: &'g Graph, algo: A, config: ExecutorConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0171_a100);
+        let states = graph
+            .nodes()
+            .map(|v| algo.arbitrary_state(graph, v, &mut rng))
+            .collect();
+        Executor::with_states(graph, algo, states, config)
+    }
+
+    /// The network the algorithm runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The algorithm being executed.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// The current configuration (one register per node, indexed densely).
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// The register of node `v`.
+    pub fn state(&self, v: NodeId) -> &A::State {
+        &self.states[v.0]
+    }
+
+    /// Overwrites the register of `v` (models a transient fault targeting `v`).
+    pub fn corrupt_node(&mut self, v: NodeId, state: A::State) {
+        self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
+        self.states[v.0] = state;
+        self.round_pending = self.enabled_nodes();
+    }
+
+    /// Corrupts `k` distinct registers chosen uniformly at random, replacing each with an
+    /// arbitrary state. Returns the nodes hit.
+    pub fn corrupt_random_nodes(&mut self, k: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.graph.nodes().collect();
+        nodes.shuffle(&mut self.rng);
+        nodes.truncate(k.min(self.graph.node_count()));
+        for &v in &nodes {
+            let state = self.algo.arbitrary_state(self.graph, v, &mut self.rng);
+            self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
+            self.states[v.0] = state;
+        }
+        self.round_pending = self.enabled_nodes();
+        nodes
+    }
+
+    /// Builds the closed-neighborhood view of `v` over the current configuration.
+    fn view_of(&self, v: NodeId) -> View<'_, A::State> {
+        let neighbors = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .map(|&(w, e)| NeighborView {
+                node: w,
+                ident: self.graph.ident(w),
+                weight: self.graph.weight(e),
+                state: &self.states[w.0],
+            })
+            .collect();
+        View {
+            node: v,
+            ident: self.graph.ident(v),
+            n: self.graph.node_count(),
+            state: &self.states[v.0],
+            neighbors,
+        }
+    }
+
+    /// The next state of `v` if it is enabled, `None` otherwise.
+    fn pending_transition(&self, v: NodeId) -> Option<A::State> {
+        let view = self.view_of(v);
+        match self.algo.step(&view) {
+            Some(next) if next != self.states[v.0] => Some(next),
+            _ => None,
+        }
+    }
+
+    /// `true` if node `v` is enabled in the current configuration.
+    pub fn is_enabled(&self, v: NodeId) -> bool {
+        self.pending_transition(v).is_some()
+    }
+
+    /// All enabled nodes of the current configuration.
+    pub fn enabled_nodes(&self) -> Vec<NodeId> {
+        self.graph.nodes().filter(|&v| self.is_enabled(v)).collect()
+    }
+
+    /// `true` if no node is enabled (the algorithm is silent in this configuration).
+    pub fn is_quiescent(&self) -> bool {
+        self.enabled_nodes().is_empty()
+    }
+
+    /// Number of rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of moves (node activations) so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of daemon steps so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Executes one daemon step. Returns the nodes that were activated, or an empty
+    /// vector if the configuration was already quiescent.
+    pub fn step_once(&mut self) -> Vec<NodeId> {
+        let enabled = self.enabled_nodes();
+        if enabled.is_empty() {
+            return Vec::new();
+        }
+        if self.round_pending.is_empty() {
+            self.round_pending = enabled.clone();
+        }
+        let chosen = self.scheduler.select(&enabled);
+        // All chosen nodes read the same pre-step configuration (their reads are
+        // concurrent), then write.
+        let transitions: Vec<(NodeId, A::State)> = chosen
+            .iter()
+            .filter_map(|&v| self.pending_transition(v).map(|s| (v, s)))
+            .collect();
+        for (v, next) in transitions {
+            self.peak_bits[v.0] = self.peak_bits[v.0].max(next.bit_size());
+            self.states[v.0] = next;
+            self.moves += 1;
+        }
+        self.steps += 1;
+        // Round accounting (paper §II-A): the round ends once every node that was
+        // enabled at its start has been activated or has become disabled.
+        let still_pending: Vec<NodeId> = self
+            .round_pending
+            .iter()
+            .copied()
+            .filter(|&v| !chosen.contains(&v) && self.is_enabled(v))
+            .collect();
+        self.round_pending = still_pending;
+        if self.round_pending.is_empty() {
+            self.rounds += 1;
+            self.round_pending = self.enabled_nodes();
+        }
+        chosen
+    }
+
+    /// Runs until no node is enabled or the step budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepBudgetExhausted`] if quiescence is not reached within
+    /// `max_steps` daemon steps.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> Result<Quiescence, ExecError> {
+        for _ in 0..max_steps {
+            if self.is_quiescent() {
+                return Ok(self.quiescence());
+            }
+            self.step_once();
+        }
+        if self.is_quiescent() {
+            Ok(self.quiescence())
+        } else {
+            Err(ExecError::StepBudgetExhausted { steps: self.steps, rounds: self.rounds })
+        }
+    }
+
+    fn quiescence(&self) -> Quiescence {
+        Quiescence {
+            silent: true,
+            rounds: self.rounds,
+            moves: self.moves,
+            steps: self.steps,
+            legal: self.algo.is_legal(self.graph, &self.states),
+        }
+    }
+
+    /// Space usage of the *current* configuration.
+    pub fn space_report(&self) -> SpaceReport {
+        let sizes: Vec<usize> = self.states.iter().map(Register::bit_size).collect();
+        let total: usize = sizes.iter().sum();
+        SpaceReport {
+            max_bits: sizes.iter().copied().max().unwrap_or(0),
+            avg_bits: if sizes.is_empty() { 0.0 } else { total as f64 / sizes.len() as f64 },
+            total_bits: total,
+        }
+    }
+
+    /// Space usage accounting for the *peak* register size each node reached at any
+    /// point of the execution (the honest measure of the algorithm's space complexity).
+    pub fn peak_space_report(&self) -> SpaceReport {
+        let total: usize = self.peak_bits.iter().sum();
+        SpaceReport {
+            max_bits: self.peak_bits.iter().copied().max().unwrap_or(0),
+            avg_bits: if self.peak_bits.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.peak_bits.len() as f64
+            },
+            total_bits: total,
+        }
+    }
+
+    /// Per-node activation counts (useful to visualize scheduler unfairness).
+    pub fn activation_counts(&self) -> Vec<u64> {
+        self.graph
+            .nodes()
+            .map(|v| self.scheduler.activation_count(v))
+            .collect()
+    }
+}
+
+impl<'g, A: Algorithm> Executor<'g, A>
+where
+    A::State: ParentPointer,
+{
+    /// Decodes the spanning tree encoded by the parent pointers of the current
+    /// configuration (paper §II-B): `p(v)` is an identity, `⊥` marks the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if the parent pointers do not encode a spanning tree of
+    /// the graph (e.g. a parent identity that is not a neighbor, several roots, or a
+    /// cycle).
+    pub fn extract_tree(&self) -> Result<Tree, TreeError> {
+        parent_pointer_tree(self.graph, &self.states)
+    }
+}
+
+/// Decodes the spanning tree encoded by a configuration of parent-pointer registers.
+///
+/// # Errors
+///
+/// Returns a [`TreeError`] if the pointers do not encode a spanning tree of `graph`.
+pub fn parent_pointer_tree<S: ParentPointer>(
+    graph: &Graph,
+    states: &[S],
+) -> Result<Tree, TreeError> {
+    let mut parents: Vec<Option<NodeId>> = Vec::with_capacity(graph.node_count());
+    for v in graph.nodes() {
+        match states[v.0].parent_ident() {
+            None => parents.push(None),
+            Some(id) => {
+                // The parent must be a neighbor carrying that identity.
+                let parent = graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&(w, _)| w)
+                    .find(|&w| graph.ident(w) == id);
+                match parent {
+                    Some(p) => parents.push(Some(p)),
+                    None => return Err(TreeError::ParentOutOfRange { node: v }),
+                }
+            }
+        }
+    }
+    Tree::from_parents_in(graph, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use stst_graph::generators;
+    use stst_graph::Ident;
+
+    /// Toy algorithm: propagate the maximum identity seen so far ("flooding max").
+    /// Silent, converges in at most `diameter` rounds, legal when all agree on the
+    /// global maximum identity.
+    struct FloodMax;
+
+    impl Algorithm for FloodMax {
+        type State = u64;
+
+        fn name(&self) -> &str {
+            "flood-max"
+        }
+
+        fn arbitrary_state(&self, graph: &Graph, _node: NodeId, rng: &mut StdRng) -> u64 {
+            // Arbitrary garbage, possibly larger than any real identity — the algorithm
+            // below is *not* resilient to that (flood-max famously is not
+            // self-stabilizing), which the tests exploit.
+            rng.gen_range(0..2 * graph.node_count() as u64)
+        }
+
+        fn step(&self, view: &View<'_, u64>) -> Option<u64> {
+            let best = view
+                .neighbors
+                .iter()
+                .map(|nb| *nb.state)
+                .chain(std::iter::once(view.ident))
+                .max()
+                .expect("closed neighborhood is non-empty");
+            (best > *view.state).then_some(best)
+        }
+
+        fn is_legal(&self, graph: &Graph, states: &[u64]) -> bool {
+            let max_id = graph.nodes().map(|v| graph.ident(v)).max().unwrap_or(0);
+            states.iter().all(|&s| s == max_id)
+        }
+    }
+
+    /// Parent-pointer register for tree-extraction tests.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Ptr(Option<Ident>);
+
+    impl Register for Ptr {
+        fn bit_size(&self) -> usize {
+            crate::register::option_ident_bits(&self.0)
+        }
+    }
+
+    impl ParentPointer for Ptr {
+        fn parent_ident(&self) -> Option<Ident> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn flood_max_converges_and_counts_rounds() {
+        let g = generators::path(8);
+        // Start from the all-zero configuration (not arbitrary — flood-max is only a
+        // plumbing test, not a self-stabilizing algorithm).
+        let exec_config = ExecutorConfig::with_scheduler(3, SchedulerKind::Synchronous);
+        let mut exec = Executor::with_states(&g, FloodMax, vec![0u64; 8], exec_config);
+        let q = exec.run_to_quiescence(10_000).unwrap();
+        assert!(q.silent);
+        assert!(q.legal);
+        // Under the synchronous daemon every node first adopts its own identity
+        // (round 1), then the maximum identity (node 7, ident 8) travels one hop per
+        // round: 7 more rounds to reach node 0.
+        assert_eq!(q.rounds, 8);
+        assert!(q.moves >= 7);
+        assert!(exec.is_quiescent());
+    }
+
+    #[test]
+    fn all_daemons_reach_the_same_fixed_point() {
+        let g = generators::random_connected(20, 0.15, 4);
+        for kind in SchedulerKind::all() {
+            let mut exec = Executor::with_states(
+                &g,
+                FloodMax,
+                vec![0u64; 20],
+                ExecutorConfig::with_scheduler(11, kind),
+            );
+            let q = exec.run_to_quiescence(200_000).unwrap();
+            assert!(q.legal, "daemon {kind} must still converge to the max");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = generators::path(6);
+        let mut exec = Executor::with_states(
+            &g,
+            FloodMax,
+            vec![0u64; 6],
+            ExecutorConfig::with_scheduler(0, SchedulerKind::Central),
+        );
+        let err = exec.run_to_quiescence(1).unwrap_err();
+        assert!(matches!(err, ExecError::StepBudgetExhausted { steps: 1, .. }));
+    }
+
+    #[test]
+    fn corruption_reactivates_the_system() {
+        let g = generators::path(5);
+        let mut exec = Executor::with_states(
+            &g,
+            FloodMax,
+            vec![0u64; 5],
+            ExecutorConfig::seeded(1),
+        );
+        exec.run_to_quiescence(10_000).unwrap();
+        assert!(exec.is_quiescent());
+        // Corrupt one register downwards: its neighbors are unaffected but the node
+        // itself becomes enabled again.
+        exec.corrupt_node(NodeId(2), 0);
+        assert!(!exec.is_quiescent());
+        let q = exec.run_to_quiescence(10_000).unwrap();
+        assert!(q.legal);
+    }
+
+    #[test]
+    fn random_corruption_hits_the_requested_number_of_nodes() {
+        let g = generators::ring(10);
+        let mut exec = Executor::from_arbitrary(&g, FloodMax, ExecutorConfig::seeded(5));
+        let hit = exec.corrupt_random_nodes(4);
+        assert_eq!(hit.len(), 4);
+        let hit_all = exec.corrupt_random_nodes(100);
+        assert_eq!(hit_all.len(), 10);
+    }
+
+    #[test]
+    fn space_reports_track_current_and_peak_sizes() {
+        let g = generators::path(3);
+        let mut exec = Executor::with_states(
+            &g,
+            FloodMax,
+            vec![0u64, 1023, 0],
+            ExecutorConfig::seeded(2),
+        );
+        let now = exec.space_report();
+        assert_eq!(now.max_bits, 10);
+        assert_eq!(now.total_bits, 12);
+        exec.run_to_quiescence(1_000).unwrap();
+        // After convergence every register holds 1023 (the corrupted maximum), so the
+        // peak equals the current size.
+        let peak = exec.peak_space_report();
+        assert_eq!(peak.max_bits, 10);
+        assert!(peak.avg_bits >= exec.space_report().avg_bits - f64::EPSILON);
+    }
+
+    #[test]
+    fn tree_extraction_decodes_parent_identities() {
+        let g = generators::path(4); // identities 1,2,3,4
+        let states = vec![
+            Ptr(None),
+            Ptr(Some(1)),
+            Ptr(Some(2)),
+            Ptr(Some(3)),
+        ];
+        let tree = parent_pointer_tree(&g, &states).unwrap();
+        assert_eq!(tree.root(), NodeId(0));
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(2)));
+        // A parent identity that is not a neighbor is rejected.
+        let bad = vec![Ptr(None), Ptr(Some(4)), Ptr(Some(2)), Ptr(Some(3))];
+        assert!(parent_pointer_tree(&g, &bad).is_err());
+        // Two roots are rejected.
+        let two_roots = vec![Ptr(None), Ptr(None), Ptr(Some(2)), Ptr(Some(3))];
+        assert!(parent_pointer_tree(&g, &two_roots).is_err());
+    }
+
+    #[test]
+    fn activation_counts_reflect_daemon_choices() {
+        let g = generators::path(4);
+        let mut exec = Executor::with_states(
+            &g,
+            FloodMax,
+            vec![0u64; 4],
+            ExecutorConfig::with_scheduler(7, SchedulerKind::Central),
+        );
+        exec.run_to_quiescence(10_000).unwrap();
+        let counts = exec.activation_counts();
+        assert_eq!(counts.iter().sum::<u64>(), exec.moves());
+    }
+}

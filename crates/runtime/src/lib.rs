@@ -1,0 +1,35 @@
+//! The self-stabilization *state model* runtime (paper §II-A).
+//!
+//! Every node of the network is a state machine holding a single-writer multiple-reader
+//! register. In one atomic step a node (1) reads its own register and the registers of
+//! its neighbors, (2) applies its transition function, and (3) writes its register.
+//! Which enabled node(s) actually take a step is decided by a *scheduler* (daemon); the
+//! paper assumes the **unfair** scheduler, which is only required to activate at least
+//! one enabled node per step.
+//!
+//! This crate provides:
+//!
+//! * [`Register`] — register contents with exact bit-size accounting, so the
+//!   space-complexity claims of the paper (`O(log n)`, `O(log² n)` bits per node) can be
+//!   measured rather than asserted;
+//! * [`Algorithm`] — a guarded-rule transition function over the closed 1-hop
+//!   neighborhood [`View`];
+//! * [`Scheduler`] — central, synchronous, round-robin, uniformly random and
+//!   greedy-adversarial (unfair) daemons;
+//! * [`Executor`] — runs an algorithm from an *arbitrary* initial configuration,
+//!   counts **moves** and **rounds** exactly as defined in the paper, detects
+//!   *silence* (no node enabled), and injects transient faults (register corruption);
+//! * [`SpaceReport`] / [`Quiescence`] — the measurements consumed by the experiment
+//!   harness.
+
+pub mod algorithm;
+pub mod executor;
+pub mod register;
+pub mod scheduler;
+pub mod view;
+
+pub use algorithm::{Algorithm, ParentPointer};
+pub use executor::{ExecError, Executor, ExecutorConfig, Quiescence, SpaceReport};
+pub use register::Register;
+pub use scheduler::{Scheduler, SchedulerKind};
+pub use view::{NeighborView, View};

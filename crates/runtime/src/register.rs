@@ -1,0 +1,92 @@
+//! Register contents with exact bit-size accounting.
+//!
+//! Space complexity is a first-class measurement in the paper (it is what
+//! "space-optimal" refers to), so every register type must be able to report the number
+//! of bits its current content occupies. The helpers here make the common cases
+//! (bounded integers, optional identities, small vectors of sub-records) one-liners.
+
+use stst_graph::ids::bits_for;
+use stst_graph::{Ident, Weight};
+
+/// Contents of a node's single-writer multiple-reader register.
+///
+/// Implementors must report the number of bits their *current* value needs; the
+/// executor aggregates those into per-node and per-configuration space reports.
+pub trait Register: Clone + std::fmt::Debug + PartialEq {
+    /// Number of bits needed to store the current register content.
+    fn bit_size(&self) -> usize;
+}
+
+/// Bits needed for an optional identity: one flag bit plus the identity when present.
+pub fn option_ident_bits(value: &Option<Ident>) -> usize {
+    1 + value.map_or(0, bits_for)
+}
+
+/// Bits needed for an optional weight: one flag bit plus the weight when present.
+pub fn option_weight_bits(value: &Option<Weight>) -> usize {
+    1 + value.map_or(0, bits_for)
+}
+
+/// Bits needed for an unsigned counter value.
+pub fn counter_bits(value: u64) -> usize {
+    bits_for(value)
+}
+
+/// Bits needed for an optional `(ident, ident, weight)` edge descriptor — the encoding
+/// `f_i(x) = (ID(a), ID(b), w(a,b))` the paper uses inside MST fragment labels (§VI).
+pub fn option_edge_descriptor_bits(value: &Option<(Ident, Ident, Weight)>) -> usize {
+    1 + value.map_or(0, |(a, b, w)| bits_for(a) + bits_for(b) + bits_for(w))
+}
+
+/// The trivial register holding nothing; useful for algorithms whose whole state is a
+/// handful of flags assembled in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitRegister;
+
+impl Register for UnitRegister {
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+impl Register for u64 {
+    fn bit_size(&self) -> usize {
+        bits_for(*self)
+    }
+}
+
+impl Register for bool {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl<A: Register, B: Register> Register for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_registers_report_sizes() {
+        assert_eq!(UnitRegister.bit_size(), 0);
+        assert_eq!(0u64.bit_size(), 1);
+        assert_eq!(255u64.bit_size(), 8);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!((7u64, false).bit_size(), 4);
+    }
+
+    #[test]
+    fn option_helpers() {
+        assert_eq!(option_ident_bits(&None), 1);
+        assert_eq!(option_ident_bits(&Some(15)), 5);
+        assert_eq!(option_weight_bits(&Some(1)), 2);
+        assert_eq!(option_edge_descriptor_bits(&None), 1);
+        assert_eq!(option_edge_descriptor_bits(&Some((3, 4, 5))), 1 + 2 + 3 + 3);
+        assert_eq!(counter_bits(1024), 11);
+    }
+}

@@ -1,0 +1,221 @@
+//! Schedulers (daemons) deciding which enabled nodes take a step.
+//!
+//! The paper's results hold under the **unfair** scheduler, the weakest assumption: at
+//! each step the daemon activates *at least one* enabled node, with no fairness
+//! obligation whatsoever. The executor supports several daemons so experiments can show
+//! that convergence and the stabilized output do not depend on the scheduling
+//! (experiment E9):
+//!
+//! * [`SchedulerKind::Central`] — activates exactly one enabled node, chosen uniformly
+//!   at random (the classical central daemon);
+//! * [`SchedulerKind::Synchronous`] — activates every enabled node simultaneously;
+//! * [`SchedulerKind::RoundRobin`] — cycles over the nodes in a fixed order, activating
+//!   the next enabled one (a fair distributed daemon);
+//! * [`SchedulerKind::UniformRandom`] — activates a uniformly random non-empty subset of
+//!   the enabled nodes (a random distributed daemon);
+//! * [`SchedulerKind::Adversarial`] — a greedy model of the unfair daemon: it keeps
+//!   re-activating the nodes it has activated most often, starving the others for as
+//!   long as they stay merely enabled.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use stst_graph::NodeId;
+
+/// The scheduling policies supported by the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Activate one enabled node, chosen uniformly at random.
+    Central,
+    /// Activate all enabled nodes at once.
+    Synchronous,
+    /// Activate the next enabled node in a fixed cyclic order.
+    RoundRobin,
+    /// Activate a uniformly random non-empty subset of the enabled nodes.
+    UniformRandom,
+    /// Greedy unfair daemon: keep activating already-favoured nodes, starving the rest.
+    Adversarial,
+}
+
+impl SchedulerKind {
+    /// All scheduler kinds, for sweep experiments.
+    pub fn all() -> [SchedulerKind; 5] {
+        [
+            SchedulerKind::Central,
+            SchedulerKind::Synchronous,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::UniformRandom,
+            SchedulerKind::Adversarial,
+        ]
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SchedulerKind::Central => "central",
+            SchedulerKind::Synchronous => "synchronous",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::UniformRandom => "uniform-random",
+            SchedulerKind::Adversarial => "adversarial",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A stateful daemon: given the set of currently enabled nodes, selects the non-empty
+/// subset that takes the next step.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    rng: StdRng,
+    /// How many times each node has been activated (used by the adversarial daemon).
+    activations: Vec<u64>,
+    /// Cursor for the round-robin daemon.
+    cursor: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler of the given kind for an `n`-node network, seeded
+    /// deterministically.
+    pub fn new(kind: SchedulerKind, n: usize, seed: u64) -> Self {
+        Scheduler {
+            kind,
+            rng: StdRng::seed_from_u64(seed ^ 0x00da_e000),
+            activations: vec![0; n],
+            cursor: 0,
+        }
+    }
+
+    /// The scheduling policy of this daemon.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Number of times `v` has been selected so far.
+    pub fn activation_count(&self, v: NodeId) -> u64 {
+        self.activations[v.0]
+    }
+
+    /// Selects the nodes to activate among `enabled` (which must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty — the executor must detect silence before asking.
+    pub fn select(&mut self, enabled: &[NodeId]) -> Vec<NodeId> {
+        assert!(!enabled.is_empty(), "the daemon is only consulted when some node is enabled");
+        let chosen = match self.kind {
+            SchedulerKind::Central => {
+                vec![*enabled.choose(&mut self.rng).expect("non-empty")]
+            }
+            SchedulerKind::Synchronous => enabled.to_vec(),
+            SchedulerKind::RoundRobin => {
+                let n = self.activations.len();
+                let mut pick = None;
+                for offset in 0..n {
+                    let candidate = NodeId((self.cursor + offset) % n);
+                    if enabled.contains(&candidate) {
+                        pick = Some(candidate);
+                        self.cursor = (candidate.0 + 1) % n;
+                        break;
+                    }
+                }
+                vec![pick.expect("some enabled node exists")]
+            }
+            SchedulerKind::UniformRandom => {
+                let mut subset: Vec<NodeId> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|_| self.rng.gen_bool(0.5))
+                    .collect();
+                if subset.is_empty() {
+                    subset.push(*enabled.choose(&mut self.rng).expect("non-empty"));
+                }
+                subset
+            }
+            SchedulerKind::Adversarial => {
+                // Starve the least-activated nodes: keep choosing the enabled node that
+                // has already been activated the most (ties broken by identity order).
+                let pick = *enabled
+                    .iter()
+                    .max_by_key(|v| (self.activations[v.0], std::cmp::Reverse(v.0)))
+                    .expect("non-empty");
+                vec![pick]
+            }
+        };
+        for &v in &chosen {
+            self.activations[v.0] += 1;
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn central_picks_exactly_one_enabled_node() {
+        let mut s = Scheduler::new(SchedulerKind::Central, 5, 1);
+        for _ in 0..20 {
+            let chosen = s.select(&ids(&[1, 3, 4]));
+            assert_eq!(chosen.len(), 1);
+            assert!(ids(&[1, 3, 4]).contains(&chosen[0]));
+        }
+    }
+
+    #[test]
+    fn synchronous_picks_everyone() {
+        let mut s = Scheduler::new(SchedulerKind::Synchronous, 5, 1);
+        assert_eq!(s.select(&ids(&[0, 2, 4])), ids(&[0, 2, 4]));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = Scheduler::new(SchedulerKind::RoundRobin, 4, 1);
+        assert_eq!(s.select(&ids(&[0, 1, 2, 3])), ids(&[0]));
+        assert_eq!(s.select(&ids(&[0, 1, 2, 3])), ids(&[1]));
+        assert_eq!(s.select(&ids(&[0, 1, 3])), ids(&[3]));
+        assert_eq!(s.select(&ids(&[0, 1, 3])), ids(&[0]));
+    }
+
+    #[test]
+    fn uniform_random_never_returns_empty() {
+        let mut s = Scheduler::new(SchedulerKind::UniformRandom, 6, 9);
+        for _ in 0..50 {
+            assert!(!s.select(&ids(&[2, 5])).is_empty());
+        }
+    }
+
+    #[test]
+    fn adversarial_starves_nodes() {
+        let mut s = Scheduler::new(SchedulerKind::Adversarial, 3, 1);
+        // Node 2 gets picked first (ties broken toward the smallest index via Reverse),
+        // wait: ties are broken toward the *largest* activation count, then smallest
+        // index. After the first pick the favoured node keeps winning.
+        let first = s.select(&ids(&[0, 1, 2]))[0];
+        for _ in 0..10 {
+            assert_eq!(s.select(&ids(&[0, 1, 2]))[0], first);
+        }
+        // Other nodes are starved for as long as the favourite stays enabled.
+        assert_eq!(s.activation_count(first), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "enabled")]
+    fn asking_with_no_enabled_node_is_a_bug() {
+        let mut s = Scheduler::new(SchedulerKind::Central, 3, 1);
+        let _ = s.select(&[]);
+    }
+
+    #[test]
+    fn all_lists_every_kind() {
+        assert_eq!(SchedulerKind::all().len(), 5);
+        assert_eq!(format!("{}", SchedulerKind::Adversarial), "adversarial");
+    }
+}

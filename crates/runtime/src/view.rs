@@ -1,0 +1,114 @@
+//! The closed 1-hop neighborhood a node reads during an atomic step.
+//!
+//! In the state model a node sees its own register, the registers of its neighbors, and
+//! the incorruptible constants of the model: its identity, its neighbors' identities and
+//! the weights of its incident edges (paper §II-A). A [`View`] packages exactly this —
+//! algorithms never get access to anything else, which keeps them honest about locality.
+
+use stst_graph::{Ident, NodeId, Weight};
+
+/// What a node sees of one neighbor: the neighbor's identity, the weight of the
+/// connecting edge (both incorruptible constants) and the neighbor's register.
+#[derive(Clone, Debug)]
+pub struct NeighborView<'a, S> {
+    /// Dense index of the neighbor (simulation bookkeeping, not readable information —
+    /// algorithms should use [`NeighborView::ident`] to name nodes).
+    pub node: NodeId,
+    /// The neighbor's identity.
+    pub ident: Ident,
+    /// Weight of the connecting edge.
+    pub weight: Weight,
+    /// The neighbor's current register content (read-only).
+    pub state: &'a S,
+}
+
+/// The closed neighborhood view handed to [`crate::Algorithm::step`].
+#[derive(Clone, Debug)]
+pub struct View<'a, S> {
+    /// Dense index of the node taking the step (simulation bookkeeping).
+    pub node: NodeId,
+    /// The node's own identity.
+    pub ident: Ident,
+    /// Total number of nodes `n`. The paper allows nodes to know (a polynomial upper
+    /// bound on) `n`, since identities live in `{1, …, n^c}`; algorithms use it only to
+    /// bound counters.
+    pub n: usize,
+    /// The node's own register content.
+    pub state: &'a S,
+    /// One entry per incident edge, in a fixed (but arbitrary) port order.
+    pub neighbors: Vec<NeighborView<'a, S>>,
+}
+
+impl<'a, S> View<'a, S> {
+    /// Degree of the node in the communication graph.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor with identity `ident`, if adjacent.
+    pub fn neighbor_with_ident(&self, ident: Ident) -> Option<&NeighborView<'a, S>> {
+        self.neighbors.iter().find(|nb| nb.ident == ident)
+    }
+
+    /// `true` if some neighbor carries identity `ident`.
+    pub fn has_neighbor(&self, ident: Ident) -> bool {
+        self.neighbor_with_ident(ident).is_some()
+    }
+
+    /// The smallest identity in the closed neighborhood (the node and its neighbors).
+    pub fn min_ident_in_closed_neighborhood(&self) -> Ident {
+        self.neighbors
+            .iter()
+            .map(|nb| nb.ident)
+            .chain(std::iter::once(self.ident))
+            .min()
+            .expect("the closed neighborhood contains the node itself")
+    }
+
+    /// Iterator over neighbors together with the weight of the connecting edge,
+    /// ordered by increasing weight (ties by identity). Convenient for
+    /// "lightest incident edge" rules.
+    pub fn neighbors_by_weight(&self) -> Vec<&NeighborView<'a, S>> {
+        let mut v: Vec<&NeighborView<'a, S>> = self.neighbors.iter().collect();
+        v.sort_by_key(|nb| (nb.weight, nb.ident));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view<'a>(states: &'a [u64]) -> View<'a, u64> {
+        View {
+            node: NodeId(0),
+            ident: 5,
+            n: 4,
+            state: &states[0],
+            neighbors: vec![
+                NeighborView { node: NodeId(1), ident: 9, weight: 30, state: &states[1] },
+                NeighborView { node: NodeId(2), ident: 2, weight: 10, state: &states[2] },
+                NeighborView { node: NodeId(3), ident: 7, weight: 20, state: &states[3] },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let states = [0u64, 1, 2, 3];
+        let view = sample_view(&states);
+        assert_eq!(view.degree(), 3);
+        assert!(view.has_neighbor(2));
+        assert!(!view.has_neighbor(5));
+        assert_eq!(view.neighbor_with_ident(7).unwrap().weight, 20);
+        assert_eq!(view.min_ident_in_closed_neighborhood(), 2);
+    }
+
+    #[test]
+    fn weight_ordering() {
+        let states = [0u64, 1, 2, 3];
+        let view = sample_view(&states);
+        let order: Vec<Ident> = view.neighbors_by_weight().iter().map(|nb| nb.ident).collect();
+        assert_eq!(order, vec![2, 7, 9]);
+    }
+}

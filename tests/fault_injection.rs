@@ -1,0 +1,72 @@
+//! Self-stabilization proper: recovery from transient faults (register corruption) of
+//! every severity, under different daemons, for the guarded-rule layer.
+
+use self_stabilizing_spanning_trees::core::bfs::{BfsState, RootedBfs};
+use self_stabilizing_spanning_trees::core::spanning::{MinIdSpanningTree, SpanningState};
+use self_stabilizing_spanning_trees::graph::{generators, NodeId};
+use self_stabilizing_spanning_trees::runtime::{Executor, ExecutorConfig, SchedulerKind};
+
+#[test]
+fn spanning_tree_recovers_from_any_number_of_corrupted_registers() {
+    let g = generators::workload(30, 0.12, 17);
+    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(17));
+    exec.run_to_quiescence(5_000_000).unwrap();
+    for k in [1usize, 3, 10, 15, 30] {
+        exec.corrupt_random_nodes(k);
+        let q = exec.run_to_quiescence(5_000_000).expect("recovery after {k} faults");
+        assert!(q.legal, "recovery after corrupting {k} registers");
+        assert!(exec.is_quiescent());
+    }
+}
+
+#[test]
+fn recovery_from_a_single_fault_is_cheaper_than_from_scratch() {
+    let g = generators::workload(40, 0.1, 23);
+    // From-scratch cost.
+    let mut scratch = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(23));
+    let from_scratch = scratch.run_to_quiescence(5_000_000).unwrap();
+    // Converge, then corrupt a single register's size field (a local fault): recovery
+    // is a convergecast along one root path, far cheaper than a full reconstruction.
+    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(23));
+    exec.run_to_quiescence(5_000_000).unwrap();
+    let moves_before = exec.moves();
+    let damaged = SpanningState { size: exec.state(NodeId(7)).size + 5, ..*exec.state(NodeId(7)) };
+    exec.corrupt_node(NodeId(7), damaged);
+    let q = exec.run_to_quiescence(5_000_000).unwrap();
+    assert!(q.legal);
+    let recovery_moves = q.moves - moves_before;
+    assert!(
+        recovery_moves <= from_scratch.moves,
+        "recovering from one local fault ({recovery_moves} moves) should not cost more \
+         than converging from scratch ({} moves)",
+        from_scratch.moves
+    );
+}
+
+#[test]
+fn bfs_recovers_under_the_adversarial_daemon() {
+    let g = generators::workload(25, 0.15, 31);
+    let root_ident = g.ident(g.min_ident_node());
+    let mut exec = Executor::from_arbitrary(
+        &g,
+        RootedBfs::new(root_ident),
+        ExecutorConfig::with_scheduler(31, SchedulerKind::Adversarial),
+    );
+    exec.run_to_quiescence(5_000_000).unwrap();
+    // Adversarially helpful-looking corruption: claim distance 0 everywhere.
+    for v in 0..5 {
+        exec.corrupt_node(NodeId(v), BfsState { parent: None, dist: 0 });
+    }
+    let q = exec.run_to_quiescence(5_000_000).unwrap();
+    assert!(q.legal, "BFS must recover even from systematically misleading corruption");
+}
+
+#[test]
+fn corrupting_every_register_is_just_a_fresh_start() {
+    let g = generators::workload(20, 0.2, 41);
+    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(41));
+    exec.run_to_quiescence(5_000_000).unwrap();
+    exec.corrupt_random_nodes(g.node_count());
+    let q = exec.run_to_quiescence(5_000_000).unwrap();
+    assert!(q.legal);
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the proof-labeling schemes: completeness on legal instances,
+//! soundness under random corruption of labels and parent pointers, and malleability of
+//! the redundant scheme during switches.
+
+use proptest::prelude::*;
+
+use self_stabilizing_spanning_trees::graph::{bfs, generators, mst, NodeId};
+use self_stabilizing_spanning_trees::labeling::distance::DistanceScheme;
+use self_stabilizing_spanning_trees::labeling::nca::{nca_of_labels, NcaScheme};
+use self_stabilizing_spanning_trees::labeling::redundant::RedundantScheme;
+use self_stabilizing_spanning_trees::labeling::scheme::{Instance, ProofLabelingScheme};
+use self_stabilizing_spanning_trees::labeling::size::SizeScheme;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completeness: for every workload and every scheme, the prover-built labels of a
+    /// legal spanning tree are accepted at every node.
+    #[test]
+    fn schemes_accept_legal_trees(n in 4usize..40, seed in 0u64..500) {
+        let g = generators::workload(n, 0.2, seed);
+        let t = bfs::bfs_tree(&g, g.min_ident_node());
+        prop_assert!(DistanceScheme.accepts_legal(&g, &t));
+        prop_assert!(SizeScheme.accepts_legal(&g, &t));
+        prop_assert!(RedundantScheme.accepts_legal(&g, &t));
+        prop_assert!(NcaScheme.accepts_legal(&g, &t));
+    }
+
+    /// Soundness against structural corruption: re-pointing one node's parent pointer to
+    /// a random non-parent neighbor (without fixing the labels) is detected by the
+    /// redundant scheme.
+    #[test]
+    fn redundant_scheme_detects_reparented_pointers(
+        n in 6usize..30,
+        seed in 0u64..200,
+        victim_pick in 0usize..64,
+        neighbor_pick in 0usize..8,
+    ) {
+        let g = generators::workload(n, 0.3, seed);
+        let t = bfs::bfs_tree(&g, g.min_ident_node());
+        let labels = RedundantScheme.prove(&g, &t);
+        // Pick a non-root victim and point it somewhere else.
+        let victims: Vec<NodeId> = t.nodes().filter(|&v| t.parent(v).is_some()).collect();
+        let victim = victims[victim_pick % victims.len()];
+        let neighbors = g.neighbors(victim);
+        let new_parent = neighbors[neighbor_pick % neighbors.len()].0;
+        prop_assume!(Some(new_parent) != t.parent(victim));
+        let mut parents = t.parents().to_vec();
+        parents[victim.index()] = Some(new_parent);
+        // The corrupted pointer either creates a cycle / second root situation or an
+        // inconsistent distance; the verifier must notice in all cases.
+        let inst = Instance { graph: &g, parents: &parents };
+        prop_assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
+    }
+
+    /// Soundness against label corruption: randomly perturbing a distance or size value
+    /// in one label is detected.
+    #[test]
+    fn redundant_scheme_detects_corrupted_labels(
+        n in 6usize..30,
+        seed in 0u64..200,
+        victim_pick in 0usize..64,
+        delta in 1u64..5,
+        corrupt_size in proptest::bool::ANY,
+    ) {
+        let g = generators::workload(n, 0.3, seed);
+        let t = bfs::bfs_tree(&g, g.min_ident_node());
+        let mut labels = RedundantScheme.prove(&g, &t);
+        let victim = NodeId(victim_pick % n);
+        if corrupt_size {
+            labels[victim.index()].size = labels[victim.index()].size.map(|s| s + delta);
+        } else {
+            labels[victim.index()].dist = labels[victim.index()].dist.map(|d| d + delta);
+        }
+        let inst = Instance::from_tree(&g, &t);
+        prop_assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
+    }
+
+    /// The NCA labels computed by the prover answer arbitrary queries exactly like the
+    /// parent-pointer ground truth.
+    #[test]
+    fn nca_labels_answer_queries_correctly(
+        n in 4usize..36,
+        seed in 0u64..200,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let g = generators::workload(n, 0.2, seed);
+        let t = bfs::bfs_tree(&g, g.min_ident_node());
+        let labels = NcaScheme.prove(&g, &t);
+        let u = NodeId(a % n);
+        let v = NodeId(b % n);
+        let w = t.nca(u, v);
+        prop_assert_eq!(&nca_of_labels(&labels[u.index()], &labels[v.index()]), &labels[w.index()]);
+    }
+
+    /// The MST fragment potential is zero exactly on minimum spanning trees.
+    #[test]
+    fn mst_potential_characterizes_msts(n in 5usize..22, seed in 0u64..120) {
+        let g = generators::workload(n, 0.3, seed);
+        let kruskal = mst::kruskal(&g).unwrap();
+        prop_assert_eq!(
+            self_stabilizing_spanning_trees::labeling::mst_fragments::mst_potential(&g, &kruskal),
+            0
+        );
+        let bfs_tree = bfs::bfs_tree(&g, g.min_ident_node());
+        let phi = self_stabilizing_spanning_trees::labeling::mst_fragments::mst_potential(&g, &bfs_tree);
+        prop_assert_eq!(phi == 0, mst::is_mst(&g, &bfs_tree));
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate tests of the PLS-guided framework: loop-free switches feeding the
+//! potentials of §III/§VI/§VIII, and the equivalence between the distributed-composition
+//! reports and the sequential reference engines.
+
+use self_stabilizing_spanning_trees::core::framework::{local_search, nested_local_search};
+use self_stabilizing_spanning_trees::core::potential::{BfsPotential, MdstPotential, MstPotential};
+use self_stabilizing_spanning_trees::core::switch::loop_free_switch;
+use self_stabilizing_spanning_trees::core::{construct_mst, EngineConfig};
+use self_stabilizing_spanning_trees::graph::{bfs, fr, generators, mst};
+use self_stabilizing_spanning_trees::labeling::redundant::RedundantScheme;
+use self_stabilizing_spanning_trees::labeling::scheme::{Instance, ProofLabelingScheme};
+
+#[test]
+fn mst_local_search_via_loop_free_switches_reaches_the_optimum() {
+    // Drive Algorithm 1 manually, but perform every swap through the loop-free switch
+    // module, verifying malleability at every stage.
+    for seed in 0..3 {
+        let g = generators::workload(16, 0.35, seed);
+        let mut tree = bfs::bfs_tree(&g, g.min_ident_node());
+        let mut guard = 0;
+        while let Some((e, f)) =
+            self_stabilizing_spanning_trees::labeling::mst_fragments::fragment_guided_swap(&g, &tree)
+        {
+            let outcome = loop_free_switch(&g, &tree, e, f);
+            for stage in &outcome.stages {
+                assert!(stage.tree.is_spanning_tree_of(&g), "loop-freedom");
+                let inst = Instance { graph: &g, parents: stage.tree.parents() };
+                assert!(
+                    RedundantScheme.verify_all(&inst, &stage.labels).accepted(),
+                    "malleability at '{}'",
+                    stage.description
+                );
+            }
+            tree = outcome.tree;
+            guard += 1;
+            assert!(guard < 200);
+        }
+        assert!(mst::is_mst(&g, &tree), "seed {seed}");
+    }
+}
+
+#[test]
+fn sequential_engines_and_composed_construction_agree_on_the_mst() {
+    let g = generators::workload(18, 0.3, 11);
+    let start = bfs::bfs_tree(&g, g.min_ident_node());
+    let (seq_tree, seq_stats) = local_search(&g, start, &MstPotential);
+    let report = construct_mst(&g, &EngineConfig::seeded(11));
+    // With distinct weights the MST is unique, so both approaches produce the same tree
+    // weight (and edge set).
+    assert_eq!(seq_tree.total_weight(&g), report.tree.total_weight(&g));
+    assert_eq!(seq_stats.final_potential, 0);
+}
+
+#[test]
+fn bfs_and_mdst_engines_hit_their_targets() {
+    let g = generators::ring(20);
+    let (bfs_tree, stats) = local_search(&g, stst_path_tree(20), &BfsPotential);
+    assert!(bfs::is_bfs_tree(&g, &bfs_tree));
+    assert_eq!(stats.final_potential, 0);
+
+    let g = generators::workload(14, 0.4, 2);
+    let start = bfs::bfs_tree(&g, g.min_ident_node());
+    let (mdst_tree, stats) = nested_local_search(&g, start, &MdstPotential);
+    assert!(fr::is_fr_tree(&g, &mdst_tree));
+    assert_eq!(stats.final_potential, 0);
+}
+
+fn stst_path_tree(n: usize) -> self_stabilizing_spanning_trees::graph::Tree {
+    self_stabilizing_spanning_trees::graph::Tree::path(n)
+}
+
+#[test]
+fn switch_rounds_grow_linearly_with_the_cycle_length() {
+    // E2's shape: the cost of a switch is governed by the tree height / cycle length,
+    // i.e. O(n), not O(n²).
+    let mut last = 0u64;
+    for n in [16usize, 32, 64] {
+        let g = generators::ring(n);
+        let t = bfs::bfs_tree(&g, self_stabilizing_spanning_trees::graph::NodeId(0));
+        let e = g
+            .edge_ids()
+            .find(|&e| {
+                let ed = g.edge(e);
+                !t.contains_edge(ed.u, ed.v)
+            })
+            .unwrap();
+        let f = t.fundamental_cycle_tree_edges(&g, e)[n / 4];
+        let outcome = loop_free_switch(&g, &t, e, f);
+        assert!(outcome.rounds <= 8 * n as u64, "n = {n}: {} rounds", outcome.rounds);
+        assert!(outcome.rounds >= last / 4, "cost should grow roughly linearly");
+        last = outcome.rounds;
+    }
+}
