@@ -46,7 +46,12 @@ pub fn run(graph: &Graph, variant: CompactVariant) -> BaselineReport {
         + weight_bits                       // candidate outgoing edge weight
         + bits_for(n)                       // circulating token phase
         + 3; // flags
-    BaselineReport { tree: run.tree, rounds, max_register_bits, silent: false }
+    BaselineReport {
+        tree: run.tree,
+        rounds,
+        max_register_bits,
+        silent: false,
+    }
 }
 
 #[cfg(test)]

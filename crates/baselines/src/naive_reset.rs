@@ -53,14 +53,18 @@ impl Algorithm for DistanceOnlySpanningTree {
         let n = graph.node_count() as u64;
         DistanceOnlyState {
             root: rng.gen_range(0..=2 * n.max(1)),
-            parent: if rng.gen_bool(0.3) { None } else { Some(rng.gen_range(0..=2 * n.max(1))) },
+            parent: if rng.gen_bool(0.3) {
+                None
+            } else {
+                Some(rng.gen_range(0..=2 * n.max(1)))
+            },
             dist: rng.gen_range(0..=n + 1),
         }
     }
 
     fn step(&self, view: &View<'_, DistanceOnlyState>) -> Option<DistanceOnlyState> {
         let mut best: (Ident, u64, Option<Ident>) = (view.ident, 0, None);
-        for nb in &view.neighbors {
+        for nb in view.neighbors() {
             if nb.state.root < view.ident && nb.state.dist + 1 < view.n as u64 {
                 let candidate = (nb.state.root, nb.state.dist + 1, Some(nb.ident));
                 if candidate < best {
@@ -68,7 +72,11 @@ impl Algorithm for DistanceOnlySpanningTree {
                 }
             }
         }
-        let desired = DistanceOnlyState { root: best.0, parent: best.2, dist: best.1 };
+        let desired = DistanceOnlyState {
+            root: best.0,
+            parent: best.2,
+            dist: best.1,
+        };
         (desired != *view.state).then_some(desired)
     }
 
@@ -90,8 +98,11 @@ mod tests {
     fn converges_silently_to_a_spanning_tree() {
         for seed in 0..3 {
             let g = generators::workload(24, 0.15, seed);
-            let mut exec =
-                Executor::from_arbitrary(&g, DistanceOnlySpanningTree, ExecutorConfig::seeded(seed));
+            let mut exec = Executor::from_arbitrary(
+                &g,
+                DistanceOnlySpanningTree,
+                ExecutorConfig::seeded(seed),
+            );
             let q = exec.run_to_quiescence(2_000_000).unwrap();
             assert!(q.silent && q.legal, "seed {seed}");
         }
@@ -107,6 +118,9 @@ mod tests {
         // garbage, which says nothing about the algorithms).
         let ours = exec.space_report().max_bits;
         let full = stst_core::mst::spanning_phase_register_bits(&g, 1);
-        assert!(ours <= full, "distance-only registers ({ours}) exceed the redundant ones ({full})");
+        assert!(
+            ours <= full,
+            "distance-only registers ({ours}) exceed the redundant ones ({full})"
+        );
     }
 }

@@ -34,7 +34,12 @@ pub fn run(graph: &Graph) -> BaselineReport {
     // The cited algorithm converges in O(mn² log n) moves; we report the round order n⁴
     // as the comparable coarse bound and keep the improvement count from the oracle.
     let rounds = n.saturating_pow(4).max(stats.improvements as u64);
-    BaselineReport { tree, rounds, max_register_bits, silent: false }
+    BaselineReport {
+        tree,
+        rounds,
+        max_register_bits,
+        silent: false,
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +66,9 @@ mod tests {
     fn memory_grows_linearly_with_n() {
         let small = run(&generators::workload(20, 0.2, 1)).max_register_bits;
         let large = run(&generators::workload(80, 0.08, 1)).max_register_bits;
-        assert!(large >= 3 * small, "prior-art memory should grow ~linearly: {small} → {large}");
+        assert!(
+            large >= 3 * small,
+            "prior-art memory should grow ~linearly: {small} → {large}"
+        );
     }
 }

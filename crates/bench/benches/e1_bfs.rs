@@ -13,18 +13,18 @@ use stst_runtime::{Executor, ExecutorConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_bfs");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for &n in &[16usize, 48] {
         group.bench_with_input(BenchmarkId::new("rooted_bfs_converge", n), &n, |b, &n| {
             let g = generators::workload(n, 0.1, 7);
             let root = g.ident(g.min_ident_node());
             b.iter(|| {
-                let mut exec = Executor::from_arbitrary(
-                    &g,
-                    RootedBfs::new(root),
-                    ExecutorConfig::seeded(7),
-                );
+                let mut exec =
+                    Executor::from_arbitrary(&g, RootedBfs::new(root), ExecutorConfig::seeded(7));
                 black_box(exec.run_to_quiescence(10_000_000).unwrap())
             });
         });

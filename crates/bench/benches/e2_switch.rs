@@ -12,7 +12,10 @@ use stst_graph::{bfs, generators};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_switch");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for &n in &[32usize, 96] {
         group.bench_with_input(BenchmarkId::new("loop_free_switch", n), &n, |b, &n| {

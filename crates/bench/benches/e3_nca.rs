@@ -12,7 +12,10 @@ use stst_graph::{bfs, generators};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_nca");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for &n in &[64usize, 256] {
         group.bench_with_input(BenchmarkId::new("nca_labels", n), &n, |b, &n| {

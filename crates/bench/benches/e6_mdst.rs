@@ -12,7 +12,10 @@ use stst_graph::generators;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_mdst");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for &n in &[12usize, 20] {
         group.bench_with_input(BenchmarkId::new("construct_mdst", n), &n, |b, &n| {

@@ -8,10 +8,12 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_mdst_space");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     group.bench_function("e7_space_table", |b| {
         b.iter(|| black_box(stst_bench::e7_mdst_space(&[16, 32], 9)));

@@ -13,7 +13,10 @@ use stst_runtime::{Executor, ExecutorConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_faults");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for &k in &[1usize, 10] {
         group.bench_with_input(BenchmarkId::new("recover_after_faults", k), &k, |b, &k| {

@@ -13,9 +13,16 @@ use stst_runtime::{Executor, ExecutorConfig, SchedulerKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_sched_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
-    for kind in [SchedulerKind::Central, SchedulerKind::Adversarial, SchedulerKind::Synchronous] {
+    for kind in [
+        SchedulerKind::Central,
+        SchedulerKind::Adversarial,
+        SchedulerKind::Synchronous,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("spanning_tree_under", kind.to_string()),
             &kind,

@@ -1,0 +1,98 @@
+//! Executor scalability: incremental enabled-set maintenance vs the retained
+//! full-rescan reference mode, on a 10k-node network.
+//!
+//! Two workloads, both driving `run_to_quiescence`:
+//!
+//! * `recovery` — the steady-state case the incremental design targets: a converged
+//!   BFS layer is hit by a small batch of register corruptions and must re-stabilize.
+//!   Full rescan pays `O(n·Δ)` per daemon step even though only a handful of nodes
+//!   near the faults are enabled; incremental maintenance pays `O(Δ²)` per step.
+//! * `from_scratch` — synchronous convergence from an arbitrary configuration, where
+//!   almost every node is enabled early on (the incremental win is smaller but the
+//!   absolute scale shows the executor handles 10⁴-node networks comfortably).
+//!
+//! The bench prints the measured `full_rescan / incremental` mean-time ratio for the
+//! recovery workload; the companion differential test
+//! (`tests/incremental_executor_oracle.rs`) asserts the ≥5× guard-evaluation gap
+//! deterministically, so the acceptance criterion does not rest on wall-clock noise.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::bfs::{BfsState, RootedBfs};
+use stst_graph::{generators, Graph};
+use stst_runtime::{ExecMode, Executor, ExecutorConfig, SchedulerKind};
+
+const N: usize = 10_000;
+
+fn big_graph() -> Graph {
+    // ~4 extra edges per node on top of the spanning-tree backbone: Δ stays small,
+    // which is exactly the regime where full rescans waste the most work.
+    generators::shuffle_idents(&generators::random_sparse(N, 4 * N, 41), 41)
+}
+
+/// A converged configuration of the rooted-BFS layer on `g`.
+fn converged_states(g: &Graph) -> (RootedBfs, Vec<BfsState>) {
+    let algo = RootedBfs::new(g.ident(g.min_ident_node()));
+    let mut exec = Executor::from_arbitrary(
+        g,
+        algo,
+        ExecutorConfig::with_scheduler(41, SchedulerKind::Synchronous),
+    );
+    exec.run_to_quiescence(1_000_000).expect("BFS converges");
+    (algo, exec.states().to_vec())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    let g = big_graph();
+    let (algo, stable) = converged_states(&g);
+
+    let mut means = [Duration::ZERO; 2];
+    for (slot, mode) in [
+        (0usize, ExecMode::Incremental),
+        (1usize, ExecMode::FullRescan),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("recovery_after_32_faults", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let config =
+                        ExecutorConfig::with_scheduler(41, SchedulerKind::Central).with_mode(mode);
+                    let mut exec = Executor::with_states(&g, algo, stable.clone(), config);
+                    exec.corrupt_random_nodes(32);
+                    black_box(exec.run_to_quiescence(10_000_000).unwrap())
+                });
+                means[slot] = b.mean();
+            },
+        );
+    }
+    if means[0] > Duration::ZERO {
+        println!(
+            "executor_scale/recovery_after_32_faults: full_rescan / incremental = {:.1}x",
+            means[1].as_secs_f64() / means[0].as_secs_f64()
+        );
+    }
+
+    group.bench_function(BenchmarkId::new("from_scratch_synchronous", N), |b| {
+        b.iter(|| {
+            let mut exec = Executor::from_arbitrary(
+                &g,
+                algo,
+                ExecutorConfig::with_scheduler(7, SchedulerKind::Synchronous),
+            );
+            black_box(exec.run_to_quiescence(1_000_000).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let tables = stst_bench::full_report(seed);
     if json {
-        println!("{}", serde_json::to_string_pretty(&tables).expect("serializable tables"));
+        println!("{}", stst_bench::tables_to_json(&tables));
         return;
     }
     println!("# Experiment report (seed {seed})\n");

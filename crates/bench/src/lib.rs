@@ -6,8 +6,6 @@
 //! assembles them into the tables recorded in EXPERIMENTS.md, and the Criterion benches
 //! under `benches/` time representative points of each sweep.
 
-use serde::Serialize;
-
 use stst_baselines::compact_mst::{self, CompactVariant};
 use stst_baselines::naive_reset::DistanceOnlySpanningTree;
 use stst_baselines::prior_mdst;
@@ -41,7 +39,7 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// A named experiment result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentTable {
     /// Experiment identifier (E1–E9).
     pub id: String,
@@ -57,8 +55,78 @@ impl ExperimentTable {
     /// Renders the table as markdown with its heading.
     pub fn to_markdown(&self) -> String {
         let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
-        format!("## {} — {}\n\n{}", self.id, self.claim, markdown_table(&headers, &self.rows))
+        format!(
+            "## {} — {}\n\n{}",
+            self.id,
+            self.claim,
+            markdown_table(&headers, &self.rows)
+        )
     }
+
+    /// Renders the table as a JSON object (hand-rolled — the build is hermetic, so no
+    /// serde; the format matches what `serde_json` would produce for this struct).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{},", json_string(&self.id)));
+        out.push_str(&format!("\"claim\":{},", json_string(&self.claim)));
+        out.push_str(&format!(
+            "\"headers\":{},",
+            json_string_array(&self.headers)
+        ));
+        out.push_str("\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a list of tables as a JSON array (the `--json` output of the report binary).
+pub fn tables_to_json(tables: &[ExperimentTable]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n ");
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
 }
 
 fn f(x: f64) -> String {
@@ -70,7 +138,10 @@ pub fn e1_bfs(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
         for (topo, g) in [
-            ("ring", generators::shuffle_idents(&generators::ring(n), seed)),
+            (
+                "ring",
+                generators::shuffle_idents(&generators::ring(n), seed),
+            ),
             ("random p=0.1", generators::workload(n, 0.1, seed)),
         ] {
             let root_ident = g.ident(g.min_ident_node());
@@ -93,7 +164,14 @@ pub fn e1_bfs(sizes: &[usize], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E1".into(),
         claim: "silent BFS: poly(n) rounds, O(log n) bits (§III example)".into(),
-        headers: vec!["topology".into(), "n".into(), "rounds".into(), "moves".into(), "max bits/node".into(), "legal".into()],
+        headers: vec![
+            "topology".into(),
+            "n".into(),
+            "rounds".into(),
+            "moves".into(),
+            "max bits/node".into(),
+            "legal".into(),
+        ],
         rows,
     }
 }
@@ -114,9 +192,15 @@ pub fn e2_switch(sizes: &[usize], seed: u64) -> ExperimentTable {
         let cycle = t.fundamental_cycle_tree_edges(&g, e);
         let f_edge = cycle[cycle.len() / 2];
         let outcome = loop_free_switch(&g, &t, e, f_edge);
-        let loop_free = outcome.stages.iter().all(|s| s.tree.is_spanning_tree_of(&g));
+        let loop_free = outcome
+            .stages
+            .iter()
+            .all(|s| s.tree.is_spanning_tree_of(&g));
         let accepted = outcome.stages.iter().all(|s| {
-            let inst = Instance { graph: &g, parents: s.tree.parents() };
+            let inst = Instance {
+                graph: &g,
+                parents: s.tree.parents(),
+            };
             RedundantScheme.verify_all(&inst, &s.labels).accepted()
         });
         rows.push(vec![
@@ -131,7 +215,14 @@ pub fn e2_switch(sizes: &[usize], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E2".into(),
         claim: "loop-free malleable switch: O(n) rounds, no false alarms (Lemma 4.1, §IV)".into(),
-        headers: vec!["n".into(), "cycle length".into(), "local switches".into(), "rounds".into(), "loop-free".into(), "all verifiers accept".into()],
+        headers: vec![
+            "n".into(),
+            "cycle length".into(),
+            "local switches".into(),
+            "rounds".into(),
+            "loop-free".into(),
+            "all verifiers accept".into(),
+        ],
         rows,
     }
 }
@@ -141,8 +232,14 @@ pub fn e3_nca(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
         for (topo, g) in [
-            ("random tree", generators::shuffle_idents(&generators::random_tree(n, seed), seed)),
-            ("caterpillar", generators::shuffle_idents(&generators::caterpillar(n / 4, 3), seed)),
+            (
+                "random tree",
+                generators::shuffle_idents(&generators::random_tree(n, seed), seed),
+            ),
+            (
+                "caterpillar",
+                generators::shuffle_idents(&generators::caterpillar(n / 4, 3), seed),
+            ),
         ] {
             let t = bfs::bfs_tree(&g, g.min_ident_node());
             let outcome = build_nca_labels(&g, &t);
@@ -152,7 +249,8 @@ pub fn e3_nca(sizes: &[usize], seed: u64) -> ExperimentTable {
             let correct = (0..g.node_count().min(20)).all(|i| {
                 let u = NodeId(i);
                 let v = NodeId((i * 7 + 3) % g.node_count());
-                index[&stst_labeling::nca::nca_of_labels(&outcome.labels[u.0], &outcome.labels[v.0])]
+                index
+                    [&stst_labeling::nca::nca_of_labels(&outcome.labels[u.0], &outcome.labels[v.0])]
                     == oracle.nca(u, v)
             });
             rows.push(vec![
@@ -167,8 +265,16 @@ pub fn e3_nca(sizes: &[usize], seed: u64) -> ExperimentTable {
     }
     ExperimentTable {
         id: "E3".into(),
-        claim: "NCA labeling: O(n)-round construction, compact certified labels (Lemma 5.1, §V)".into(),
-        headers: vec!["tree".into(), "n".into(), "rounds".into(), "max label bits".into(), "certified".into(), "queries correct".into()],
+        claim: "NCA labeling: O(n)-round construction, compact certified labels (Lemma 5.1, §V)"
+            .into(),
+        headers: vec![
+            "tree".into(),
+            "n".into(),
+            "rounds".into(),
+            "max label bits".into(),
+            "certified".into(),
+            "queries correct".into(),
+        ],
         rows,
     }
 }
@@ -195,7 +301,15 @@ pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E4".into(),
         claim: "silent self-stabilizing MST: poly(n) rounds, O(log² n) bits (Corollary 6.1)".into(),
-        headers: vec!["n".into(), "m".into(), "rounds".into(), "switches".into(), "max bits/node".into(), "weight / OPT".into(), "is MST".into()],
+        headers: vec![
+            "n".into(),
+            "m".into(),
+            "rounds".into(),
+            "switches".into(),
+            "max bits/node".into(),
+            "weight / OPT".into(),
+            "is MST".into(),
+        ],
         rows,
     }
 }
@@ -218,7 +332,12 @@ pub fn e5_mst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
             format!("{} (not silent)", bgrt.max_register_bits),
             format!(
                 "{} (silent, ST only)",
-                distance_only.states().iter().map(Register::bit_size).max().unwrap_or(0)
+                distance_only
+                    .states()
+                    .iter()
+                    .map(Register::bit_size)
+                    .max()
+                    .unwrap_or(0)
             ),
         ]);
     }
@@ -256,7 +375,15 @@ pub fn e6_mdst(sizes: &[usize], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E6".into(),
         claim: "silent MDST on FR-trees: degree ≤ OPT+1, poly(n) rounds (Corollary 8.1)".into(),
-        headers: vec!["n".into(), "degree".into(), "OPT (or bound)".into(), "≤ OPT+1".into(), "rounds".into(), "max bits/node".into(), "FR-certified".into()],
+        headers: vec![
+            "n".into(),
+            "degree".into(),
+            "OPT (or bound)".into(),
+            "≤ OPT+1".into(),
+            "rounds".into(),
+            "max bits/node".into(),
+            "FR-certified".into(),
+        ],
         rows,
     }
 }
@@ -278,7 +405,12 @@ pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E7".into(),
         claim: "MDST space: ours (O(log n)-class) vs prior-art explicit lists (Ω(n log n))".into(),
-        headers: vec!["n".into(), "this work [bits]".into(), "BGR'11 model [bits]".into(), "ratio".into()],
+        headers: vec![
+            "n".into(),
+            "this work [bits]".into(),
+            "BGR'11 model [bits]".into(),
+            "ratio".into(),
+        ],
         rows,
     }
 }
@@ -313,7 +445,13 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E8".into(),
         claim: format!("self-stabilization: recovery after register corruption (n = {n})"),
-        headers: vec!["scenario".into(), "fault fraction".into(), "recovery rounds".into(), "recovery moves".into(), "legal after".into()],
+        headers: vec![
+            "scenario".into(),
+            "fault fraction".into(),
+            "recovery rounds".into(),
+            "recovery moves".into(),
+            "legal after".into(),
+        ],
         rows,
     }
 }
@@ -366,7 +504,12 @@ pub fn e9_sched_ablation(n: usize, seed: u64) -> ExperimentTable {
     ExperimentTable {
         id: "E9".into(),
         claim: format!("scheduler robustness and potential-guidance ablation (n = {n})"),
-        headers: vec!["configuration".into(), "rounds".into(), "moves / swaps".into(), "legal".into()],
+        headers: vec![
+            "configuration".into(),
+            "rounds".into(),
+            "moves / swaps".into(),
+            "legal".into(),
+        ],
         rows,
     }
 }
@@ -407,6 +550,22 @@ mod tests {
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| 1 | 2 |"));
         assert!(md.starts_with("## E0"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_and_escaped() {
+        let t = ExperimentTable {
+            id: "E0".into(),
+            claim: "say \"hi\"\n".into(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["x\\y".into()]],
+        };
+        assert_eq!(
+            t.to_json(),
+            "{\"id\":\"E0\",\"claim\":\"say \\\"hi\\\"\\n\",\"headers\":[\"a\"],\"rows\":[[\"x\\\\y\"]]}"
+        );
+        let all = tables_to_json(&[t.clone(), t]);
+        assert!(all.starts_with('[') && all.ends_with(']'));
     }
 
     #[test]

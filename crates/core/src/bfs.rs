@@ -65,22 +65,33 @@ impl Algorithm for RootedBfs {
             0 => None,
             _ => Some(rng.gen_range(0..=2 * n.max(1))),
         };
-        BfsState { parent, dist: rng.gen_range(0..=n + 1) }
+        BfsState {
+            parent,
+            dist: rng.gen_range(0..=n + 1),
+        }
     }
 
     fn step(&self, view: &View<'_, BfsState>) -> Option<BfsState> {
         let n = view.n as u64;
         let desired = if view.ident == self.root_ident {
-            BfsState { parent: None, dist: 0 }
+            BfsState {
+                parent: None,
+                dist: 0,
+            }
         } else {
             // Adopt the neighbor with the smallest distance (ties broken by identity);
             // distances are capped at n − 1, the orphan state is (⊥, n).
-            view.neighbors
-                .iter()
+            view.neighbors()
                 .filter(|nb| nb.state.dist + 1 < n)
                 .min_by_key(|nb| (nb.state.dist, nb.ident))
-                .map(|nb| BfsState { parent: Some(nb.ident), dist: nb.state.dist + 1 })
-                .unwrap_or(BfsState { parent: None, dist: n })
+                .map(|nb| BfsState {
+                    parent: Some(nb.ident),
+                    dist: nb.state.dist + 1,
+                })
+                .unwrap_or(BfsState {
+                    parent: None,
+                    dist: n,
+                })
         };
         (desired != *view.state).then_some(desired)
     }
@@ -98,7 +109,9 @@ impl Algorithm for RootedBfs {
             return false;
         }
         let depths = tree.depths();
-        graph.nodes().all(|v| states[v.0].dist == depths[v.0] as u64)
+        graph
+            .nodes()
+            .all(|v| states[v.0].dist == depths[v.0] as u64)
     }
 }
 
@@ -113,7 +126,9 @@ mod tests {
         let algo = RootedBfs::new(root_ident);
         let mut exec =
             Executor::from_arbitrary(graph, algo, ExecutorConfig::with_scheduler(seed, kind));
-        let q = exec.run_to_quiescence(4_000_000).expect("BFS must converge");
+        let q = exec
+            .run_to_quiescence(4_000_000)
+            .expect("BFS must converge");
         (q, exec.peak_space_report().max_bits)
     }
 
@@ -128,7 +143,11 @@ mod tests {
 
     #[test]
     fn works_on_structured_topologies_and_all_daemons() {
-        for g in [generators::ring(12), generators::grid(4, 5), generators::star(14)] {
+        for g in [
+            generators::ring(12),
+            generators::grid(4, 5),
+            generators::star(14),
+        ] {
             for kind in SchedulerKind::all() {
                 let (q, _) = run(&g, 3, kind);
                 assert!(q.legal, "daemon {kind} on a structured topology");
@@ -140,7 +159,10 @@ mod tests {
     fn registers_are_logarithmic() {
         let g = generators::workload(128, 0.04, 1);
         let (_, bits) = run(&g, 1, SchedulerKind::Central);
-        assert!(bits <= 2 * 9 + 3, "BFS registers should be O(log n) bits, got {bits}");
+        assert!(
+            bits <= 2 * 9 + 3,
+            "BFS registers should be O(log n) bits, got {bits}"
+        );
     }
 
     #[test]
@@ -149,7 +171,11 @@ mod tests {
         for n in [16usize, 32, 64] {
             let g = generators::workload(n, 0.1, 5);
             let (q, _) = run(&g, 5, SchedulerKind::Synchronous);
-            assert!(q.rounds <= 3 * n as u64 + 10, "n = {n}: {} rounds", q.rounds);
+            assert!(
+                q.rounds <= 3 * n as u64 + 10,
+                "n = {n}: {} rounds",
+                q.rounds
+            );
             previous = previous.max(q.rounds);
         }
         assert!(previous > 0);
@@ -163,8 +189,20 @@ mod tests {
             Executor::from_arbitrary(&g, RootedBfs::new(root_ident), ExecutorConfig::seeded(2));
         exec.run_to_quiescence(2_000_000).unwrap();
         // Corrupt a handful of registers with absurd distances and parents.
-        exec.corrupt_node(NodeId(3), BfsState { parent: Some(9999), dist: 0 });
-        exec.corrupt_node(NodeId(7), BfsState { parent: None, dist: 17 });
+        exec.corrupt_node(
+            NodeId(3),
+            BfsState {
+                parent: Some(9999),
+                dist: 0,
+            },
+        );
+        exec.corrupt_node(
+            NodeId(7),
+            BfsState {
+                parent: None,
+                dist: 17,
+            },
+        );
         let q = exec.run_to_quiescence(2_000_000).unwrap();
         assert!(q.legal);
     }

@@ -20,7 +20,11 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// Central daemon, generous step budget.
     pub fn seeded(seed: u64) -> Self {
-        EngineConfig { seed, scheduler: SchedulerKind::Central, max_steps: 5_000_000 }
+        EngineConfig {
+            seed,
+            scheduler: SchedulerKind::Central,
+            max_steps: 5_000_000,
+        }
     }
 
     /// Overrides the daemon.

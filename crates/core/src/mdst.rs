@@ -48,7 +48,9 @@ pub fn construct_mdst(graph: &Graph, config: &EngineConfig) -> ConstructionRepor
         .expect("the spanning-tree phase converges on connected graphs");
     ledger.charge("tree construction (guarded rules)", quiescence.rounds);
     max_register_bits = max_register_bits.max(exec.peak_space_report().max_bits);
-    let mut tree: Tree = exec.extract_tree().expect("phase 1 stabilizes on a spanning tree");
+    let mut tree: Tree = exec
+        .extract_tree()
+        .expect("phase 1 stabilizes on a spanning tree");
 
     // Phase 2/3: Fürer–Raghavachari improvement loop over well-nested swap sequences.
     let fr_scheme = FrScheme;
@@ -73,7 +75,11 @@ pub fn construct_mdst(graph: &Graph, config: &EngineConfig) -> ConstructionRepor
         // Corollary 8.1), measured.
         let fr_bits = if is_fr_tree(graph, &tree) {
             let labels = fr_scheme.prove(graph, &tree);
-            labels.iter().map(|l| fr_scheme.label_bits(l)).max().unwrap_or(0)
+            labels
+                .iter()
+                .map(|l| fr_scheme.label_bits(l))
+                .max()
+                .unwrap_or(0)
         } else {
             // While not yet an FR-tree the nodes carry the same fields (degree, mark,
             // fragment pointer); account for the same size.
@@ -81,7 +87,11 @@ pub fn construct_mdst(graph: &Graph, config: &EngineConfig) -> ConstructionRepor
         };
         let label_bits = fr_bits
             + nca.max_label_bits
-            + redundant_labels.iter().map(|l| redundant.label_bits(l)).max().unwrap_or(0);
+            + redundant_labels
+                .iter()
+                .map(|l| redundant.label_bits(l))
+                .max()
+                .unwrap_or(0);
         max_register_bits = max_register_bits.max(label_bits);
 
         match improve_once(graph, &tree) {
@@ -91,10 +101,12 @@ pub fn construct_mdst(graph: &Graph, config: &EngineConfig) -> ConstructionRepor
                 // loop-free switch whose pipelined cost is O(height + path); we charge
                 // the measured symmetric difference times one switch wave.
                 let swapped = edge_difference(graph, &tree, &next);
-                let per_switch = 2 * waves::broadcast_rounds(&tree)
-                    + 2 * waves::convergecast_rounds(&tree)
-                    + 2;
-                ledger.charge("well-nested loop-free switches", per_switch * swapped.max(1) as u64);
+                let per_switch =
+                    2 * waves::broadcast_rounds(&tree) + 2 * waves::convergecast_rounds(&tree) + 2;
+                ledger.charge(
+                    "well-nested loop-free switches",
+                    per_switch * swapped.max(1) as u64,
+                );
                 tree = next;
                 improvements += 1;
             }
@@ -132,7 +144,10 @@ mod tests {
         for seed in 0..4 {
             let g = generators::workload(18, 0.3, seed);
             let report = construct_mdst(&g, &EngineConfig::seeded(seed));
-            assert!(report.legal, "seed {seed}: output must be a certified FR-tree");
+            assert!(
+                report.legal,
+                "seed {seed}: output must be a certified FR-tree"
+            );
             assert!(is_fr_tree(&g, &report.tree));
         }
     }
@@ -179,7 +194,11 @@ mod tests {
         let g = generators::complete(12);
         let report = construct_mdst(&g, &EngineConfig::seeded(1));
         assert!(report.legal);
-        assert!(report.tree.max_degree() <= 3, "degree {}", report.tree.max_degree());
+        assert!(
+            report.tree.max_degree() <= 3,
+            "degree {}",
+            report.tree.max_degree()
+        );
     }
 
     #[test]

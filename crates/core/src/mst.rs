@@ -50,7 +50,9 @@ pub fn construct_mst(graph: &Graph, config: &EngineConfig) -> ConstructionReport
         .expect("the spanning-tree phase converges on connected graphs");
     ledger.charge("tree construction (guarded rules)", quiescence.rounds);
     max_register_bits = max_register_bits.max(exec.peak_space_report().max_bits);
-    let mut tree: Tree = exec.extract_tree().expect("phase 1 stabilizes on a spanning tree");
+    let mut tree: Tree = exec
+        .extract_tree()
+        .expect("phase 1 stabilizes on a spanning tree");
 
     // Phase 2/3: PLS-guided Borůvka improvement loop.
     let mut improvements = 0usize;
@@ -60,16 +62,29 @@ pub fn construct_mst(graph: &Graph, config: &EngineConfig) -> ConstructionReport
         // redundant labels (the latter are maintained by the switch module itself).
         let fragment_labels = assign_fragment_labels(graph, &tree);
         let levels = fragment_labels.first().map_or(1, |l| l.levels.len());
-        ledger.charge("fragment labels (convergecast + broadcast per level)",
-            waves::fragment_labeling_rounds(&tree, levels));
+        ledger.charge(
+            "fragment labels (convergecast + broadcast per level)",
+            waves::fragment_labeling_rounds(&tree, levels),
+        );
         let nca = build_nca_labels(graph, &tree);
         ledger.charge("NCA labels", nca.rounds);
         let redundant_labels = redundant.prove(graph, &tree);
-        ledger.charge("redundant labels", waves::convergecast_rounds(&tree) + waves::broadcast_rounds(&tree));
+        ledger.charge(
+            "redundant labels",
+            waves::convergecast_rounds(&tree) + waves::broadcast_rounds(&tree),
+        );
 
-        let label_bits = fragment_labels.iter().map(|l| l.bit_size()).max().unwrap_or(0)
+        let label_bits = fragment_labels
+            .iter()
+            .map(|l| l.bit_size())
+            .max()
+            .unwrap_or(0)
             + nca.max_label_bits
-            + redundant_labels.iter().map(|l| redundant.label_bits(l)).max().unwrap_or(0);
+            + redundant_labels
+                .iter()
+                .map(|l| redundant.label_bits(l))
+                .max()
+                .unwrap_or(0);
         max_register_bits = max_register_bits.max(label_bits);
 
         // Improvement step: lightest outgoing edge of a violating fragment vs heaviest
@@ -106,8 +121,13 @@ pub fn mst_register_bits(graph: &Graph, seed: u64) -> usize {
 /// alone (the `O(log n)`-bit part of the budget).
 pub fn spanning_phase_register_bits(graph: &Graph, seed: u64) -> usize {
     let mut exec = Executor::from_arbitrary(graph, MinIdSpanningTree, ExecutorConfig::seeded(seed));
-    exec.run_to_quiescence(5_000_000).expect("spanning phase converges");
-    exec.states().iter().map(Register::bit_size).max().unwrap_or(0)
+    exec.run_to_quiescence(5_000_000)
+        .expect("spanning phase converges");
+    exec.states()
+        .iter()
+        .map(Register::bit_size)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -134,7 +154,11 @@ mod tests {
         let report = construct_mst(&g, &EngineConfig::seeded(7));
         let n = g.node_count() as u64;
         // Very generous poly(n) sanity bound: n³ rounds.
-        assert!(report.total_rounds <= n * n * n, "took {} rounds", report.total_rounds);
+        assert!(
+            report.total_rounds <= n * n * n,
+            "took {} rounds",
+            report.total_rounds
+        );
         assert!(report.rounds_for("tree construction") > 0);
         assert!(report.rounds_for("fragment labels") > 0);
         assert_eq!(
@@ -153,8 +177,14 @@ mod tests {
         // measured registers must grow by far less than the 6× a linear dependence on n
         // would give, and must stay below the Ω(n log n) budget of explicit-list
         // approaches (96 · 7 = 672 bits).
-        assert!(b_large < 6 * b_small, "register growth looks super-polylogarithmic: {b_small} → {b_large}");
-        assert!(b_large < 96 * 7, "registers must stay below the n·log n baseline, got {b_large}");
+        assert!(
+            b_large < 6 * b_small,
+            "register growth looks super-polylogarithmic: {b_small} → {b_large}"
+        );
+        assert!(
+            b_large < 96 * 7,
+            "registers must stay below the n·log n baseline, got {b_large}"
+        );
     }
 
     #[test]

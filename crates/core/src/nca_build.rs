@@ -63,7 +63,10 @@ mod tests {
             let index = label_index(&outcome.labels);
             for (u, v) in [(3usize, 17usize), (0, 39), (11, 12), (25, 25)] {
                 let w = nca_of_labels(&outcome.labels[u], &outcome.labels[v]);
-                assert_eq!(index[&w], oracle.nca(stst_graph::NodeId(u), stst_graph::NodeId(v)));
+                assert_eq!(
+                    index[&w],
+                    oracle.nca(stst_graph::NodeId(u), stst_graph::NodeId(v))
+                );
             }
         }
     }

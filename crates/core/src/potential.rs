@@ -77,7 +77,7 @@ impl CyclicalDecreasing for BfsPotential {
                 }
                 if depths[v.0] + 1 < depths[u.0] {
                     let gain = (depths[u.0] - depths[v.0] - 1) as u64;
-                    if best.map_or(true, |(_, _, g)| gain > g) {
+                    if best.is_none_or(|(_, _, g)| gain > g) {
                         best = Some((e, f, gain));
                     }
                 }
@@ -172,7 +172,10 @@ mod tests {
         while let Some((e, f)) = BfsPotential.improving_swap(&g, &t) {
             t = t.with_swap(&g, e, f);
             let now = BfsPotential.value(&g, &t);
-            assert!(now < previous, "swap must strictly decrease φ ({previous} → {now})");
+            assert!(
+                now < previous,
+                "swap must strictly decrease φ ({previous} → {now})"
+            );
             previous = now;
             guard += 1;
             assert!(guard < 200);
@@ -208,7 +211,9 @@ mod tests {
         )
         .unwrap();
         assert!(MdstPotential.value(&g, &star) > 0);
-        let improved = MdstPotential.improved(&g, &star).expect("the star is improvable");
+        let improved = MdstPotential
+            .improved(&g, &star)
+            .expect("the star is improvable");
         assert!(MdstPotential.value(&g, &improved) < MdstPotential.value(&g, &star));
         assert!(MdstPotential.improved(&g, &improved).is_none() || improved.max_degree() <= 3);
     }
@@ -217,7 +222,11 @@ mod tests {
     fn names_and_bounds_are_sane() {
         let g = generators::workload(12, 0.3, 1);
         let t = bfs_tree(&g, g.min_ident_node());
-        for p in [&BfsPotential as &dyn Potential, &MstPotential, &MdstPotential] {
+        for p in [
+            &BfsPotential as &dyn Potential,
+            &MstPotential,
+            &MdstPotential,
+        ] {
             assert!(!p.name().is_empty());
             assert!(p.max_value(&g) >= p.value(&g, &t));
         }

@@ -36,7 +36,10 @@ pub struct SpanningState {
 
 impl Register for SpanningState {
     fn bit_size(&self) -> usize {
-        bits_for(self.root) + option_ident_bits(&self.parent) + bits_for(self.dist) + bits_for(self.size)
+        bits_for(self.root)
+            + option_ident_bits(&self.parent)
+            + bits_for(self.dist)
+            + bits_for(self.size)
     }
 }
 
@@ -56,7 +59,7 @@ impl MinIdSpanningTree {
     /// bound `dist + 1 < n`.
     fn best_offer(view: &View<'_, SpanningState>) -> (Ident, Option<Ident>, u64) {
         let mut best: (Ident, u64, Option<Ident>) = (view.ident, 0, None);
-        for nb in &view.neighbors {
+        for nb in view.neighbors() {
             let offer_root = nb.state.root;
             let offer_dist = nb.state.dist + 1;
             if offer_root < view.ident && offer_dist < view.n as u64 {
@@ -73,8 +76,7 @@ impl MinIdSpanningTree {
     /// neighbors that designate this node as their parent under the same root.
     fn implied_size(view: &View<'_, SpanningState>, root: Ident) -> u64 {
         1 + view
-            .neighbors
-            .iter()
+            .neighbors()
             .filter(|nb| nb.state.parent == Some(view.ident) && nb.state.root == root)
             .map(|nb| nb.state.size)
             .sum::<u64>()
@@ -106,7 +108,12 @@ impl Algorithm for MinIdSpanningTree {
     fn step(&self, view: &View<'_, SpanningState>) -> Option<SpanningState> {
         let (root, parent, dist) = Self::best_offer(view);
         let size = Self::implied_size(view, root);
-        let desired = SpanningState { root, parent, dist, size };
+        let desired = SpanningState {
+            root,
+            parent,
+            dist,
+            size,
+        };
         (desired != *view.state).then_some(desired)
     }
 
@@ -157,7 +164,10 @@ mod tests {
             assert!(q.silent);
             assert!(q.legal, "seed {seed}: final configuration must be legal");
             assert_eq!(tree.root(), g.min_ident_node());
-            assert!(is_bfs_tree(&g, &tree), "min-offer adoption builds a BFS tree");
+            assert!(
+                is_bfs_tree(&g, &tree),
+                "min-offer adoption builds a BFS tree"
+            );
         }
     }
 
@@ -219,7 +229,8 @@ mod tests {
                 size: 1,
             })
             .collect();
-        let mut exec = Executor::with_states(&g, MinIdSpanningTree, states, ExecutorConfig::seeded(3));
+        let mut exec =
+            Executor::with_states(&g, MinIdSpanningTree, states, ExecutorConfig::seeded(3));
         let q = exec.run_to_quiescence(2_000_000).expect("must converge");
         assert!(q.legal);
         let tree = exec.extract_tree().unwrap();
@@ -261,6 +272,9 @@ mod tests {
             })
             .collect();
         let exec = Executor::with_states(&g, MinIdSpanningTree, states, ExecutorConfig::seeded(0));
-        assert!(exec.is_quiescent(), "the canonical legal configuration must already be silent");
+        assert!(
+            exec.is_quiescent(),
+            "the canonical legal configuration must already be silent"
+        );
     }
 }

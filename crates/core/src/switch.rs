@@ -63,7 +63,9 @@ fn local_switch_stages(
 ) -> (Vec<SwitchStage>, Tree) {
     let scheme = RedundantScheme;
     let full = scheme.prove(graph, tree);
-    let old_parent = tree.parent(v).expect("the reparenting node is not the root");
+    let old_parent = tree
+        .parent(v)
+        .expect("the reparenting node is not the root");
 
     // Phase 1: pruning. Sizes become stale on the root paths of both parents; distances
     // become stale strictly below v.
@@ -113,7 +115,10 @@ fn local_switch_stages(
         labels: scheme.prove(graph, &switched_tree),
     };
 
-    (vec![prune_stage, switch_stage, relabel_stage], switched_tree)
+    (
+        vec![prune_stage, switch_stage, relabel_stage],
+        switched_tree,
+    )
 }
 
 /// Performs the loop-free switch `T ← T + e − f` with malleable-label maintenance.
@@ -174,7 +179,12 @@ pub fn loop_free_switch(graph: &Graph, tree: &Tree, add: EdgeId, remove: EdgeId)
         + waves::broadcast_rounds(&current)
         + waves::convergecast_rounds(&current);
 
-    SwitchOutcome { tree: current, stages, local_switches: path.len(), rounds }
+    SwitchOutcome {
+        tree: current,
+        stages,
+        local_switches: path.len(),
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +249,10 @@ mod tests {
             let f = cycle[cycle.len() / 2];
             let outcome = loop_free_switch(&g, &t, e, f);
             for stage in &outcome.stages {
-                let inst = Instance { graph: &g, parents: stage.tree.parents() };
+                let inst = Instance {
+                    graph: &g,
+                    parents: stage.tree.parents(),
+                };
                 let verdict = RedundantScheme.verify_all(&inst, &stage.labels);
                 assert!(
                     verdict.accepted(),
@@ -275,7 +288,11 @@ mod tests {
         let ed = g.edge(e);
         // Pick f incident to whichever endpoint of e is deeper in the tree.
         let depths = t.depths();
-        let deep = if depths[ed.u.0] > depths[ed.v.0] { ed.u } else { ed.v };
+        let deep = if depths[ed.u.0] > depths[ed.v.0] {
+            ed.u
+        } else {
+            ed.v
+        };
         let f = g.edge_between(deep, t.parent(deep).unwrap()).unwrap();
         let outcome = loop_free_switch(&g, &t, e, f);
         assert_eq!(outcome.local_switches, 1);

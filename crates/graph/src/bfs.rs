@@ -48,7 +48,10 @@ pub fn bfs_tree(graph: &Graph, root: NodeId) -> Tree {
             }
         }
     }
-    assert!(seen.iter().all(|&s| s), "BFS trees are only defined on connected graphs");
+    assert!(
+        seen.iter().all(|&s| s),
+        "BFS trees are only defined on connected graphs"
+    );
     Tree::from_parents(parents).expect("BFS produces a valid tree")
 }
 
@@ -83,7 +86,11 @@ pub fn eccentricity(graph: &Graph, v: NodeId) -> usize {
 
 /// Diameter of the graph (maximum eccentricity). Quadratic; intended for workloads.
 pub fn diameter(graph: &Graph) -> usize {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -165,7 +165,11 @@ fn propagate(graph: &Graph, tree: &Tree) -> Propagation {
             }
         }
     }
-    Propagation { good, witness, improvable }
+    Propagation {
+        good,
+        witness,
+        improvable,
+    }
 }
 
 /// Attempts to certify `tree` as an FR-tree. Returns the certificate if the
@@ -180,7 +184,11 @@ pub fn fr_certificate(graph: &Graph, tree: &Tree) -> Option<FrCertificate> {
         return None;
     }
     let fragment = fragments_of_good_nodes(tree, &prop.good);
-    Some(FrCertificate { degree: tree.max_degree(), good: prop.good, fragment })
+    Some(FrCertificate {
+        degree: tree.max_degree(),
+        good: prop.good,
+        fragment,
+    })
 }
 
 /// `true` if the tree is certified as an FR-tree (hence has degree at most `OPT + 1`).
@@ -218,7 +226,9 @@ fn apply_improvement(
         return None;
     }
     let cycle_edges = current.fundamental_cycle_tree_edges(graph, e);
-    let f = cycle_edges.into_iter().find(|&f| graph.edge(f).touches(x))?;
+    let f = cycle_edges
+        .into_iter()
+        .find(|&f| graph.edge(f).touches(x))?;
     Some(current.with_swap(graph, e, f))
 }
 
@@ -243,7 +253,10 @@ pub struct FrStats {
 ///
 /// Panics if `initial` is not a spanning tree of `graph`.
 pub fn furer_raghavachari_from(graph: &Graph, initial: &Tree) -> (Tree, FrStats) {
-    assert!(initial.is_spanning_tree_of(graph), "initial tree must span the graph");
+    assert!(
+        initial.is_spanning_tree_of(graph),
+        "initial tree must span the graph"
+    );
     let mut tree = initial.clone();
     let mut stats = FrStats {
         initial_degree: tree.max_degree(),
@@ -291,7 +304,10 @@ pub fn furer_raghavachari_from(graph: &Graph, initial: &Tree) -> (Tree, FrStats)
 ///
 /// Panics if `tree` is not a spanning tree of `graph`.
 pub fn improve_once(graph: &Graph, tree: &Tree) -> Option<Tree> {
-    assert!(tree.is_spanning_tree_of(graph), "improvements need a spanning tree");
+    assert!(
+        tree.is_spanning_tree_of(graph),
+        "improvements need a spanning tree"
+    );
     let d = tree.max_degree();
     if d <= 2 {
         return None;
@@ -315,7 +331,10 @@ pub fn furer_raghavachari(graph: &Graph) -> (Tree, FrStats) {
 ///
 /// Panics if the graph is disconnected or has more than `max_nodes` nodes.
 pub fn exact_min_degree_spanning_tree(graph: &Graph, max_nodes: usize) -> (usize, Tree) {
-    assert!(graph.is_connected(), "minimum-degree spanning trees need a connected graph");
+    assert!(
+        graph.is_connected(),
+        "minimum-degree spanning trees need a connected graph"
+    );
     assert!(
         graph.node_count() <= max_nodes,
         "exact search is limited to {max_nodes} nodes"
@@ -431,7 +450,10 @@ mod tests {
                 "seed {seed}: FR degree {} vs OPT {opt}",
                 t.max_degree()
             );
-            assert!(is_fr_tree(&g, &t), "seed {seed}: result must be FR-certified");
+            assert!(
+                is_fr_tree(&g, &t),
+                "seed {seed}: result must be FR-certified"
+            );
         }
     }
 
@@ -494,7 +516,11 @@ mod tests {
     fn fr_on_grids_and_caterpillars() {
         let g = generators::grid(4, 4);
         let (t, _) = furer_raghavachari(&g);
-        assert!(t.max_degree() <= 3, "grid FR degree {} too high", t.max_degree());
+        assert!(
+            t.max_degree() <= 3,
+            "grid FR degree {} too high",
+            t.max_degree()
+        );
         assert!(is_fr_tree(&g, &t));
 
         let g = generators::caterpillar(5, 2);

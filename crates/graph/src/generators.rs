@@ -6,6 +6,8 @@
 //! MST experiments, and with [`shuffle_idents`] to decorrelate node identities from the
 //! dense indices.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -20,11 +22,8 @@ use crate::ids::{Ident, NodeId, Weight};
 /// Panics if `n == 0`.
 pub fn path(n: usize) -> Graph {
     assert!(n > 0, "graphs must have at least one node");
-    let mut g = Graph::new(n);
-    for i in 1..n {
-        g.add_edge(NodeId(i - 1), NodeId(i), 1);
-    }
-    g
+    let edges: Vec<_> = (1..n).map(|i| (i - 1, i, 1)).collect();
+    Graph::from_edges(n, &edges)
 }
 
 /// The cycle on `n ≥ 3` nodes.
@@ -34,9 +33,9 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3`.
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "a ring needs at least three nodes");
-    let mut g = path(n);
-    g.add_edge(NodeId(n - 1), NodeId(0), 1);
-    g
+    let mut edges: Vec<_> = (1..n).map(|i| (i - 1, i, 1)).collect();
+    edges.push((n - 1, 0, 1));
+    Graph::from_edges(n, &edges)
 }
 
 /// The star with center 0 and `n - 1` leaves.
@@ -46,11 +45,8 @@ pub fn ring(n: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn star(n: usize) -> Graph {
     assert!(n > 0, "graphs must have at least one node");
-    let mut g = Graph::new(n);
-    for i in 1..n {
-        g.add_edge(NodeId(0), NodeId(i), 1);
-    }
-    g
+    let edges: Vec<_> = (1..n).map(|i| (0, i, 1)).collect();
+    Graph::from_edges(n, &edges)
 }
 
 /// The complete graph on `n` nodes.
@@ -60,13 +56,31 @@ pub fn star(n: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn complete(n: usize) -> Graph {
     assert!(n > 0, "graphs must have at least one node");
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId(i), NodeId(j), 1);
+            edges.push((i, j, 1));
         }
     }
-    g
+    Graph::from_edges(n, &edges)
+}
+
+/// The interior (non-wrapping) edges of a `rows × cols` grid, shared by [`grid`] and
+/// [`torus`].
+fn grid_edges(rows: usize, cols: usize) -> Vec<(usize, usize, Weight)> {
+    let at = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1), 1));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c), 1));
+            }
+        }
+    }
+    edges
 }
 
 /// The `rows × cols` grid graph.
@@ -76,19 +90,7 @@ pub fn complete(n: usize) -> Graph {
 /// Panics if either dimension is zero.
 pub fn grid(rows: usize, cols: usize) -> Graph {
     assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
-    let mut g = Graph::new(rows * cols);
-    let at = |r: usize, c: usize| NodeId(r * cols + c);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                g.add_edge(at(r, c), at(r, c + 1), 1);
-            }
-            if r + 1 < rows {
-                g.add_edge(at(r, c), at(r + 1, c), 1);
-            }
-        }
-    }
-    g
+    Graph::from_edges(rows * cols, &grid_edges(rows, cols))
 }
 
 /// The `rows × cols` torus (grid with wrap-around edges). Needs both dimensions ≥ 3 to
@@ -98,16 +100,19 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if either dimension is `< 3`.
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
-    let mut g = grid(rows, cols);
-    let at = |r: usize, c: usize| NodeId(r * cols + c);
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
+    let at = |r: usize, c: usize| r * cols + c;
+    let mut edges = grid_edges(rows, cols);
     for r in 0..rows {
-        g.add_edge(at(r, cols - 1), at(r, 0), 1);
+        edges.push((at(r, cols - 1), at(r, 0), 1));
     }
     for c in 0..cols {
-        g.add_edge(at(rows - 1, c), at(0, c), 1);
+        edges.push((at(rows - 1, c), at(0, c), 1));
     }
-    g
+    Graph::from_edges(rows * cols, &edges)
 }
 
 /// A uniformly random labelled tree on `n` nodes (via a random Prüfer-like attachment:
@@ -119,12 +124,8 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     assert!(n > 0, "graphs must have at least one node");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
-    for i in 1..n {
-        let j = rng.gen_range(0..i);
-        g.add_edge(NodeId(j), NodeId(i), 1);
-    }
-    g
+    let edges: Vec<_> = (1..n).map(|i| (rng.gen_range(0..i), i, 1)).collect();
+    Graph::from_edges(n, &edges)
 }
 
 /// A caterpillar: a spine path of `spine` nodes, each carrying `legs` pendant leaves.
@@ -136,18 +137,15 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine > 0, "the spine must be non-empty");
     let n = spine + spine * legs;
-    let mut g = Graph::new(n);
-    for i in 1..spine {
-        g.add_edge(NodeId(i - 1), NodeId(i), 1);
-    }
+    let mut edges: Vec<_> = (1..spine).map(|i| (i - 1, i, 1)).collect();
     let mut next = spine;
     for s in 0..spine {
         for _ in 0..legs {
-            g.add_edge(NodeId(s), NodeId(next), 1);
+            edges.push((s, next, 1));
             next += 1;
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A lollipop: a clique of `clique` nodes attached to a path of `tail` nodes.
@@ -159,17 +157,17 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 pub fn lollipop(clique: usize, tail: usize) -> Graph {
     assert!(clique >= 1, "the clique must be non-empty");
     let n = clique + tail;
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for i in 0..clique {
         for j in (i + 1)..clique {
-            g.add_edge(NodeId(i), NodeId(j), 1);
+            edges.push((i, j, 1));
         }
     }
     for i in 0..tail {
         let prev = if i == 0 { clique - 1 } else { clique + i - 1 };
-        g.add_edge(NodeId(prev), NodeId(clique + i), 1);
+        edges.push((prev, clique + i, 1));
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// An Erdős–Rényi-style random *connected* graph: a random spanning tree plus each other
@@ -182,22 +180,66 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
     assert!(n > 0, "graphs must have at least one node");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
+    let mut present = HashSet::new();
     // Random spanning tree backbone guarantees connectivity.
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
     for i in 1..n {
         let j = rng.gen_range(0..i);
-        g.add_edge(NodeId(order[j]), NodeId(order[i]), 1);
+        let (a, b) = (order[j].min(order[i]), order[j].max(order[i]));
+        present.insert((a, b));
+        edges.push((a, b, 1));
     }
     for u in 0..n {
         for v in (u + 1)..n {
-            if g.edge_between(NodeId(u), NodeId(v)).is_none() && rng.gen_bool(p) {
-                g.add_edge(NodeId(u), NodeId(v), 1);
+            if !present.contains(&(u, v)) && rng.gen_bool(p) {
+                edges.push((u, v, 1));
             }
         }
     }
-    g
+    Graph::from_edges(n, &edges)
+}
+
+/// A sparse random connected graph on `n` nodes with ~`extra` non-tree edges, built in
+/// `O(n + extra)` — unlike [`random_connected`], which visits all `Θ(n²)` node pairs.
+/// This is the workload of the large-scale executor benches (10⁴–10⁶ nodes).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_sparse(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n > 0, "graphs must have at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n - 1 + extra);
+    let mut present = HashSet::with_capacity(n - 1 + extra);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let (a, b) = (order[j].min(order[i]), order[j].max(order[i]));
+        present.insert((a, b));
+        edges.push((a, b, 1));
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = (n - 1 + extra).min(max_edges);
+    // Rejection sampling stays cheap while the graph is sparse; bail out to keep the
+    // generator total even when `extra` approaches the complete graph.
+    let mut attempts = 0usize;
+    let attempt_budget = 20 * (extra + 1);
+    while edges.len() < target && attempts < attempt_budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let (a, b) = (u.min(v), u.max(v));
+        if present.insert((a, b)) {
+            edges.push((a, b, 1));
+        }
+    }
+    Graph::from_edges(n, &edges)
 }
 
 /// A random connected graph with average degree approximately `avg_degree`.
@@ -213,7 +255,11 @@ pub fn random_with_avg_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
     let target_edges = (avg_degree * n as f64 / 2.0).max((n - 1) as f64);
     let extra = (target_edges - (n - 1) as f64).max(0.0);
     let possible_extra = (n * (n - 1) / 2 - (n - 1)) as f64;
-    let p = if possible_extra <= 0.0 { 0.0 } else { (extra / possible_extra).min(1.0) };
+    let p = if possible_extra <= 0.0 {
+        0.0
+    } else {
+        (extra / possible_extra).min(1.0)
+    };
     random_connected(n, p, seed)
 }
 
@@ -223,11 +269,18 @@ pub fn randomize_weights(graph: &Graph, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_u64);
     let mut weights: Vec<Weight> = (1..=graph.edge_count() as Weight).collect();
     weights.shuffle(&mut rng);
-    let mut g = Graph::new(graph.node_count());
-    g.set_idents((0..graph.node_count()).map(|v| graph.ident(NodeId(v))).collect());
-    for (i, e) in graph.edges().iter().enumerate() {
-        g.add_edge(e.u, e.v, weights[i]);
-    }
+    let edges: Vec<_> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.u.0, e.v.0, weights[i]))
+        .collect();
+    let mut g = Graph::from_edges(graph.node_count(), &edges);
+    g.set_idents(
+        (0..graph.node_count())
+            .map(|v| graph.ident(NodeId(v)))
+            .collect(),
+    );
     g
 }
 
@@ -281,6 +334,7 @@ mod tests {
             ("caterpillar", caterpillar(5, 3)),
             ("lollipop", lollipop(5, 4)),
             ("random_connected", random_connected(20, 0.1, 42)),
+            ("random_sparse", random_sparse(200, 150, 42)),
             ("avg_degree", random_with_avg_degree(30, 4.0, 42)),
             ("workload", workload(25, 0.15, 9)),
         ] {
@@ -313,10 +367,32 @@ mod tests {
     }
 
     #[test]
+    fn random_sparse_hits_the_requested_edge_budget() {
+        let g = random_sparse(1_000, 3_000, 9);
+        assert!(g.is_connected());
+        assert!(g.edge_count() >= 999, "tree backbone present");
+        assert!(
+            (3_500..=3_999).contains(&g.edge_count()),
+            "~extra edges on top of the tree, got {}",
+            g.edge_count()
+        );
+        assert_eq!(
+            random_sparse(1_000, 3_000, 9),
+            random_sparse(1_000, 3_000, 9)
+        );
+        // Near-complete requests stay bounded by the simple-graph limit.
+        let dense = random_sparse(8, 1_000, 1);
+        assert!(dense.edge_count() <= 28);
+    }
+
+    #[test]
     fn avg_degree_is_in_the_ballpark() {
         let g = random_with_avg_degree(100, 6.0, 1);
         let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
-        assert!(avg > 3.0 && avg < 9.0, "average degree {avg} too far from 6");
+        assert!(
+            avg > 3.0 && avg < 9.0,
+            "average degree {avg} too far from 6"
+        );
     }
 
     #[test]

@@ -63,11 +63,22 @@ impl Edge {
 /// This is the *network* of the state model (paper §II-A): node identities and incident
 /// edge weights are incorruptible constants; everything a distributed algorithm stores
 /// lives in the runtime crate's registers instead.
+///
+/// Adjacency is stored in **CSR form** (compressed sparse row): one flat `(neighbor,
+/// edge)` array plus per-node offsets. Neighbor iteration is therefore a contiguous
+/// slice read — cache-linear and allocation-free — which is what makes the runtime
+/// crate's per-guard-evaluation views cheap. Bulk construction ([`Graph::from_edges`]
+/// and the `generators`) builds the CSR in `O(n + m)`; the incremental
+/// [`Graph::add_edge`] keeps the CSR exact by in-place insertion and costs `O(n + m)`
+/// *per call*, so it is meant for small, hand-built test graphs only.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     ids: Vec<Ident>,
     edges: Vec<Edge>,
-    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR offsets: node `v`'s neighbors live at `adj[offsets[v] .. offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat adjacency array, grouped by node, insertion order within each group.
+    adj: Vec<(NodeId, EdgeId)>,
 }
 
 impl Graph {
@@ -77,22 +88,67 @@ impl Graph {
         Graph {
             ids: (0..n as u64).map(|i| i + 1).collect(),
             edges: Vec::new(),
-            adjacency: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
         }
     }
 
-    /// Creates a graph with `n` nodes and the given edge list `(u, v, weight)`.
+    /// Creates a graph with `n` nodes and the given edge list `(u, v, weight)`,
+    /// building the CSR adjacency in bulk (`O(n + m)`).
     ///
     /// # Panics
     ///
     /// Panics if an edge is a self-loop, references an out-of-range node, or duplicates
     /// an existing edge.
     pub fn from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> Self {
-        let mut g = Graph::new(n);
+        let mut records = Vec::with_capacity(edges.len());
+        let mut seen = HashSet::with_capacity(edges.len());
         for &(u, v, w) in edges {
-            g.add_edge(NodeId(u), NodeId(v), w);
+            assert!(u != v, "self-loops are not allowed");
+            assert!(u < n && v < n, "endpoint out of range");
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            assert!(
+                seen.insert((a, b)),
+                "duplicate edge between {:?} and {:?}",
+                NodeId(u),
+                NodeId(v)
+            );
+            records.push(Edge {
+                u: NodeId(a),
+                v: NodeId(b),
+                weight: w,
+            });
         }
+        let mut g = Graph::new(n);
+        g.edges = records;
+        g.rebuild_csr();
         g
+    }
+
+    /// Rebuilds the CSR arrays from `self.edges` in `O(n + m)`, preserving, for every
+    /// node, the order in which its incident edges appear in the edge list.
+    fn rebuild_csr(&mut self) {
+        let n = self.node_count();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for e in &self.edges {
+            self.offsets[e.u.0 + 1] += 1;
+            self.offsets[e.v.0 + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        let mut cursor = self.offsets.clone();
+        self.adj.clear();
+        self.adj
+            .resize(2 * self.edges.len(), (NodeId(0), EdgeId(0)));
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i);
+            self.adj[cursor[e.u.0] as usize] = (e.v, id);
+            cursor[e.u.0] += 1;
+            self.adj[cursor[e.v.0] as usize] = (e.u, id);
+            cursor[e.v.0] += 1;
+        }
     }
 
     /// Number of nodes.
@@ -161,12 +217,18 @@ impl Graph {
 
     /// Adds an undirected edge and returns its [`EdgeId`].
     ///
+    /// Rebuilds the CSR adjacency, so each call costs `O(n + m)`; use
+    /// [`Graph::from_edges`] (or a generator) when building whole graphs.
+    ///
     /// # Panics
     ///
     /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
         assert!(u != v, "self-loops are not allowed");
-        assert!(u.0 < self.node_count() && v.0 < self.node_count(), "endpoint out of range");
+        assert!(
+            u.0 < self.node_count() && v.0 < self.node_count(),
+            "endpoint out of range"
+        );
         assert!(
             self.edge_between(u, v).is_none(),
             "duplicate edge between {u:?} and {v:?}"
@@ -174,24 +236,26 @@ impl Graph {
         let (a, b) = if u < v { (u, v) } else { (v, u) };
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge { u: a, v: b, weight });
-        self.adjacency[a.0].push((b, id));
-        self.adjacency[b.0].push((a, id));
+        self.rebuild_csr();
         id
     }
 
-    /// Neighbors of `v` with the connecting edge ids, in insertion order.
+    /// Neighbors of `v` with the connecting edge ids, in insertion order — a borrowed
+    /// contiguous CSR slice, so iteration is cache-linear and allocation-free.
+    #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adjacency[v.0]
+        &self.adj[self.offsets[v.0] as usize..self.offsets[v.0 + 1] as usize]
     }
 
     /// Degree of `v` in the graph.
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v.0].len()
+        (self.offsets[v.0 + 1] - self.offsets[v.0]) as usize
     }
 
     /// The edge between `u` and `v`, if present.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.adjacency[u.0]
+        self.neighbors(u)
             .iter()
             .find(|(w, _)| *w == v)
             .map(|&(_, e)| e)
@@ -365,6 +429,37 @@ mod tests {
         assert!(g.is_connected());
         assert!(Graph::new(0).is_connected());
         assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn csr_neighbors_match_incremental_construction() {
+        // Bulk CSR construction and edge-by-edge insertion must agree exactly,
+        // including the per-node insertion order of the adjacency slices.
+        let edges = [(0, 1, 5), (1, 2, 3), (0, 2, 9), (2, 3, 1), (1, 3, 7)];
+        let bulk = Graph::from_edges(4, &edges);
+        let mut incremental = Graph::new(4);
+        for &(u, v, w) in &edges {
+            incremental.add_edge(NodeId(u), NodeId(v), w);
+        }
+        assert_eq!(bulk, incremental);
+        for v in bulk.nodes() {
+            assert_eq!(bulk.neighbors(v), incremental.neighbors(v));
+            assert_eq!(bulk.degree(v), bulk.neighbors(v).len());
+        }
+        // Every neighbor entry names an edge that really touches both endpoints.
+        for v in bulk.nodes() {
+            for &(w, e) in bulk.neighbors(v) {
+                assert!(bulk.edge(e).touches(v));
+                assert!(bulk.edge(e).touches(w));
+                assert_eq!(bulk.edge(e).other(v), w);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn bulk_construction_rejects_duplicates() {
+        let _ = Graph::from_edges(3, &[(0, 1, 1), (1, 0, 2)]);
     }
 
     #[test]

@@ -75,12 +75,10 @@ pub fn prim(graph: &Graph, start: NodeId) -> Result<Tree, MstError> {
         let mut best: Option<EdgeId> = None;
         for e in graph.edge_ids() {
             let edge = graph.edge(e);
-            if in_tree[edge.u.index()] ^ in_tree[edge.v.index()] {
-                if best.map_or(true, |b| {
-                    (graph.weight(e), e.index()) < (graph.weight(b), b.index())
-                }) {
-                    best = Some(e);
-                }
+            if in_tree[edge.u.index()] ^ in_tree[edge.v.index()]
+                && best.is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
+            {
+                best = Some(e);
             }
         }
         let Some(e) = best else {
@@ -128,7 +126,10 @@ fn boruvka_with_filter(
     let n = graph.node_count();
     let mut uf = UnionFind::new(n);
     let mut traces = vec![
-        BoruvkaTrace { fragment: Vec::new(), chosen_edge: Vec::new() };
+        BoruvkaTrace {
+            fragment: Vec::new(),
+            chosen_edge: Vec::new()
+        };
         n
     ];
     let mut chosen_total: Vec<EdgeId> = Vec::new();
@@ -167,9 +168,9 @@ fn boruvka_with_filter(
                 continue;
             }
             for r in [ru, rv] {
-                if best[r].map_or(true, |b| {
-                    (graph.weight(e), e.index()) < (graph.weight(b), b.index())
-                }) {
+                if best[r]
+                    .is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
+                {
                     best[r] = Some(e);
                 }
             }
@@ -203,7 +204,11 @@ fn boruvka_with_filter(
         return Err(MstError::Disconnected);
     }
     let tree = tree_from_edge_ids(graph, &chosen_total)?;
-    Ok(BoruvkaRun { tree, traces, levels })
+    Ok(BoruvkaRun {
+        tree,
+        traces,
+        levels,
+    })
 }
 
 /// Borůvka's algorithm on the whole graph. The returned traces are the reference content
@@ -285,7 +290,7 @@ pub fn improving_swap(graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
         let f = heaviest_cycle_edge(graph, tree, e);
         if graph.weight(e) < graph.weight(f) {
             let gain = graph.weight(f) - graph.weight(e);
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((e, f, gain));
             }
         }
@@ -320,7 +325,11 @@ mod tests {
             let b = boruvka(&g).unwrap();
             let w = k.total_weight(&g);
             assert_eq!(p.total_weight(&g), w, "prim disagrees on seed {seed}");
-            assert_eq!(b.tree.total_weight(&g), w, "boruvka disagrees on seed {seed}");
+            assert_eq!(
+                b.tree.total_weight(&g),
+                w,
+                "boruvka disagrees on seed {seed}"
+            );
             // With distinct weights the MST is unique, so edge sets agree too.
             let mut ke = k.edge_ids_in(&g);
             let mut be = b.tree.edge_ids_in(&g);
@@ -378,7 +387,11 @@ mod tests {
     fn boruvka_traces_have_log_levels_and_consistent_fragments() {
         let g = weighted(64, 0.1, 5);
         let run = boruvka(&g).unwrap();
-        assert!(run.levels <= 8, "64 nodes need at most ⌈log₂ 64⌉ + 1 = 7 levels, got {}", run.levels);
+        assert!(
+            run.levels <= 8,
+            "64 nodes need at most ⌈log₂ 64⌉ + 1 = 7 levels, got {}",
+            run.levels
+        );
         for v in g.nodes() {
             let tr = &run.traces[v.index()];
             assert_eq!(tr.fragment.len(), run.levels);
@@ -420,7 +433,10 @@ mod tests {
     fn mst_on_a_tree_graph_is_the_graph() {
         let g = generators::randomize_weights(&generators::random_tree(15, 2), 2);
         let t = kruskal(&g).unwrap();
-        assert_eq!(t.total_weight(&g), g.edges().iter().map(|e| e.weight).sum::<u64>());
+        assert_eq!(
+            t.total_weight(&g),
+            g.edges().iter().map(|e| e.weight).sum::<u64>()
+        );
     }
 
     #[test]

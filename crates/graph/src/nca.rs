@@ -56,7 +56,11 @@ impl NcaOracle {
         }
         // Sparse table over tour_depth.
         let m = tour.len();
-        let levels = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let levels = if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        };
         let mut table = Vec::with_capacity(levels);
         table.push((0..m).collect::<Vec<usize>>());
         let mut len = 1usize;
@@ -71,7 +75,12 @@ impl NcaOracle {
             table.push(row);
             len *= 2;
         }
-        NcaOracle { tour, tour_depth, first, table }
+        NcaOracle {
+            tour,
+            tour_depth,
+            first,
+            table,
+        }
     }
 
     /// The nearest common ancestor of `u` and `v`.
@@ -81,11 +90,19 @@ impl NcaOracle {
             std::mem::swap(&mut a, &mut b);
         }
         let span = b - a + 1;
-        let level = if span <= 1 { 0 } else { (usize::BITS - 1 - span.leading_zeros()) as usize };
+        let level = if span <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - span.leading_zeros()) as usize
+        };
         let len = 1usize << level;
         let left = self.table[level][a];
         let right = self.table[level][b + 1 - len];
-        let idx = if self.tour_depth[left] <= self.tour_depth[right] { left } else { right };
+        let idx = if self.tour_depth[left] <= self.tour_depth[right] {
+            left
+        } else {
+            right
+        };
         self.tour[idx]
     }
 

@@ -67,10 +67,8 @@ pub fn min_degree_lower_bound(graph: &Graph) -> usize {
                 uf.union(e.u.0, e.v.0);
             }
         }
-        let comps: std::collections::HashSet<usize> = (0..n)
-            .filter(|&x| x != v.0)
-            .map(|x| uf.find(x))
-            .collect();
+        let comps: std::collections::HashSet<usize> =
+            (0..n).filter(|&x| x != v.0).map(|x| uf.find(x)).collect();
         best = best.max(comps.len());
     }
     best
@@ -116,7 +114,10 @@ mod tests {
             let g = generators::random_connected(10, 0.25, seed);
             let (opt, _) = crate::fr::exact_min_degree_spanning_tree(&g, 16);
             let lb = min_degree_lower_bound(&g);
-            assert!(lb <= opt, "seed {seed}: lower bound {lb} exceeds optimum {opt}");
+            assert!(
+                lb <= opt,
+                "seed {seed}: lower bound {lb} exceeds optimum {opt}"
+            );
         }
     }
 

@@ -109,11 +109,16 @@ impl Tree {
                 cur = p;
                 steps += 1;
                 if steps > n {
-                    return Err(TreeError::CycleDetected { node: NodeId(start) });
+                    return Err(TreeError::CycleDetected {
+                        node: NodeId(start),
+                    });
                 }
             }
         }
-        Ok(Tree { parent: parents, root })
+        Ok(Tree {
+            parent: parents,
+            root,
+        })
     }
 
     /// Builds a tree from a parent-pointer vector and checks that every tree edge is an
@@ -322,7 +327,9 @@ impl Tree {
             if on_u_path.contains(&cur) {
                 return cur;
             }
-            cur = self.parent(cur).expect("root is a common ancestor of all nodes");
+            cur = self
+                .parent(cur)
+                .expect("root is a common ancestor of all nodes");
         }
     }
 
@@ -333,14 +340,18 @@ impl Tree {
         let mut cur = u;
         while cur != w {
             up.push(cur);
-            cur = self.parent(cur).expect("below the NCA there is always a parent");
+            cur = self
+                .parent(cur)
+                .expect("below the NCA there is always a parent");
         }
         up.push(w);
         let mut down = Vec::new();
         let mut cur = v;
         while cur != w {
             down.push(cur);
-            cur = self.parent(cur).expect("below the NCA there is always a parent");
+            cur = self
+                .parent(cur)
+                .expect("below the NCA there is always a parent");
         }
         up.extend(down.into_iter().rev());
         up
@@ -519,12 +530,24 @@ mod tests {
     fn from_parents_in_checks_graph_edges() {
         let g = ring_with_chord();
         // 0-2 is not a graph edge.
-        let err =
-            Tree::from_parents_in(&g, vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(2)), Some(NodeId(3)), Some(NodeId(4))])
-                .unwrap_err();
+        let err = Tree::from_parents_in(
+            &g,
+            vec![
+                None,
+                Some(NodeId(0)),
+                Some(NodeId(0)),
+                Some(NodeId(2)),
+                Some(NodeId(3)),
+                Some(NodeId(4)),
+            ],
+        )
+        .unwrap_err();
         assert_eq!(
             err,
-            TreeError::NotAGraphEdge { node: NodeId(2), parent: NodeId(0) }
+            TreeError::NotAGraphEdge {
+                node: NodeId(2),
+                parent: NodeId(0)
+            }
         );
     }
 
@@ -551,12 +574,18 @@ mod tests {
         assert_eq!(t.nca(NodeId(2), NodeId(3)), NodeId(1));
         assert_eq!(t.nca(NodeId(2), NodeId(4)), NodeId(0));
         assert_eq!(t.nca(NodeId(1), NodeId(2)), NodeId(1));
-        assert_eq!(t.tree_path(NodeId(2), NodeId(3)), vec![NodeId(2), NodeId(1), NodeId(3)]);
+        assert_eq!(
+            t.tree_path(NodeId(2), NodeId(3)),
+            vec![NodeId(2), NodeId(1), NodeId(3)]
+        );
         assert_eq!(
             t.tree_path(NodeId(2), NodeId(4)),
             vec![NodeId(2), NodeId(1), NodeId(0), NodeId(4)]
         );
-        assert_eq!(t.path_to_root(NodeId(3)), vec![NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.path_to_root(NodeId(3)),
+            vec![NodeId(3), NodeId(1), NodeId(0)]
+        );
     }
 
     #[test]
@@ -582,7 +611,10 @@ mod tests {
         let t2 = t.with_swap(&g, add, remove);
         assert!(t2.is_spanning_tree_of(&g));
         assert_eq!(t2.root(), t.root());
-        assert_eq!(t2.total_weight(&g), before - g.weight(remove) + g.weight(add));
+        assert_eq!(
+            t2.total_weight(&g),
+            before - g.weight(remove) + g.weight(add)
+        );
         assert!(t2.contains_edge(NodeId(1), NodeId(4)));
         assert!(!t2.contains_edge(NodeId(2), NodeId(3)));
     }

@@ -34,7 +34,10 @@ impl ProofLabelingScheme for DistanceScheme {
         let root_ident = graph.ident(tree.root());
         tree.depths()
             .into_iter()
-            .map(|d| DistanceLabel { root: root_ident, dist: d as u64 })
+            .map(|d| DistanceLabel {
+                root: root_ident,
+                dist: d as u64,
+            })
             .collect()
     }
 
@@ -93,7 +96,10 @@ mod tests {
             DistanceLabel { root: 3, dist: 0 },
             DistanceLabel { root: 3, dist: 1 },
         ];
-        let inst = Instance { graph: &g, parents: &parents };
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
         // Nodes 1 and 2 are adjacent with different claimed roots: one of them rejects.
         assert!(!DistanceScheme.verify_all(&inst, &labels).accepted());
     }
@@ -102,13 +108,24 @@ mod tests {
     fn soundness_rejects_cycles_for_any_labels() {
         // 4-cycle of parent pointers on the ring.
         let g = generators::ring(4);
-        let parents = vec![Some(NodeId(1)), Some(NodeId(2)), Some(NodeId(3)), Some(NodeId(0))];
-        let inst = Instance { graph: &g, parents: &parents };
+        let parents = vec![
+            Some(NodeId(1)),
+            Some(NodeId(2)),
+            Some(NodeId(3)),
+            Some(NodeId(0)),
+        ];
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
         // Distances must strictly increase around the cycle — impossible, so whatever
         // labels we try, someone rejects. Try a few adversarial assignments.
         for base in 0..4u64 {
             let labels: Vec<DistanceLabel> = (0..4)
-                .map(|i| DistanceLabel { root: 1, dist: base + i as u64 })
+                .map(|i| DistanceLabel {
+                    root: 1,
+                    dist: base + i as u64,
+                })
                 .collect();
             assert!(!DistanceScheme.verify_all(&inst, &labels).accepted());
         }
@@ -133,6 +150,9 @@ mod tests {
         let t = bfs_tree(&g, g.min_ident_node());
         let labels = DistanceScheme.prove(&g, &t);
         let max_bits = DistanceScheme.max_label_bits(&labels);
-        assert!(max_bits <= 2 * 8 + 2, "distance labels should be O(log n), got {max_bits} bits");
+        assert!(
+            max_bits <= 2 * 8 + 2,
+            "distance labels should be O(log n), got {max_bits} bits"
+        );
     }
 }

@@ -122,7 +122,10 @@ impl ProofLabelingScheme for FrScheme {
                 subtree_max_degree: submax[v.0],
                 good: cert.good[v.0],
                 fragment: if cert.good[v.0] {
-                    Some((frag_head[v.0].expect("good nodes belong to a fragment"), frag_dist[v.0]))
+                    Some((
+                        frag_head[v.0].expect("good nodes belong to a fragment"),
+                        frag_dist[v.0],
+                    ))
                 } else {
                     None
                 },
@@ -185,8 +188,8 @@ impl ProofLabelingScheme for FrScheme {
                 } else {
                     // Some tree-adjacent good neighbor is one step closer to the head.
                     let has_witness = graph.neighbors(v).iter().any(|&(w, _)| {
-                        let adjacent_in_tree = instance.parents[v.0] == Some(w)
-                            || instance.parents[w.0] == Some(v);
+                        let adjacent_in_tree =
+                            instance.parents[v.0] == Some(w) || instance.parents[w.0] == Some(v);
                         adjacent_in_tree
                             && labels[w.0].good
                             && labels[w.0].fragment == Some((head, dist - 1))
@@ -259,7 +262,10 @@ mod tests {
         let (g, t) = setup(120, 1);
         let labels = FrScheme.prove(&g, &t);
         let max_bits = FrScheme.max_label_bits(&labels);
-        assert!(max_bits <= 4 * 8 + 4, "FR labels should be O(log n) bits, got {max_bits}");
+        assert!(
+            max_bits <= 4 * 8 + 4,
+            "FR labels should be O(log n) bits, got {max_bits}"
+        );
     }
 
     #[test]
@@ -269,7 +275,9 @@ mod tests {
         let w = t.max_degree_nodes()[0];
         labels[w.0].good = true;
         labels[w.0].fragment = Some((g.ident(w), 0));
-        assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &labels).accepted());
+        assert!(!FrScheme
+            .verify_all(&Instance::from_tree(&g, &t), &labels)
+            .accepted());
     }
 
     #[test]
@@ -279,18 +287,22 @@ mod tests {
         // Give some good node a bogus fragment head it cannot justify.
         let v = g
             .nodes()
-            .find(|&v| labels[v.0].good && labels[v.0].fragment.map_or(false, |(_, d)| d > 0));
+            .find(|&v| labels[v.0].good && labels[v.0].fragment.is_some_and(|(_, d)| d > 0));
         if let Some(v) = v {
             let mut bad = labels.clone();
             bad[v.0].fragment = Some((9999, 1));
-            assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+            assert!(!FrScheme
+                .verify_all(&Instance::from_tree(&g, &t), &bad)
+                .accepted());
         }
         // Overstating the tree degree: the root's subtree_max_degree check fails.
         let mut bad = labels;
         for l in &mut bad {
             l.tree_degree += 1;
         }
-        assert!(!FrScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        assert!(!FrScheme
+            .verify_all(&Instance::from_tree(&g, &t), &bad)
+            .accepted());
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn min_outgoing_edge_of_fragment(
         labels[v.0]
             .levels
             .get(level)
-            .map_or(false, |l| l.fragment == fragment)
+            .is_some_and(|l| l.fragment == fragment)
     };
     graph
         .edge_ids()
@@ -156,7 +156,7 @@ pub fn fragment_guided_swap(graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeI
     let mut violating: Option<(NodeId, usize)> = None;
     for x in graph.nodes() {
         let px = node_potential(graph, &labels, x);
-        if px < k && violating.map_or(true, |(_, best)| px < best) {
+        if px < k && violating.is_none_or(|(_, best)| px < best) {
             violating = Some((x, px));
         }
     }
@@ -266,9 +266,16 @@ mod tests {
         for seed in 0..6 {
             let (g, t) = setup(20, seed);
             let mst = kruskal(&g).unwrap();
-            assert_eq!(mst_potential(&g, &mst), 0, "seed {seed}: MST must have φ = 0");
+            assert_eq!(
+                mst_potential(&g, &mst),
+                0,
+                "seed {seed}: MST must have φ = 0"
+            );
             if !is_mst(&g, &t) {
-                assert!(mst_potential(&g, &t) > 0, "seed {seed}: non-MST must have φ > 0");
+                assert!(
+                    mst_potential(&g, &t) > 0,
+                    "seed {seed}: non-MST must have φ > 0"
+                );
             }
         }
     }
@@ -280,7 +287,10 @@ mod tests {
             let opt = kruskal(&g).unwrap().total_weight(&g);
             let mut guard = 0;
             while let Some((e, f)) = fragment_guided_swap(&g, &t) {
-                assert!(g.weight(e) < g.weight(f), "swaps strictly decrease the weight");
+                assert!(
+                    g.weight(e) < g.weight(f),
+                    "swaps strictly decrease the weight"
+                );
                 t = t.with_swap(&g, e, f);
                 guard += 1;
                 assert!(guard < 500, "local search must terminate");
@@ -296,7 +306,10 @@ mod tests {
         let (g, t) = setup(64, 2);
         let labels = assign_fragment_labels(&g, &t);
         let levels = labels[0].levels.len();
-        assert!(levels <= 8, "64 nodes: at most 7 Borůvka levels, got {levels}");
+        assert!(
+            levels <= 8,
+            "64 nodes: at most 7 Borůvka levels, got {levels}"
+        );
         let max_bits = labels.iter().map(|l| l.bit_size()).max().unwrap();
         // O(log² n): generous constant, but far below the O(n log n) of explicit lists.
         assert!(max_bits <= 60 * 8, "labels too large: {max_bits} bits");
@@ -325,10 +338,14 @@ mod tests {
         // Wrong singleton fragment identity.
         let mut bad = labels.clone();
         bad[3].levels[0].fragment = 999;
-        assert!(!FragmentScheme.verify_all(&Instance::from_tree(&g, &mst), &bad).accepted());
+        assert!(!FragmentScheme
+            .verify_all(&Instance::from_tree(&g, &mst), &bad)
+            .accepted());
         // Truncated label (wrong number of levels).
         let mut bad = labels;
         bad[5].levels.pop();
-        assert!(!FragmentScheme.verify_all(&Instance::from_tree(&g, &mst), &bad).accepted());
+        assert!(!FragmentScheme
+            .verify_all(&Instance::from_tree(&g, &mst), &bad)
+            .accepted());
     }
 }

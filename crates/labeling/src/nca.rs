@@ -85,7 +85,9 @@ pub fn nca_of_labels(a: &NcaLabel, b: &NcaLabel) -> NcaLabel {
         // The routes left the previous heavy path at the same node (full prefix match)
         // but continued into different heavy paths: the NCA is that exit node, whose
         // label is exactly the common prefix.
-        NcaLabel { segments: a.segments[..k].to_vec() }
+        NcaLabel {
+            segments: a.segments[..k].to_vec(),
+        }
     }
 }
 
@@ -107,7 +109,12 @@ pub fn assign_nca_labels(graph: &Graph, tree: &Tree) -> Vec<NcaLabel> {
     let children = tree.children_table();
     let mut labels: Vec<NcaLabel> = vec![NcaLabel::default(); n];
     let root = tree.root();
-    labels[root.0] = NcaLabel { segments: vec![Segment { head: graph.ident(root), depth: 0 }] };
+    labels[root.0] = NcaLabel {
+        segments: vec![Segment {
+            head: graph.ident(root),
+            depth: 0,
+        }],
+    };
     // Top-down traversal: the heavy child continues the parent's heavy path, every other
     // child starts a new one.
     let mut stack = vec![root];
@@ -122,7 +129,10 @@ pub fn assign_nca_labels(graph: &Graph, tree: &Tree) -> Vec<NcaLabel> {
                 let last = label.segments.last_mut().expect("labels are never empty");
                 last.depth += 1;
             } else {
-                label.segments.push(Segment { head: graph.ident(c), depth: 0 });
+                label.segments.push(Segment {
+                    head: graph.ident(c),
+                    depth: 0,
+                });
             }
             labels[c.0] = label;
             stack.push(c);
@@ -154,7 +164,11 @@ impl NcaScheme {
         } else if cl == pl + 1 {
             // New heavy path headed by the child itself.
             child.segments[..pl] == parent.segments[..]
-                && child.segments[pl] == Segment { head: child_ident, depth: 0 }
+                && child.segments[pl]
+                    == Segment {
+                        head: child_ident,
+                        depth: 0,
+                    }
         } else {
             false
         }
@@ -192,7 +206,11 @@ impl ProofLabelingScheme for NcaScheme {
             None => {
                 // Root: a single segment (own identity, depth 0).
                 own.segments.len() == 1
-                    && own.segments[0] == Segment { head: graph.ident(v), depth: 0 }
+                    && own.segments[0]
+                        == Segment {
+                            head: graph.ident(v),
+                            depth: 0,
+                        }
             }
             Some(p) => {
                 if graph.edge_between(v, p).is_none() {
@@ -283,7 +301,11 @@ mod tests {
                 for x in t.nodes() {
                     let claimed =
                         on_fundamental_cycle(&labels[x.0], &labels[edge.u.0], &labels[edge.v.0]);
-                    assert_eq!(claimed, cycle.contains(&x), "seed {seed}, edge {e:?}, node {x}");
+                    assert_eq!(
+                        claimed,
+                        cycle.contains(&x),
+                        "seed {seed}, edge {e:?}, node {x}"
+                    );
                 }
             }
         }
@@ -296,7 +318,10 @@ mod tests {
         let max_segments = labels.iter().map(|l| l.segments.len()).max().unwrap();
         assert!(max_segments <= 9, "got {max_segments} segments for n = 256");
         let max_bits = labels.iter().map(|l| l.bit_size()).max().unwrap();
-        assert!(max_bits <= 9 * (9 + 9) + 4, "labels too large: {max_bits} bits");
+        assert!(
+            max_bits <= 9 * (9 + 9) + 4,
+            "labels too large: {max_bits} bits"
+        );
     }
 
     #[test]
@@ -311,8 +336,11 @@ mod tests {
         let g = generators::star(16);
         let t = bfs_tree(&g, NodeId(0));
         let labels = assign_nca_labels(&g, &t);
-        let two_segment_leaves =
-            labels.iter().skip(1).filter(|l| l.segments.len() == 2).count();
+        let two_segment_leaves = labels
+            .iter()
+            .skip(1)
+            .filter(|l| l.segments.len() == 2)
+            .count();
         assert_eq!(two_segment_leaves, 14);
         assert!(labels.iter().all(|l| l.segments.len() <= 2));
     }
@@ -325,7 +353,9 @@ mod tests {
         let mut bad = labels.clone();
         let v = t.nodes().find(|&v| t.parent(v).is_some()).unwrap();
         bad[v.0].segments.last_mut().unwrap().depth += 1;
-        assert!(!NcaScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        assert!(!NcaScheme
+            .verify_all(&Instance::from_tree(&g, &t), &bad)
+            .accepted());
         // Two children continuing the same heavy path: the parent rejects. Rewrite the
         // label of a *light* child (one that currently starts its own path) so that it
         // also claims to continue the parent's path.
@@ -348,6 +378,8 @@ mod tests {
                 s
             },
         };
-        assert!(!NcaScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        assert!(!NcaScheme
+            .verify_all(&Instance::from_tree(&g, &t), &bad)
+            .accepted());
     }
 }

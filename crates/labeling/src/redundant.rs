@@ -26,7 +26,11 @@ pub struct RedundantLabel {
 impl RedundantLabel {
     /// A full (unpruned) label.
     pub fn full(root: Ident, dist: u64, size: u64) -> Self {
-        RedundantLabel { root, dist: Some(dist), size: Some(size) }
+        RedundantLabel {
+            root,
+            dist: Some(dist),
+            size: Some(size),
+        }
     }
 
     /// The label with its size component pruned (form `(d, ⊥)`).
@@ -247,11 +251,19 @@ mod tests {
         let mut bad = labels.clone();
         bad[v.0] = bad[v.0].pruned_to_distance();
         assert!(!pruning_is_legal(&t, &bad));
-        assert!(!RedundantScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        assert!(!RedundantScheme
+            .verify_all(&Instance::from_tree(&g, &t), &bad)
+            .accepted());
         // (⊥, ⊥) is always rejected.
         let mut bad = labels;
-        bad[v.0] = RedundantLabel { root: bad[v.0].root, dist: None, size: None };
-        assert!(!RedundantScheme.verify_all(&Instance::from_tree(&g, &t), &bad).accepted());
+        bad[v.0] = RedundantLabel {
+            root: bad[v.0].root,
+            dist: None,
+            size: None,
+        };
+        assert!(!RedundantScheme
+            .verify_all(&Instance::from_tree(&g, &t), &bad)
+            .accepted());
     }
 
     #[test]
@@ -260,24 +272,44 @@ mod tests {
         // (d, ⊥) — then C1 forces the whole cycle to be (·, ⊥) and the distance check
         // fails — or all labels carry sizes and the size check fails.
         let g = generators::ring(6);
-        let parents: Vec<Option<NodeId>> =
-            (0..6).map(|i| Some(NodeId((i + 1) % 6))).collect();
-        let inst = Instance { graph: &g, parents: &parents };
+        let parents: Vec<Option<NodeId>> = (0..6).map(|i| Some(NodeId((i + 1) % 6))).collect();
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
         // All labels carry sizes.
-        let labels: Vec<RedundantLabel> =
-            (0..6).map(|i| RedundantLabel { root: 1, dist: None, size: Some(6 - i as u64) }).collect();
+        let labels: Vec<RedundantLabel> = (0..6)
+            .map(|i| RedundantLabel {
+                root: 1,
+                dist: None,
+                size: Some(6 - i as u64),
+            })
+            .collect();
         assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
         // All labels distance-only.
-        let labels: Vec<RedundantLabel> =
-            (0..6).map(|i| RedundantLabel { root: 1, dist: Some(i as u64), size: None }).collect();
+        let labels: Vec<RedundantLabel> = (0..6)
+            .map(|i| RedundantLabel {
+                root: 1,
+                dist: Some(i as u64),
+                size: None,
+            })
+            .collect();
         assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
         // Mixed labels violate C1 somewhere on the cycle.
         let labels: Vec<RedundantLabel> = (0..6)
             .map(|i| {
                 if i % 2 == 0 {
-                    RedundantLabel { root: 1, dist: Some(i as u64), size: None }
+                    RedundantLabel {
+                        root: 1,
+                        dist: Some(i as u64),
+                        size: None,
+                    }
                 } else {
-                    RedundantLabel { root: 1, dist: None, size: Some(10 + i as u64) }
+                    RedundantLabel {
+                        root: 1,
+                        dist: None,
+                        size: Some(10 + i as u64),
+                    }
                 }
             })
             .collect();

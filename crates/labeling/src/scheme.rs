@@ -15,7 +15,10 @@ pub struct Instance<'a> {
 impl<'a> Instance<'a> {
     /// Builds an instance from a (legal) tree.
     pub fn from_tree(graph: &'a Graph, tree: &'a Tree) -> Self {
-        Instance { graph, parents: tree.parents() }
+        Instance {
+            graph,
+            parents: tree.parents(),
+        }
     }
 
     /// The children of `v` according to the parent pointers (neighbors pointing at `v`).
@@ -80,7 +83,8 @@ pub trait ProofLabelingScheme {
     /// Completeness check helper: prove a legal tree and verify that every node accepts.
     fn accepts_legal(&self, graph: &Graph, tree: &Tree) -> bool {
         let labels = self.prove(graph, tree);
-        self.verify_all(&Instance::from_tree(graph, tree), &labels).accepted()
+        self.verify_all(&Instance::from_tree(graph, tree), &labels)
+            .accepted()
     }
 }
 
@@ -93,7 +97,10 @@ mod tests {
     fn instance_children_follow_parent_pointers() {
         let g = generators::path(4);
         let parents = vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))];
-        let inst = Instance { graph: &g, parents: &parents };
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
         assert_eq!(inst.children(NodeId(0)), vec![NodeId(1)]);
         assert_eq!(inst.children(NodeId(3)), Vec::<NodeId>::new());
     }
@@ -101,6 +108,9 @@ mod tests {
     #[test]
     fn outcome_accepts_iff_no_rejections() {
         assert!(VerificationOutcome { rejecting: vec![] }.accepted());
-        assert!(!VerificationOutcome { rejecting: vec![NodeId(3)] }.accepted());
+        assert!(!VerificationOutcome {
+            rejecting: vec![NodeId(3)]
+        }
+        .accepted());
     }
 }

@@ -34,7 +34,10 @@ impl ProofLabelingScheme for SizeScheme {
         let root_ident = graph.ident(tree.root());
         tree.subtree_sizes()
             .into_iter()
-            .map(|s| SizeLabel { root: root_ident, size: s as u64 })
+            .map(|s| SizeLabel {
+                root: root_ident,
+                size: s as u64,
+            })
             .collect()
     }
 
@@ -90,10 +93,17 @@ mod tests {
             Some(NodeId(4)),
             Some(NodeId(0)),
         ];
-        let inst = Instance { graph: &g, parents: &parents };
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
         for base in 1..6u64 {
-            let labels: Vec<SizeLabel> =
-                (0..5).map(|i| SizeLabel { root: 1, size: base + i as u64 }).collect();
+            let labels: Vec<SizeLabel> = (0..5)
+                .map(|i| SizeLabel {
+                    root: 1,
+                    size: base + i as u64,
+                })
+                .collect();
             assert!(!SizeScheme.verify_all(&inst, &labels).accepted());
         }
     }
@@ -104,7 +114,9 @@ mod tests {
         let t = bfs_tree(&g, NodeId(0));
         let mut labels = SizeScheme.prove(&g, &t);
         labels[4].size += 1;
-        assert!(!SizeScheme.verify_all(&Instance::from_tree(&g, &t), &labels).accepted());
+        assert!(!SizeScheme
+            .verify_all(&Instance::from_tree(&g, &t), &labels)
+            .accepted());
     }
 
     #[test]

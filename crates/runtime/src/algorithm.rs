@@ -72,8 +72,7 @@ mod tests {
 
         fn step(&self, view: &View<'_, u64>) -> Option<u64> {
             let max = view
-                .neighbors
-                .iter()
+                .neighbors()
                 .map(|nb| *nb.state)
                 .chain(std::iter::once(*view.state))
                 .max()
@@ -88,33 +87,22 @@ mod tests {
 
     #[test]
     fn max_propagation_is_enabled_only_when_behind() {
+        use crate::view::NeighborInfo;
         let algo = MaxPropagation;
         let states = [3u64, 9u64];
-        let view = View {
-            node: NodeId(0),
-            ident: 1,
-            n: 2,
-            state: &states[0],
-            neighbors: vec![crate::view::NeighborView {
-                node: NodeId(1),
-                ident: 2,
-                weight: 1,
-                state: &states[1],
-            }],
-        };
-        assert_eq!(algo.step(&view), Some(9));
-        let view_ahead = View {
+        let fwd = [NeighborInfo {
             node: NodeId(1),
             ident: 2,
-            n: 2,
-            state: &states[1],
-            neighbors: vec![crate::view::NeighborView {
-                node: NodeId(0),
-                ident: 1,
-                weight: 1,
-                state: &states[0],
-            }],
-        };
+            weight: 1,
+        }];
+        let view = View::new(NodeId(0), 1, 2, &fwd, &states);
+        assert_eq!(algo.step(&view), Some(9));
+        let back = [NeighborInfo {
+            node: NodeId(0),
+            ident: 1,
+            weight: 1,
+        }];
+        let view_ahead = View::new(NodeId(1), 2, 2, &back, &states);
         assert_eq!(algo.step(&view_ahead), None);
         assert_eq!(9u64.bit_size(), 4);
     }

@@ -1,5 +1,30 @@
 //! The executor: runs a guarded-rule algorithm under a daemon, counting moves and rounds
 //! exactly as defined in the paper, detecting silence, and injecting transient faults.
+//!
+//! # Incremental enabled-set maintenance
+//!
+//! A naive executor re-evaluates every guard in the network at every daemon step —
+//! `O(n·Δ)` work per step just to decide who is enabled. This executor instead
+//! maintains the enabled set *incrementally*: a node's guard reads only its closed
+//! 1-hop neighborhood, so after a step in which the set `M` of nodes moved, only nodes
+//! in `⋃_{v∈M} N[v]` can change enabledness. Each step therefore re-evaluates
+//! `O(Σ_{v∈M} deg(v))` guards, each exactly once, and caches the resulting *pending
+//! transition* so the write applied when the daemon picks the node needs no second
+//! evaluation. The invariants (verified by the differential oracle tests against a
+//! brute-force rescan) are spelled out in DESIGN.md:
+//!
+//! 1. `pending[v]` is `Some(s)` iff `v` is enabled in the current configuration, and
+//!    `s` is exactly what [`Algorithm::step`] returns on `v`'s current view;
+//! 2. `enabled_list`/`enabled_pos`/`in_enabled` form an indexed set equal to
+//!    `{v : pending[v].is_some()}`;
+//! 3. `round_pending` (a dense bitset) is the subset of nodes enabled at the start of
+//!    the current round that have neither been activated nor been observed disabled
+//!    since — when it empties, a round is complete (paper §II-A).
+//!
+//! This requires [`Algorithm::step`] to be a *pure function of the view* (the trait
+//! offers no randomness, so this is enforced by construction). A full-rescan reference
+//! mode ([`ExecMode::FullRescan`]) is retained for differential testing and for
+//! benchmarking the speedup.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,27 +36,54 @@ use stst_graph::{Graph, NodeId, Tree};
 use crate::algorithm::{Algorithm, ParentPointer};
 use crate::register::Register;
 use crate::scheduler::{Scheduler, SchedulerKind};
-use crate::view::{NeighborView, View};
+use crate::view::{NeighborInfo, View};
+
+/// How the executor maintains its enabled set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Incremental maintenance: `O(Σ_{v moved} deg(v))` guard evaluations per step.
+    #[default]
+    Incremental,
+    /// Reference mode: re-evaluate every guard after every step (`O(n·Δ)` per step).
+    /// Retained for differential tests and as the baseline of the speedup benches.
+    FullRescan,
+}
 
 /// Executor configuration: a seed (for the arbitrary initial configuration, the daemon's
-/// random choices, and fault injection) and the daemon kind.
+/// random choices, and fault injection), the daemon kind, and the enabled-set mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecutorConfig {
     /// Seed for every random choice made by the executor.
     pub seed: u64,
     /// The daemon under which the algorithm runs.
     pub scheduler: SchedulerKind,
+    /// Enabled-set maintenance strategy (incremental unless benchmarking the rescan).
+    pub mode: ExecMode,
 }
 
 impl ExecutorConfig {
     /// Central daemon with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        ExecutorConfig { seed, scheduler: SchedulerKind::Central }
+        ExecutorConfig {
+            seed,
+            scheduler: SchedulerKind::Central,
+            mode: ExecMode::Incremental,
+        }
     }
 
     /// The given daemon with the given seed.
     pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
-        ExecutorConfig { seed, scheduler }
+        ExecutorConfig {
+            seed,
+            scheduler,
+            mode: ExecMode::Incremental,
+        }
+    }
+
+    /// The same configuration with the given enabled-set mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -100,12 +152,31 @@ pub struct Executor<'g, A: Algorithm> {
     states: Vec<A::State>,
     scheduler: Scheduler,
     rng: StdRng,
+    mode: ExecMode,
     moves: u64,
     steps: u64,
     rounds: u64,
-    /// Nodes that were enabled at the start of the current round and have neither been
-    /// activated nor become disabled since.
-    round_pending: Vec<NodeId>,
+    /// Total guard evaluations performed (the cost metric the incremental design
+    /// optimizes; exposed so tests and benches can assert the asymptotics).
+    guard_evals: u64,
+    /// CSR of per-neighbor incorruptible constants: node `v`'s entries live at
+    /// `nbr_info[nbr_offsets[v] .. nbr_offsets[v + 1]]`. Built once — identities and
+    /// weights never change, so views borrow these slices allocation-free.
+    nbr_offsets: Vec<u32>,
+    nbr_info: Vec<NeighborInfo>,
+    /// Cached pending transition per node: `Some(next)` iff the node is enabled.
+    pending: Vec<Option<A::State>>,
+    /// Indexed enabled set: membership flags, dense list, and list positions.
+    in_enabled: Vec<bool>,
+    enabled_list: Vec<NodeId>,
+    enabled_pos: Vec<usize>,
+    /// Bitset of nodes enabled at the start of the current round that have neither been
+    /// activated nor become disabled since, plus its population count.
+    round_words: Vec<u64>,
+    round_count: usize,
+    /// Epoch stamps deduplicating guard re-evaluations within one step.
+    touched: Vec<u32>,
+    stamp: u32,
     /// Peak register size observed at any point of the execution, per node.
     peak_bits: Vec<usize>,
 }
@@ -116,22 +187,53 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     /// # Panics
     ///
     /// Panics if `states.len()` differs from the number of nodes.
-    pub fn with_states(graph: &'g Graph, algo: A, states: Vec<A::State>, config: ExecutorConfig) -> Self {
-        assert_eq!(states.len(), graph.node_count(), "one register per node");
+    pub fn with_states(
+        graph: &'g Graph,
+        algo: A,
+        states: Vec<A::State>,
+        config: ExecutorConfig,
+    ) -> Self {
+        let n = graph.node_count();
+        assert_eq!(states.len(), n, "one register per node");
         let peak_bits = states.iter().map(Register::bit_size).collect();
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        nbr_offsets.push(0u32);
+        let mut nbr_info = Vec::with_capacity(2 * graph.edge_count());
+        for v in graph.nodes() {
+            for &(w, e) in graph.neighbors(v) {
+                nbr_info.push(NeighborInfo {
+                    node: w,
+                    ident: graph.ident(w),
+                    weight: graph.weight(e),
+                });
+            }
+            nbr_offsets.push(nbr_info.len() as u32);
+        }
         let mut exec = Executor {
             graph,
             algo,
             states,
-            scheduler: Scheduler::new(config.scheduler, graph.node_count(), config.seed),
+            scheduler: Scheduler::new(config.scheduler, n, config.seed),
             rng: StdRng::seed_from_u64(config.seed ^ 0xfa_0717),
+            mode: config.mode,
             moves: 0,
             steps: 0,
             rounds: 0,
-            round_pending: Vec::new(),
+            guard_evals: 0,
+            nbr_offsets,
+            nbr_info,
+            pending: vec![None; n],
+            in_enabled: vec![false; n],
+            enabled_list: Vec::new(),
+            enabled_pos: vec![usize::MAX; n],
+            round_words: vec![0; n.div_ceil(64)],
+            round_count: 0,
+            touched: vec![0; n],
+            stamp: 0,
             peak_bits,
         };
-        exec.round_pending = exec.enabled_nodes();
+        exec.rescan_all();
+        exec.refill_round_pending();
         exec
     }
 
@@ -157,6 +259,11 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         &self.algo
     }
 
+    /// The enabled-set maintenance mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
     /// The current configuration (one register per node, indexed densely).
     pub fn states(&self) -> &[A::State] {
         &self.states
@@ -168,10 +275,14 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     }
 
     /// Overwrites the register of `v` (models a transient fault targeting `v`).
+    /// Re-evaluates the guards of `v`'s closed neighborhood and restarts the round
+    /// accounting from the now-enabled set.
     pub fn corrupt_node(&mut self, v: NodeId, state: A::State) {
         self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
         self.states[v.0] = state;
-        self.round_pending = self.enabled_nodes();
+        self.bump_stamp();
+        self.refresh_closed_neighborhood(v);
+        self.refill_round_pending();
     }
 
     /// Corrupts `k` distinct registers chosen uniformly at random, replacing each with an
@@ -185,54 +296,135 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
             self.states[v.0] = state;
         }
-        self.round_pending = self.enabled_nodes();
+        self.bump_stamp();
+        for i in 0..nodes.len() {
+            self.refresh_closed_neighborhood(nodes[i]);
+        }
+        self.refill_round_pending();
         nodes
     }
 
-    /// Builds the closed-neighborhood view of `v` over the current configuration.
-    fn view_of(&self, v: NodeId) -> View<'_, A::State> {
-        let neighbors = self
-            .graph
-            .neighbors(v)
-            .iter()
-            .map(|&(w, e)| NeighborView {
-                node: w,
-                ident: self.graph.ident(w),
-                weight: self.graph.weight(e),
-                state: &self.states[w.0],
-            })
-            .collect();
-        View {
-            node: v,
-            ident: self.graph.ident(v),
-            n: self.graph.node_count(),
-            state: &self.states[v.0],
-            neighbors,
-        }
-    }
-
-    /// The next state of `v` if it is enabled, `None` otherwise.
-    fn pending_transition(&self, v: NodeId) -> Option<A::State> {
-        let view = self.view_of(v);
+    /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
+    /// enabled, `None` otherwise. Pure read — does not touch the executor's caches.
+    fn eval_guard(&self, v: NodeId) -> Option<A::State> {
+        let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
+        let view = View::new(
+            v,
+            self.graph.ident(v),
+            self.graph.node_count(),
+            &self.nbr_info[range],
+            &self.states,
+        );
         match self.algo.step(&view) {
             Some(next) if next != self.states[v.0] => Some(next),
             _ => None,
         }
     }
 
-    /// `true` if node `v` is enabled in the current configuration.
-    pub fn is_enabled(&self, v: NodeId) -> bool {
-        self.pending_transition(v).is_some()
+    /// Re-evaluates `v`'s guard and updates the pending cache, the indexed enabled set
+    /// and (on an enabled → disabled transition) the round bitset.
+    fn refresh(&mut self, v: NodeId) {
+        self.guard_evals += 1;
+        let next = self.eval_guard(v);
+        let now = next.is_some();
+        let was = self.in_enabled[v.0];
+        self.pending[v.0] = next;
+        if now && !was {
+            self.enabled_pos[v.0] = self.enabled_list.len();
+            self.enabled_list.push(v);
+            self.in_enabled[v.0] = true;
+        } else if !now && was {
+            let pos = self.enabled_pos[v.0];
+            self.enabled_list.swap_remove(pos);
+            if pos < self.enabled_list.len() {
+                self.enabled_pos[self.enabled_list[pos].0] = pos;
+            }
+            self.enabled_pos[v.0] = usize::MAX;
+            self.in_enabled[v.0] = false;
+            self.clear_round_bit(v);
+        }
     }
 
-    /// All enabled nodes of the current configuration.
+    /// Re-evaluates every guard (initialization and the full-rescan reference mode).
+    fn rescan_all(&mut self) {
+        for v in self.graph.nodes() {
+            self.refresh(v);
+        }
+    }
+
+    /// Re-evaluates the guards of `v` and its neighbors, skipping nodes already
+    /// refreshed in the current epoch.
+    fn refresh_closed_neighborhood(&mut self, v: NodeId) {
+        self.refresh_if_untouched(v);
+        let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
+        for i in range {
+            let w = self.nbr_info[i].node;
+            self.refresh_if_untouched(w);
+        }
+    }
+
+    fn refresh_if_untouched(&mut self, v: NodeId) {
+        if self.touched[v.0] != self.stamp {
+            self.touched[v.0] = self.stamp;
+            self.refresh(v);
+        }
+    }
+
+    /// Starts a new deduplication epoch for guard re-evaluation.
+    fn bump_stamp(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.touched.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    #[inline]
+    fn clear_round_bit(&mut self, v: NodeId) {
+        let (word, bit) = (v.0 >> 6, 1u64 << (v.0 & 63));
+        if self.round_words[word] & bit != 0 {
+            self.round_words[word] &= !bit;
+            self.round_count -= 1;
+        }
+    }
+
+    /// Resets the round bitset to the currently enabled set (a fresh round begins).
+    fn refill_round_pending(&mut self) {
+        self.round_words.iter_mut().for_each(|w| *w = 0);
+        let words = &mut self.round_words;
+        for &v in &self.enabled_list {
+            words[v.0 >> 6] |= 1u64 << (v.0 & 63);
+        }
+        self.round_count = self.enabled_list.len();
+    }
+
+    /// `true` if node `v` is enabled in the current configuration.
+    pub fn is_enabled(&self, v: NodeId) -> bool {
+        self.in_enabled[v.0]
+    }
+
+    /// All enabled nodes of the current configuration, in ascending index order.
+    /// Maintained incrementally — this accessor only sorts a copy of the set.
     pub fn enabled_nodes(&self) -> Vec<NodeId> {
-        self.graph.nodes().filter(|&v| self.is_enabled(v)).collect()
+        let mut nodes = self.enabled_list.clone();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Brute-force oracle: recomputes the enabled set by evaluating every guard from
+    /// scratch, bypassing all caches. The differential tests assert that this always
+    /// equals [`Executor::enabled_nodes`].
+    pub fn rescan_enabled_nodes(&self) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|&v| self.eval_guard(v).is_some())
+            .collect()
     }
 
     /// `true` if no node is enabled (the algorithm is silent in this configuration).
+    /// `O(1)` — the enabled set is maintained incrementally.
     pub fn is_quiescent(&self) -> bool {
-        self.enabled_nodes().is_empty()
+        self.enabled_list.is_empty()
     }
 
     /// Number of rounds completed so far.
@@ -250,41 +442,52 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.steps
     }
 
+    /// Total guard evaluations so far (initialization scan included).
+    pub fn guard_evaluations(&self) -> u64 {
+        self.guard_evals
+    }
+
     /// Executes one daemon step. Returns the nodes that were activated, or an empty
     /// vector if the configuration was already quiescent.
     pub fn step_once(&mut self) -> Vec<NodeId> {
-        let enabled = self.enabled_nodes();
-        if enabled.is_empty() {
+        if self.enabled_list.is_empty() {
             return Vec::new();
         }
-        if self.round_pending.is_empty() {
-            self.round_pending = enabled.clone();
+        if self.round_count == 0 {
+            // Defensive: a round in progress always tracks some pending node; if the
+            // bookkeeping was reset externally, restart the round at the current set.
+            self.refill_round_pending();
         }
-        let chosen = self.scheduler.select(&enabled);
+        let chosen = self.scheduler.select(&self.enabled_list);
         // All chosen nodes read the same pre-step configuration (their reads are
-        // concurrent), then write.
-        let transitions: Vec<(NodeId, A::State)> = chosen
-            .iter()
-            .filter_map(|&v| self.pending_transition(v).map(|s| (v, s)))
-            .collect();
-        for (v, next) in transitions {
-            self.peak_bits[v.0] = self.peak_bits[v.0].max(next.bit_size());
-            self.states[v.0] = next;
-            self.moves += 1;
+        // concurrent): the cached pending transitions were all computed against it, so
+        // applying them in sequence is exactly the simultaneous write.
+        for &v in &chosen {
+            if let Some(next) = self.pending[v.0].take() {
+                self.peak_bits[v.0] = self.peak_bits[v.0].max(next.bit_size());
+                self.states[v.0] = next;
+                self.moves += 1;
+            }
         }
         self.steps += 1;
         // Round accounting (paper §II-A): the round ends once every node that was
         // enabled at its start has been activated or has become disabled.
-        let still_pending: Vec<NodeId> = self
-            .round_pending
-            .iter()
-            .copied()
-            .filter(|&v| !chosen.contains(&v) && self.is_enabled(v))
-            .collect();
-        self.round_pending = still_pending;
-        if self.round_pending.is_empty() {
+        for &v in &chosen {
+            self.clear_round_bit(v);
+        }
+        match self.mode {
+            ExecMode::Incremental => {
+                // Only the closed neighborhoods of the movers can change enabledness.
+                self.bump_stamp();
+                for i in 0..chosen.len() {
+                    self.refresh_closed_neighborhood(chosen[i]);
+                }
+            }
+            ExecMode::FullRescan => self.rescan_all(),
+        }
+        if self.round_count == 0 {
             self.rounds += 1;
-            self.round_pending = self.enabled_nodes();
+            self.refill_round_pending();
         }
         chosen
     }
@@ -305,7 +508,10 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         if self.is_quiescent() {
             Ok(self.quiescence())
         } else {
-            Err(ExecError::StepBudgetExhausted { steps: self.steps, rounds: self.rounds })
+            Err(ExecError::StepBudgetExhausted {
+                steps: self.steps,
+                rounds: self.rounds,
+            })
         }
     }
 
@@ -325,7 +531,11 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         let total: usize = sizes.iter().sum();
         SpaceReport {
             max_bits: sizes.iter().copied().max().unwrap_or(0),
-            avg_bits: if sizes.is_empty() { 0.0 } else { total as f64 / sizes.len() as f64 },
+            avg_bits: if sizes.is_empty() {
+                0.0
+            } else {
+                total as f64 / sizes.len() as f64
+            },
             total_bits: total,
         }
     }
@@ -429,8 +639,7 @@ mod tests {
 
         fn step(&self, view: &View<'_, u64>) -> Option<u64> {
             let best = view
-                .neighbors
-                .iter()
+                .neighbors()
                 .map(|nb| *nb.state)
                 .chain(std::iter::once(view.ident))
                 .max()
@@ -503,18 +712,17 @@ mod tests {
             ExecutorConfig::with_scheduler(0, SchedulerKind::Central),
         );
         let err = exec.run_to_quiescence(1).unwrap_err();
-        assert!(matches!(err, ExecError::StepBudgetExhausted { steps: 1, .. }));
+        assert!(matches!(
+            err,
+            ExecError::StepBudgetExhausted { steps: 1, .. }
+        ));
     }
 
     #[test]
     fn corruption_reactivates_the_system() {
         let g = generators::path(5);
-        let mut exec = Executor::with_states(
-            &g,
-            FloodMax,
-            vec![0u64; 5],
-            ExecutorConfig::seeded(1),
-        );
+        let mut exec =
+            Executor::with_states(&g, FloodMax, vec![0u64; 5], ExecutorConfig::seeded(1));
         exec.run_to_quiescence(10_000).unwrap();
         assert!(exec.is_quiescent());
         // Corrupt one register downwards: its neighbors are unaffected but the node
@@ -538,12 +746,8 @@ mod tests {
     #[test]
     fn space_reports_track_current_and_peak_sizes() {
         let g = generators::path(3);
-        let mut exec = Executor::with_states(
-            &g,
-            FloodMax,
-            vec![0u64, 1023, 0],
-            ExecutorConfig::seeded(2),
-        );
+        let mut exec =
+            Executor::with_states(&g, FloodMax, vec![0u64, 1023, 0], ExecutorConfig::seeded(2));
         let now = exec.space_report();
         assert_eq!(now.max_bits, 10);
         assert_eq!(now.total_bits, 12);
@@ -558,12 +762,7 @@ mod tests {
     #[test]
     fn tree_extraction_decodes_parent_identities() {
         let g = generators::path(4); // identities 1,2,3,4
-        let states = vec![
-            Ptr(None),
-            Ptr(Some(1)),
-            Ptr(Some(2)),
-            Ptr(Some(3)),
-        ];
+        let states = vec![Ptr(None), Ptr(Some(1)), Ptr(Some(2)), Ptr(Some(3))];
         let tree = parent_pointer_tree(&g, &states).unwrap();
         assert_eq!(tree.root(), NodeId(0));
         assert_eq!(tree.parent(NodeId(3)), Some(NodeId(2)));
@@ -587,5 +786,89 @@ mod tests {
         exec.run_to_quiescence(10_000).unwrap();
         let counts = exec.activation_counts();
         assert_eq!(counts.iter().sum::<u64>(), exec.moves());
+    }
+
+    #[test]
+    fn incremental_enabled_set_matches_the_rescan_oracle_stepwise() {
+        let g = generators::random_connected(18, 0.2, 2);
+        for kind in SchedulerKind::all() {
+            let mut exec =
+                Executor::from_arbitrary(&g, FloodMax, ExecutorConfig::with_scheduler(5, kind));
+            assert_eq!(
+                exec.enabled_nodes(),
+                exec.rescan_enabled_nodes(),
+                "init, {kind}"
+            );
+            for step in 0..200 {
+                if exec.is_quiescent() {
+                    break;
+                }
+                exec.step_once();
+                assert_eq!(
+                    exec.enabled_nodes(),
+                    exec.rescan_enabled_nodes(),
+                    "daemon {kind}, step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_rescan_and_incremental_modes_agree_under_deterministic_daemons() {
+        // The synchronous, round-robin and adversarial daemons pick the same nodes
+        // regardless of the (unordered) enabled-list layout, so the two modes must
+        // produce identical trajectories step by step.
+        let g = generators::random_connected(16, 0.25, 7);
+        for kind in [
+            SchedulerKind::Synchronous,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Adversarial,
+        ] {
+            let config = ExecutorConfig::with_scheduler(9, kind);
+            let mut inc = Executor::from_arbitrary(&g, FloodMax, config);
+            let mut full =
+                Executor::from_arbitrary(&g, FloodMax, config.with_mode(ExecMode::FullRescan));
+            for step in 0..300 {
+                assert_eq!(inc.states(), full.states(), "daemon {kind}, step {step}");
+                assert_eq!(inc.rounds(), full.rounds(), "daemon {kind}, step {step}");
+                assert_eq!(inc.moves(), full.moves(), "daemon {kind}, step {step}");
+                if inc.is_quiescent() {
+                    assert!(full.is_quiescent());
+                    break;
+                }
+                let mut a = inc.step_once();
+                let mut b = full.step_once();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "daemon {kind}, step {step}");
+            }
+            assert!(
+                inc.is_quiescent(),
+                "daemon {kind} must converge within the budget"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_maintenance_is_local_not_global() {
+        // After convergence, corrupting one register must cost O(deg) guard
+        // evaluations per step, not O(n): compare against the full-rescan mode.
+        let g = generators::random_connected(240, 0.03, 3);
+        let run = |mode: ExecMode| {
+            let config = ExecutorConfig::with_scheduler(1, SchedulerKind::Central).with_mode(mode);
+            let mut exec = Executor::with_states(&g, FloodMax, vec![0u64; 240], config);
+            exec.run_to_quiescence(100_000).unwrap();
+            let before = exec.guard_evaluations();
+            exec.corrupt_node(NodeId(60), 0);
+            exec.run_to_quiescence(100_000).unwrap();
+            exec.guard_evaluations() - before
+        };
+        let incremental = run(ExecMode::Incremental);
+        let rescan = run(ExecMode::FullRescan);
+        assert!(
+            incremental * 5 <= rescan,
+            "incremental recovery used {incremental} guard evaluations, \
+             full rescan {rescan}: expected at least a 5x gap"
+        );
     }
 }

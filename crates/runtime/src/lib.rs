@@ -18,7 +18,11 @@
 //!   greedy-adversarial (unfair) daemons;
 //! * [`Executor`] — runs an algorithm from an *arbitrary* initial configuration,
 //!   counts **moves** and **rounds** exactly as defined in the paper, detects
-//!   *silence* (no node enabled), and injects transient faults (register corruption);
+//!   *silence* (no node enabled), and injects transient faults (register corruption).
+//!   The enabled set is maintained **incrementally** (only the closed neighborhoods of
+//!   the nodes that moved are re-evaluated, `O(Δ)` per move instead of `O(n·Δ)` per
+//!   step — see DESIGN.md), with a retained full-rescan reference mode
+//!   ([`ExecMode::FullRescan`]) for differential testing and benchmarking;
 //! * [`SpaceReport`] / [`Quiescence`] — the measurements consumed by the experiment
 //!   harness.
 
@@ -29,7 +33,7 @@ pub mod scheduler;
 pub mod view;
 
 pub use algorithm::{Algorithm, ParentPointer};
-pub use executor::{ExecError, Executor, ExecutorConfig, Quiescence, SpaceReport};
+pub use executor::{ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport};
 pub use register::Register;
 pub use scheduler::{Scheduler, SchedulerKind};
-pub use view::{NeighborView, View};
+pub use view::{NeighborInfo, NeighborView, View};

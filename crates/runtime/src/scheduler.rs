@@ -74,6 +74,9 @@ pub struct Scheduler {
     activations: Vec<u64>,
     /// Cursor for the round-robin daemon.
     cursor: usize,
+    /// Reusable membership mask (cleared after every use) so daemons that probe
+    /// "is this node enabled?" do it in O(1) instead of scanning the enabled slice.
+    mask: Vec<bool>,
 }
 
 impl Scheduler {
@@ -85,6 +88,7 @@ impl Scheduler {
             rng: StdRng::seed_from_u64(seed ^ 0x00da_e000),
             activations: vec![0; n],
             cursor: 0,
+            mask: vec![false; n],
         }
     }
 
@@ -104,22 +108,31 @@ impl Scheduler {
     ///
     /// Panics if `enabled` is empty — the executor must detect silence before asking.
     pub fn select(&mut self, enabled: &[NodeId]) -> Vec<NodeId> {
-        assert!(!enabled.is_empty(), "the daemon is only consulted when some node is enabled");
+        assert!(
+            !enabled.is_empty(),
+            "the daemon is only consulted when some node is enabled"
+        );
         let chosen = match self.kind {
             SchedulerKind::Central => {
                 vec![*enabled.choose(&mut self.rng).expect("non-empty")]
             }
             SchedulerKind::Synchronous => enabled.to_vec(),
             SchedulerKind::RoundRobin => {
+                for &v in enabled {
+                    self.mask[v.0] = true;
+                }
                 let n = self.activations.len();
                 let mut pick = None;
                 for offset in 0..n {
                     let candidate = NodeId((self.cursor + offset) % n);
-                    if enabled.contains(&candidate) {
+                    if self.mask[candidate.0] {
                         pick = Some(candidate);
                         self.cursor = (candidate.0 + 1) % n;
                         break;
                     }
+                }
+                for &v in enabled {
+                    self.mask[v.0] = false;
                 }
                 vec![pick.expect("some enabled node exists")]
             }

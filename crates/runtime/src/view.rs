@@ -4,12 +4,32 @@
 //! the incorruptible constants of the model: its identity, its neighbors' identities and
 //! the weights of its incident edges (paper §II-A). A [`View`] packages exactly this —
 //! algorithms never get access to anything else, which keeps them honest about locality.
+//!
+//! A view is **zero-allocation**: it borrows a CSR slice of per-neighbor constants
+//! ([`NeighborInfo`], precomputed once per executor since identities and weights never
+//! change) and the dense register array. [`View::neighbors`] is a lazy iterator over
+//! that slice — building and consuming a view performs no heap allocation, which is
+//! what makes guard evaluation cheap enough to run millions of times per second.
 
 use stst_graph::{Ident, NodeId, Weight};
 
+/// The incorruptible constants a node knows about one neighbor: its dense index (for
+/// the simulator), its identity and the weight of the connecting edge. Register
+/// contents are *not* stored here — they change every step and are read through the
+/// dense state array instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeighborInfo {
+    /// Dense index of the neighbor (simulation bookkeeping, not readable information).
+    pub node: NodeId,
+    /// The neighbor's identity.
+    pub ident: Ident,
+    /// Weight of the connecting edge.
+    pub weight: Weight,
+}
+
 /// What a node sees of one neighbor: the neighbor's identity, the weight of the
 /// connecting edge (both incorruptible constants) and the neighbor's register.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct NeighborView<'a, S> {
     /// Dense index of the neighbor (simulation bookkeeping, not readable information —
     /// algorithms should use [`NeighborView::ident`] to name nodes).
@@ -22,8 +42,19 @@ pub struct NeighborView<'a, S> {
     pub state: &'a S,
 }
 
+impl<S> Clone for NeighborView<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S> Copy for NeighborView<'_, S> {}
+
 /// The closed neighborhood view handed to [`crate::Algorithm::step`].
-#[derive(Clone, Debug)]
+///
+/// Construct one with [`View::new`]; read neighbors through the allocation-free
+/// [`View::neighbors`] iterator.
+#[derive(Clone, Copy, Debug)]
 pub struct View<'a, S> {
     /// Dense index of the node taking the step (simulation bookkeeping).
     pub node: NodeId,
@@ -35,19 +66,56 @@ pub struct View<'a, S> {
     pub n: usize,
     /// The node's own register content.
     pub state: &'a S,
-    /// One entry per incident edge, in a fixed (but arbitrary) port order.
-    pub neighbors: Vec<NeighborView<'a, S>>,
+    /// Per-neighbor constants, one entry per incident edge, in a fixed (but arbitrary)
+    /// port order.
+    neighbors: &'a [NeighborInfo],
+    /// The dense register array of the whole configuration (neighbors are read through
+    /// it lazily; locality is preserved because the iterator only dereferences the
+    /// indices listed in `neighbors`).
+    states: &'a [S],
 }
 
 impl<'a, S> View<'a, S> {
+    /// Builds the view of `node` over the configuration `states`, given the
+    /// precomputed per-neighbor constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range of `states`.
+    pub fn new(
+        node: NodeId,
+        ident: Ident,
+        n: usize,
+        neighbors: &'a [NeighborInfo],
+        states: &'a [S],
+    ) -> Self {
+        View {
+            node,
+            ident,
+            n,
+            state: &states[node.0],
+            neighbors,
+            states,
+        }
+    }
+
     /// Degree of the node in the communication graph.
     pub fn degree(&self) -> usize {
         self.neighbors.len()
     }
 
+    /// Allocation-free iterator over the neighbors (identity, edge weight and current
+    /// register of each).
+    pub fn neighbors(&self) -> Neighbors<'a, S> {
+        Neighbors {
+            info: self.neighbors.iter(),
+            states: self.states,
+        }
+    }
+
     /// The neighbor with identity `ident`, if adjacent.
-    pub fn neighbor_with_ident(&self, ident: Ident) -> Option<&NeighborView<'a, S>> {
-        self.neighbors.iter().find(|nb| nb.ident == ident)
+    pub fn neighbor_with_ident(&self, ident: Ident) -> Option<NeighborView<'a, S>> {
+        self.neighbors().find(|nb| nb.ident == ident)
     }
 
     /// `true` if some neighbor carries identity `ident`.
@@ -65,13 +133,52 @@ impl<'a, S> View<'a, S> {
             .expect("the closed neighborhood contains the node itself")
     }
 
-    /// Iterator over neighbors together with the weight of the connecting edge,
-    /// ordered by increasing weight (ties by identity). Convenient for
-    /// "lightest incident edge" rules.
-    pub fn neighbors_by_weight(&self) -> Vec<&NeighborView<'a, S>> {
-        let mut v: Vec<&NeighborView<'a, S>> = self.neighbors.iter().collect();
+    /// Neighbors together with the weight of the connecting edge, ordered by increasing
+    /// weight (ties by identity). Convenient for "lightest incident edge" rules; this
+    /// helper allocates and is not meant for hot guard evaluations.
+    pub fn neighbors_by_weight(&self) -> Vec<NeighborView<'a, S>> {
+        let mut v: Vec<NeighborView<'a, S>> = self.neighbors().collect();
         v.sort_by_key(|nb| (nb.weight, nb.ident));
         v
+    }
+}
+
+/// Lazy, allocation-free iterator over a [`View`]'s neighbors.
+#[derive(Clone, Debug)]
+pub struct Neighbors<'a, S> {
+    info: std::slice::Iter<'a, NeighborInfo>,
+    states: &'a [S],
+}
+
+impl<'a, S> Iterator for Neighbors<'a, S> {
+    type Item = NeighborView<'a, S>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let info = self.info.next()?;
+        Some(NeighborView {
+            node: info.node,
+            ident: info.ident,
+            weight: info.weight,
+            state: &self.states[info.node.0],
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.info.size_hint()
+    }
+}
+
+impl<S> ExactSizeIterator for Neighbors<'_, S> {}
+
+impl<S> DoubleEndedIterator for Neighbors<'_, S> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        let info = self.info.next_back()?;
+        Some(NeighborView {
+            node: info.node,
+            ident: info.ident,
+            weight: info.weight,
+            state: &self.states[info.node.0],
+        })
     }
 }
 
@@ -79,18 +186,26 @@ impl<'a, S> View<'a, S> {
 mod tests {
     use super::*;
 
-    fn sample_view<'a>(states: &'a [u64]) -> View<'a, u64> {
-        View {
-            node: NodeId(0),
-            ident: 5,
-            n: 4,
-            state: &states[0],
-            neighbors: vec![
-                NeighborView { node: NodeId(1), ident: 9, weight: 30, state: &states[1] },
-                NeighborView { node: NodeId(2), ident: 2, weight: 10, state: &states[2] },
-                NeighborView { node: NodeId(3), ident: 7, weight: 20, state: &states[3] },
-            ],
-        }
+    const INFO: [NeighborInfo; 3] = [
+        NeighborInfo {
+            node: NodeId(1),
+            ident: 9,
+            weight: 30,
+        },
+        NeighborInfo {
+            node: NodeId(2),
+            ident: 2,
+            weight: 10,
+        },
+        NeighborInfo {
+            node: NodeId(3),
+            ident: 7,
+            weight: 20,
+        },
+    ];
+
+    fn sample_view(states: &[u64]) -> View<'_, u64> {
+        View::new(NodeId(0), 5, 4, &INFO, states)
     }
 
     #[test]
@@ -102,13 +217,29 @@ mod tests {
         assert!(!view.has_neighbor(5));
         assert_eq!(view.neighbor_with_ident(7).unwrap().weight, 20);
         assert_eq!(view.min_ident_in_closed_neighborhood(), 2);
+        assert_eq!(*view.state, 0);
+    }
+
+    #[test]
+    fn neighbor_iteration_reads_live_registers() {
+        let states = [0u64, 11, 22, 33];
+        let view = sample_view(&states);
+        let read: Vec<(Ident, u64)> = view.neighbors().map(|nb| (nb.ident, *nb.state)).collect();
+        assert_eq!(read, vec![(9, 11), (2, 22), (7, 33)]);
+        assert_eq!(view.neighbors().len(), 3);
+        let backwards: Vec<Ident> = view.neighbors().rev().map(|nb| nb.ident).collect();
+        assert_eq!(backwards, vec![7, 2, 9]);
     }
 
     #[test]
     fn weight_ordering() {
         let states = [0u64, 1, 2, 3];
         let view = sample_view(&states);
-        let order: Vec<Ident> = view.neighbors_by_weight().iter().map(|nb| nb.ident).collect();
+        let order: Vec<Ident> = view
+            .neighbors_by_weight()
+            .iter()
+            .map(|nb| nb.ident)
+            .collect();
         assert_eq!(order, vec![2, 7, 9]);
     }
 }

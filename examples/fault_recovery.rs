@@ -13,7 +13,9 @@ fn main() {
     let config = ExecutorConfig::with_scheduler(11, SchedulerKind::Central);
     let mut exec = Executor::from_arbitrary(&graph, MinIdSpanningTree, config);
 
-    let first = exec.run_to_quiescence(5_000_000).expect("initial convergence");
+    let first = exec
+        .run_to_quiescence(5_000_000)
+        .expect("initial convergence");
     println!(
         "initial convergence: {} rounds, {} moves, legal = {}",
         first.rounds, first.moves, first.legal

@@ -23,16 +23,28 @@ fn main() {
 
     println!("\nsilent self-stabilizing MST construction (Corollary 6.1)");
     println!("  legal output (is an MST): {}", report.legal);
-    println!("  tree weight:              {}", report.tree.total_weight(&graph));
-    println!("  oracle (Kruskal) weight:  {}", oracle.total_weight(&graph));
+    println!(
+        "  tree weight:              {}",
+        report.tree.total_weight(&graph)
+    );
+    println!(
+        "  oracle (Kruskal) weight:  {}",
+        oracle.total_weight(&graph)
+    );
     println!("  improving switches:       {}", report.improvements);
     println!("  total rounds:             {}", report.total_rounds);
-    println!("  max register size:        {} bits per node", report.max_register_bits);
+    println!(
+        "  max register size:        {} bits per node",
+        report.max_register_bits
+    );
     println!("\nrounds by phase:");
     for (phase, rounds) in &report.phase_rounds {
         println!("  {rounds:>8}  {phase}");
     }
     assert!(report.legal, "the construction must stabilize on an MST");
-    assert_eq!(report.tree.total_weight(&graph), oracle.total_weight(&graph));
+    assert_eq!(
+        report.tree.total_weight(&graph),
+        oracle.total_weight(&graph)
+    );
     println!("\nOK: stabilized on the minimum spanning tree.");
 }

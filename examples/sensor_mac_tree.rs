@@ -26,24 +26,43 @@ fn main() {
     // Naive backbone: a BFS tree from the sink (minimum-identity mote).
     let sink = graph.min_ident_node();
     let bfs_backbone = bfs::bfs_tree(&graph, sink);
-    println!("\nBFS backbone degree:                {}", bfs_backbone.max_degree());
+    println!(
+        "\nBFS backbone degree:                {}",
+        bfs_backbone.max_degree()
+    );
 
     // Our backbone: silent self-stabilizing MDST (stabilizes on an FR-tree).
     let report = construct_mdst(&graph, &EngineConfig::seeded(seed));
-    println!("self-stabilizing MDST degree:       {}", report.tree.max_degree());
+    println!(
+        "self-stabilizing MDST degree:       {}",
+        report.tree.max_degree()
+    );
     println!("  certified FR-tree:                {}", report.legal);
-    println!("  rounds:                           {}", report.total_rounds);
-    println!("  register size:                    {} bits per mote", report.max_register_bits);
+    println!(
+        "  rounds:                           {}",
+        report.total_rounds
+    );
+    println!(
+        "  register size:                    {} bits per mote",
+        report.max_register_bits
+    );
 
     // Prior-art baseline: same degree guarantee, but Ω(n log n) bits per mote and never
     // silent (the radio never gets to sleep).
     let prior = prior_mdst::run(&graph);
-    println!("prior-art MDST degree:              {}", prior.tree.max_degree());
-    println!("  register size:                    {} bits per mote", prior.max_register_bits);
+    println!(
+        "prior-art MDST degree:              {}",
+        prior.tree.max_degree()
+    );
+    println!(
+        "  register size:                    {} bits per mote",
+        prior.max_register_bits
+    );
     println!("  silent:                           {}", prior.silent);
 
     // Sanity: the FR guarantee.
-    let lower_bound = self_stabilizing_spanning_trees::graph::properties::min_degree_lower_bound(&graph);
+    let lower_bound =
+        self_stabilizing_spanning_trees::graph::properties::min_degree_lower_bound(&graph);
     println!("\ncut lower bound on any backbone degree: {lower_bound}");
     assert!(report.legal);
     assert!(report.tree.max_degree() <= bfs_backbone.max_degree());

@@ -10,12 +10,36 @@ use self_stabilizing_spanning_trees::runtime::{Executor, ExecutorConfig, Schedul
 /// A small zoo of connected workloads with distinct weights and shuffled identities.
 fn zoo(seed: u64) -> Vec<(&'static str, Graph)> {
     vec![
-        ("ring", generators::randomize_weights(&generators::shuffle_idents(&generators::ring(14), seed), seed)),
-        ("grid", generators::randomize_weights(&generators::shuffle_idents(&generators::grid(4, 4), seed), seed)),
-        ("lollipop", generators::randomize_weights(&generators::shuffle_idents(&generators::lollipop(6, 6), seed), seed)),
+        (
+            "ring",
+            generators::randomize_weights(
+                &generators::shuffle_idents(&generators::ring(14), seed),
+                seed,
+            ),
+        ),
+        (
+            "grid",
+            generators::randomize_weights(
+                &generators::shuffle_idents(&generators::grid(4, 4), seed),
+                seed,
+            ),
+        ),
+        (
+            "lollipop",
+            generators::randomize_weights(
+                &generators::shuffle_idents(&generators::lollipop(6, 6), seed),
+                seed,
+            ),
+        ),
         ("sparse random", generators::workload(20, 0.12, seed)),
         ("dense random", generators::workload(16, 0.45, seed)),
-        ("tree", generators::randomize_weights(&generators::shuffle_idents(&generators::random_tree(18, seed), seed), seed)),
+        (
+            "tree",
+            generators::randomize_weights(
+                &generators::shuffle_idents(&generators::random_tree(18, seed), seed),
+                seed,
+            ),
+        ),
     ]
 }
 
@@ -38,7 +62,10 @@ fn mdst_construction_is_fr_certified_on_the_zoo() {
         assert!(fr::is_fr_tree(&g, &report.tree), "{name}");
         // The FR guarantee relative to the cut lower bound.
         let lb = self_stabilizing_spanning_trees::graph::properties::min_degree_lower_bound(&g);
-        assert!(report.tree.max_degree() + 0 >= lb.min(report.tree.max_degree()), "{name}");
+        assert!(
+            report.tree.max_degree() >= lb.min(report.tree.max_degree()),
+            "{name}"
+        );
     }
 }
 
@@ -72,7 +99,11 @@ fn bfs_layer_is_correct_under_every_daemon() {
         let tree = exec.extract_tree().unwrap();
         let depths = tree.depths();
         for v in g.nodes() {
-            assert_eq!(depths[v.index()], oracle[v.index()], "daemon {kind}, node {v}");
+            assert_eq!(
+                depths[v.index()],
+                oracle[v.index()],
+                "daemon {kind}, node {v}"
+            );
         }
     }
 }
@@ -94,14 +125,21 @@ fn spanning_tree_layer_is_scheduler_independent() {
         trees.push(exec.extract_tree().unwrap());
     }
     for t in &trees[1..] {
-        assert_eq!(t.parents(), trees[0].parents(), "all daemons reach the same fixed point");
+        assert_eq!(
+            t.parents(),
+            trees[0].parents(),
+            "all daemons reach the same fixed point"
+        );
     }
 }
 
 #[test]
 fn composed_constructions_report_consistent_round_ledgers() {
     let g = generators::workload(16, 0.3, 21);
-    for report in [construct_mst(&g, &EngineConfig::seeded(21)), construct_mdst(&g, &EngineConfig::seeded(21))] {
+    for report in [
+        construct_mst(&g, &EngineConfig::seeded(21)),
+        construct_mdst(&g, &EngineConfig::seeded(21)),
+    ] {
         let sum: u64 = report.phase_rounds.iter().map(|(_, r)| r).sum();
         assert_eq!(sum, report.total_rounds);
         assert!(report.max_register_bits > 0);

@@ -13,7 +13,9 @@ fn spanning_tree_recovers_from_any_number_of_corrupted_registers() {
     exec.run_to_quiescence(5_000_000).unwrap();
     for k in [1usize, 3, 10, 15, 30] {
         exec.corrupt_random_nodes(k);
-        let q = exec.run_to_quiescence(5_000_000).expect("recovery after {k} faults");
+        let q = exec
+            .run_to_quiescence(5_000_000)
+            .expect("recovery after {k} faults");
         assert!(q.legal, "recovery after corrupting {k} registers");
         assert!(exec.is_quiescent());
     }
@@ -30,7 +32,10 @@ fn recovery_from_a_single_fault_is_cheaper_than_from_scratch() {
     let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(23));
     exec.run_to_quiescence(5_000_000).unwrap();
     let moves_before = exec.moves();
-    let damaged = SpanningState { size: exec.state(NodeId(7)).size + 5, ..*exec.state(NodeId(7)) };
+    let damaged = SpanningState {
+        size: exec.state(NodeId(7)).size + 5,
+        ..*exec.state(NodeId(7))
+    };
     exec.corrupt_node(NodeId(7), damaged);
     let q = exec.run_to_quiescence(5_000_000).unwrap();
     assert!(q.legal);
@@ -55,10 +60,19 @@ fn bfs_recovers_under_the_adversarial_daemon() {
     exec.run_to_quiescence(5_000_000).unwrap();
     // Adversarially helpful-looking corruption: claim distance 0 everywhere.
     for v in 0..5 {
-        exec.corrupt_node(NodeId(v), BfsState { parent: None, dist: 0 });
+        exec.corrupt_node(
+            NodeId(v),
+            BfsState {
+                parent: None,
+                dist: 0,
+            },
+        );
     }
     let q = exec.run_to_quiescence(5_000_000).unwrap();
-    assert!(q.legal, "BFS must recover even from systematically misleading corruption");
+    assert!(
+        q.legal,
+        "BFS must recover even from systematically misleading corruption"
+    );
 }
 
 #[test]

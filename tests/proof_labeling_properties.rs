@@ -1,8 +1,13 @@
 //! Property-based tests of the proof-labeling schemes: completeness on legal instances,
-//! soundness under random corruption of labels and parent pointers, and malleability of
-//! the redundant scheme during switches.
+//! soundness under random corruption of labels and parent pointers, and the MST
+//! potential characterization.
+//!
+//! The build is hermetic (no proptest), so the properties run over deterministic
+//! seeded sweeps instead of proptest's shrinker: every case derives its parameters
+//! from a seeded RNG, so a failure message pins down the reproducing case exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use self_stabilizing_spanning_trees::graph::{bfs, generators, mst, NodeId};
 use self_stabilizing_spanning_trees::labeling::distance::DistanceScheme;
@@ -11,31 +16,51 @@ use self_stabilizing_spanning_trees::labeling::redundant::RedundantScheme;
 use self_stabilizing_spanning_trees::labeling::scheme::{Instance, ProofLabelingScheme};
 use self_stabilizing_spanning_trees::labeling::size::SizeScheme;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Completeness: for every workload and every scheme, the prover-built labels of a
-    /// legal spanning tree are accepted at every node.
-    #[test]
-    fn schemes_accept_legal_trees(n in 4usize..40, seed in 0u64..500) {
+/// Completeness: for every workload and every scheme, the prover-built labels of a
+/// legal spanning tree are accepted at every node.
+#[test]
+fn schemes_accept_legal_trees() {
+    let mut rng = StdRng::seed_from_u64(0xc01);
+    for case in 0..CASES {
+        let n = rng.gen_range(4usize..40);
+        let seed = rng.gen_range(0u64..500);
         let g = generators::workload(n, 0.2, seed);
         let t = bfs::bfs_tree(&g, g.min_ident_node());
-        prop_assert!(DistanceScheme.accepts_legal(&g, &t));
-        prop_assert!(SizeScheme.accepts_legal(&g, &t));
-        prop_assert!(RedundantScheme.accepts_legal(&g, &t));
-        prop_assert!(NcaScheme.accepts_legal(&g, &t));
+        assert!(
+            DistanceScheme.accepts_legal(&g, &t),
+            "case {case}: n={n} seed={seed}"
+        );
+        assert!(
+            SizeScheme.accepts_legal(&g, &t),
+            "case {case}: n={n} seed={seed}"
+        );
+        assert!(
+            RedundantScheme.accepts_legal(&g, &t),
+            "case {case}: n={n} seed={seed}"
+        );
+        assert!(
+            NcaScheme.accepts_legal(&g, &t),
+            "case {case}: n={n} seed={seed}"
+        );
     }
+}
 
-    /// Soundness against structural corruption: re-pointing one node's parent pointer to
-    /// a random non-parent neighbor (without fixing the labels) is detected by the
-    /// redundant scheme.
-    #[test]
-    fn redundant_scheme_detects_reparented_pointers(
-        n in 6usize..30,
-        seed in 0u64..200,
-        victim_pick in 0usize..64,
-        neighbor_pick in 0usize..8,
-    ) {
+/// Soundness against structural corruption: re-pointing one node's parent pointer to
+/// a random non-parent neighbor (without fixing the labels) is detected by the
+/// redundant scheme.
+#[test]
+fn redundant_scheme_detects_reparented_pointers() {
+    let mut rng = StdRng::seed_from_u64(0xc02);
+    let mut checked = 0u64;
+    let mut case = 0u64;
+    while checked < CASES {
+        case += 1;
+        let n = rng.gen_range(6usize..30);
+        let seed = rng.gen_range(0u64..200);
+        let victim_pick = rng.gen_range(0usize..64);
+        let neighbor_pick = rng.gen_range(0usize..8);
         let g = generators::workload(n, 0.3, seed);
         let t = bfs::bfs_tree(&g, g.min_ident_node());
         let labels = RedundantScheme.prove(&g, &t);
@@ -44,25 +69,36 @@ proptest! {
         let victim = victims[victim_pick % victims.len()];
         let neighbors = g.neighbors(victim);
         let new_parent = neighbors[neighbor_pick % neighbors.len()].0;
-        prop_assume!(Some(new_parent) != t.parent(victim));
+        if Some(new_parent) == t.parent(victim) {
+            continue; // the corruption must actually change the pointer
+        }
+        checked += 1;
         let mut parents = t.parents().to_vec();
         parents[victim.index()] = Some(new_parent);
         // The corrupted pointer either creates a cycle / second root situation or an
         // inconsistent distance; the verifier must notice in all cases.
-        let inst = Instance { graph: &g, parents: &parents };
-        prop_assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
+        let inst = Instance {
+            graph: &g,
+            parents: &parents,
+        };
+        assert!(
+            !RedundantScheme.verify_all(&inst, &labels).accepted(),
+            "case {case}: n={n} seed={seed} victim={victim} new_parent={new_parent}"
+        );
     }
+}
 
-    /// Soundness against label corruption: randomly perturbing a distance or size value
-    /// in one label is detected.
-    #[test]
-    fn redundant_scheme_detects_corrupted_labels(
-        n in 6usize..30,
-        seed in 0u64..200,
-        victim_pick in 0usize..64,
-        delta in 1u64..5,
-        corrupt_size in proptest::bool::ANY,
-    ) {
+/// Soundness against label corruption: randomly perturbing a distance or size value
+/// in one label is detected.
+#[test]
+fn redundant_scheme_detects_corrupted_labels() {
+    let mut rng = StdRng::seed_from_u64(0xc03);
+    for case in 0..CASES {
+        let n = rng.gen_range(6usize..30);
+        let seed = rng.gen_range(0u64..200);
+        let victim_pick = rng.gen_range(0usize..64);
+        let delta = rng.gen_range(1u64..5);
+        let corrupt_size = rng.gen_bool(0.5);
         let g = generators::workload(n, 0.3, seed);
         let t = bfs::bfs_tree(&g, g.min_ident_node());
         let mut labels = RedundantScheme.prove(&g, &t);
@@ -73,38 +109,58 @@ proptest! {
             labels[victim.index()].dist = labels[victim.index()].dist.map(|d| d + delta);
         }
         let inst = Instance::from_tree(&g, &t);
-        prop_assert!(!RedundantScheme.verify_all(&inst, &labels).accepted());
+        assert!(
+            !RedundantScheme.verify_all(&inst, &labels).accepted(),
+            "case {case}: n={n} seed={seed} victim={victim} delta={delta} size={corrupt_size}"
+        );
     }
+}
 
-    /// The NCA labels computed by the prover answer arbitrary queries exactly like the
-    /// parent-pointer ground truth.
-    #[test]
-    fn nca_labels_answer_queries_correctly(
-        n in 4usize..36,
-        seed in 0u64..200,
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
+/// The NCA labels computed by the prover answer arbitrary queries exactly like the
+/// parent-pointer ground truth.
+#[test]
+fn nca_labels_answer_queries_correctly() {
+    let mut rng = StdRng::seed_from_u64(0xc04);
+    for case in 0..CASES {
+        let n = rng.gen_range(4usize..36);
+        let seed = rng.gen_range(0u64..200);
+        let a = rng.gen_range(0usize..64);
+        let b = rng.gen_range(0usize..64);
         let g = generators::workload(n, 0.2, seed);
         let t = bfs::bfs_tree(&g, g.min_ident_node());
         let labels = NcaScheme.prove(&g, &t);
         let u = NodeId(a % n);
         let v = NodeId(b % n);
         let w = t.nca(u, v);
-        prop_assert_eq!(&nca_of_labels(&labels[u.index()], &labels[v.index()]), &labels[w.index()]);
+        assert_eq!(
+            &nca_of_labels(&labels[u.index()], &labels[v.index()]),
+            &labels[w.index()],
+            "case {case}: n={n} seed={seed} u={u} v={v}"
+        );
     }
+}
 
-    /// The MST fragment potential is zero exactly on minimum spanning trees.
-    #[test]
-    fn mst_potential_characterizes_msts(n in 5usize..22, seed in 0u64..120) {
+/// The MST fragment potential is zero exactly on minimum spanning trees.
+#[test]
+fn mst_potential_characterizes_msts() {
+    let mut rng = StdRng::seed_from_u64(0xc05);
+    for case in 0..CASES {
+        let n = rng.gen_range(5usize..22);
+        let seed = rng.gen_range(0u64..120);
         let g = generators::workload(n, 0.3, seed);
         let kruskal = mst::kruskal(&g).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             self_stabilizing_spanning_trees::labeling::mst_fragments::mst_potential(&g, &kruskal),
-            0
+            0,
+            "case {case}: n={n} seed={seed}"
         );
         let bfs_tree = bfs::bfs_tree(&g, g.min_ident_node());
-        let phi = self_stabilizing_spanning_trees::labeling::mst_fragments::mst_potential(&g, &bfs_tree);
-        prop_assert_eq!(phi == 0, mst::is_mst(&g, &bfs_tree));
+        let phi =
+            self_stabilizing_spanning_trees::labeling::mst_fragments::mst_potential(&g, &bfs_tree);
+        assert_eq!(
+            phi == 0,
+            mst::is_mst(&g, &bfs_tree),
+            "case {case}: n={n} seed={seed} phi={phi}"
+        );
     }
 }

@@ -24,12 +24,22 @@ fn stabilized_mst_is_accepted_by_every_relevant_scheme() {
     let inst = Instance::from_tree(&g, tree);
     // Spanning-tree schemes.
     for accepted in [
-        DistanceScheme.verify_all(&inst, &DistanceScheme.prove(&g, tree)).accepted(),
-        SizeScheme.verify_all(&inst, &SizeScheme.prove(&g, tree)).accepted(),
-        RedundantScheme.verify_all(&inst, &RedundantScheme.prove(&g, tree)).accepted(),
-        NcaScheme.verify_all(&inst, &NcaScheme.prove(&g, tree)).accepted(),
+        DistanceScheme
+            .verify_all(&inst, &DistanceScheme.prove(&g, tree))
+            .accepted(),
+        SizeScheme
+            .verify_all(&inst, &SizeScheme.prove(&g, tree))
+            .accepted(),
+        RedundantScheme
+            .verify_all(&inst, &RedundantScheme.prove(&g, tree))
+            .accepted(),
+        NcaScheme
+            .verify_all(&inst, &NcaScheme.prove(&g, tree))
+            .accepted(),
         // MST-specific fragment labels: φ(T) = 0 means every verifier accepts.
-        FragmentScheme.verify_all(&inst, &FragmentScheme.prove(&g, tree)).accepted(),
+        FragmentScheme
+            .verify_all(&inst, &FragmentScheme.prove(&g, tree))
+            .accepted(),
     ] {
         assert!(accepted);
     }
@@ -43,7 +53,11 @@ fn stabilized_mdst_is_fr_certified_at_every_node() {
     let inst = Instance::from_tree(&g, &report.tree);
     let labels = FrScheme.prove(&g, &report.tree);
     let outcome = FrScheme.verify_all(&inst, &labels);
-    assert!(outcome.accepted(), "rejecting nodes: {:?}", outcome.rejecting);
+    assert!(
+        outcome.accepted(),
+        "rejecting nodes: {:?}",
+        outcome.rejecting
+    );
     // Label sizes are the O(log n)-class budget of Corollary 8.1.
     assert!(FrScheme.max_label_bits(&labels) <= 40);
 }
@@ -62,12 +76,18 @@ fn spanning_registers_translate_into_accepted_distance_and_size_labels() {
     let dist_labels: Vec<DistanceLabel> = exec
         .states()
         .iter()
-        .map(|s| DistanceLabel { root: root_ident, dist: s.dist })
+        .map(|s| DistanceLabel {
+            root: root_ident,
+            dist: s.dist,
+        })
         .collect();
     let size_labels: Vec<SizeLabel> = exec
         .states()
         .iter()
-        .map(|s| SizeLabel { root: root_ident, size: s.size })
+        .map(|s| SizeLabel {
+            root: root_ident,
+            size: s.size,
+        })
         .collect();
     let inst = Instance::from_tree(&g, &tree);
     assert!(DistanceScheme.verify_all(&inst, &dist_labels).accepted());

@@ -19,12 +19,17 @@ fn mst_local_search_via_loop_free_switches_reaches_the_optimum() {
         let mut tree = bfs::bfs_tree(&g, g.min_ident_node());
         let mut guard = 0;
         while let Some((e, f)) =
-            self_stabilizing_spanning_trees::labeling::mst_fragments::fragment_guided_swap(&g, &tree)
+            self_stabilizing_spanning_trees::labeling::mst_fragments::fragment_guided_swap(
+                &g, &tree,
+            )
         {
             let outcome = loop_free_switch(&g, &tree, e, f);
             for stage in &outcome.stages {
                 assert!(stage.tree.is_spanning_tree_of(&g), "loop-freedom");
-                let inst = Instance { graph: &g, parents: stage.tree.parents() };
+                let inst = Instance {
+                    graph: &g,
+                    parents: stage.tree.parents(),
+                };
                 assert!(
                     RedundantScheme.verify_all(&inst, &stage.labels).accepted(),
                     "malleability at '{}'",
@@ -86,8 +91,15 @@ fn switch_rounds_grow_linearly_with_the_cycle_length() {
             .unwrap();
         let f = t.fundamental_cycle_tree_edges(&g, e)[n / 4];
         let outcome = loop_free_switch(&g, &t, e, f);
-        assert!(outcome.rounds <= 8 * n as u64, "n = {n}: {} rounds", outcome.rounds);
-        assert!(outcome.rounds >= last / 4, "cost should grow roughly linearly");
+        assert!(
+            outcome.rounds <= 8 * n as u64,
+            "n = {n}: {} rounds",
+            outcome.rounds
+        );
+        assert!(
+            outcome.rounds >= last / 4,
+            "cost should grow roughly linearly"
+        );
         last = outcome.rounds;
     }
 }

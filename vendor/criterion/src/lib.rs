@@ -1,0 +1,317 @@
+//! Offline shim for the subset of the [`criterion`](https://crates.io/crates/criterion)
+//! (0.5 API) benchmark harness used by this workspace.
+//!
+//! The build environment is hermetic (no crates registry), so the benches run against
+//! this minimal wall-clock harness instead: it honors `sample_size`,
+//! `measurement_time` and `warm_up_time`, reports min/mean/max per benchmark on
+//! stdout, and compiles with `harness = false` bench targets exactly like the real
+//! crate. No statistical analysis, HTML reports, or baselines — just timing.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a printable parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `rooted_bfs_converge/48`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare identifier without a parameter.
+    pub fn from_name(name: &str) -> Self {
+        BenchmarkId {
+            text: name.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing configuration shared by a group's benchmarks.
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== bench group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: Config::default(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            config: Config::default(),
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft budget for the whole measurement phase of one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.config);
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl IdLike, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.config);
+        f(&mut bencher);
+        self.report(&id.into_id(), &bencher);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        println!("{label:<50} {}", bencher.summary());
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IdLike {
+    /// Renders the label.
+    fn into_id(self) -> String;
+}
+
+impl IdLike for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLike for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(config: Config) -> Self {
+        Bencher {
+            config,
+            samples: Vec::with_capacity(config.sample_size),
+        }
+    }
+
+    /// Times `routine`, once per sample, after a warm-up phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let budget = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget.elapsed() > self.config.measurement_time {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn summary(&self) -> String {
+        let mut out = String::new();
+        if self.samples.is_empty() {
+            out.push_str("no samples");
+            return out;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let _ = write!(
+            out,
+            "time: [{} {} {}]  ({} samples)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            self.samples.len()
+        );
+        out
+    }
+
+    /// Mean duration over the collected samples (used by ratio-printing benches).
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 5), &5u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        assert!(ran >= 3, "at least the sample count must run");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}
