@@ -1,0 +1,36 @@
+//! The composition engine at scale: `construct_mst` on sparse workloads with
+//! incremental label repair vs the retained `Relabel::FromScratch` reference mode.
+//!
+//! This is the wall-clock side of the refactor's acceptance criterion — the
+//! deterministic label-write counter for the same pair is asserted by
+//! `tests/incremental_label_oracle.rs` (≥ 5× at n = 1000; ≈ 26× measured).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::{construct_mst, EngineConfig, Relabel};
+use stst_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition_scale");
+    group
+        .sample_size(5)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(200));
+
+    for &n in &[400usize, 1000] {
+        let g = generators::workload(n, 6.0 / n as f64, 2015);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| black_box(construct_mst(&g, &EngineConfig::seeded(2015))));
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            let config = EngineConfig::seeded(2015).with_relabel(Relabel::FromScratch);
+            b.iter(|| black_box(construct_mst(&g, &config)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

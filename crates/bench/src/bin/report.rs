@@ -1,18 +1,33 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p stst-bench --bin report [seed]`
-//! (pass `--json` as a second argument to emit machine-readable output).
+//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke]`
+//!
+//! * `--json` emits machine-readable output;
+//! * `--smoke` runs the tiny-size grid (every experiment at toy sizes — the CI check
+//!   that keeps the harness runnable).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2015);
+    let seed: u64 = args
+        .iter()
+        .skip(1)
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(2015);
     let json = args.iter().any(|a| a == "--json");
-    let tables = stst_bench::full_report(seed);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tables = if smoke {
+        stst_bench::smoke_report(seed)
+    } else {
+        stst_bench::full_report(seed)
+    };
     if json {
         println!("{}", stst_bench::tables_to_json(&tables));
         return;
     }
-    println!("# Experiment report (seed {seed})\n");
+    println!(
+        "# Experiment report (seed {seed}{})\n",
+        if smoke { ", smoke sizes" } else { "" }
+    );
     for table in tables {
         println!("{}\n", table.to_markdown());
     }

@@ -10,6 +10,7 @@ use stst_baselines::compact_mst::{self, CompactVariant};
 use stst_baselines::naive_reset::DistanceOnlySpanningTree;
 use stst_baselines::prior_mdst;
 use stst_core::bfs::RootedBfs;
+use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
 use stst_core::nca_build::build_nca_labels;
 use stst_core::spanning::MinIdSpanningTree;
 use stst_core::switch::loop_free_switch;
@@ -279,11 +280,23 @@ pub fn e3_nca(sizes: &[usize], seed: u64) -> ExperimentTable {
     }
 }
 
-/// E4 — silent MST (Corollary 6.1): rounds, switches, register bits, optimality.
+/// Densities exercised per size: two fixed densities for small instances, one sparse
+/// (average degree ≈ 6) workload at composition scale (the incremental label
+/// maintenance of the engine is what makes n ≥ 1000 feasible at all).
+fn densities_for(n: usize) -> Vec<f64> {
+    if n >= 256 {
+        vec![6.0 / n as f64]
+    } else {
+        vec![0.15, 0.35]
+    }
+}
+
+/// E4 — silent MST (Corollary 6.1): rounds, switches, label writes, register bits,
+/// optimality — now swept up to 5,000-node sparse workloads.
 pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
-        for p in [0.15, 0.35] {
+        for p in densities_for(n) {
             let g = generators::workload(n, p, seed);
             let report = construct_mst(&g, &EngineConfig::seeded(seed));
             let opt = mst::kruskal(&g).unwrap().total_weight(&g);
@@ -292,6 +305,7 @@ pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
                 g.edge_count().to_string(),
                 report.total_rounds.to_string(),
                 report.improvements.to_string(),
+                report.labels_written.to_string(),
                 report.max_register_bits.to_string(),
                 f(report.tree.total_weight(&g) as f64 / opt as f64),
                 report.legal.to_string(),
@@ -306,6 +320,7 @@ pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
             "m".into(),
             "rounds".into(),
             "switches".into(),
+            "label writes".into(),
             "max bits/node".into(),
             "weight / OPT".into(),
             "is MST".into(),
@@ -349,11 +364,13 @@ pub fn e5_mst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
     }
 }
 
-/// E6 — silent MDST / FR-trees (Corollary 8.1): degree vs optimum, rounds, bits.
+/// E6 — silent MDST / FR-trees (Corollary 8.1): degree vs optimum, rounds, bits — now
+/// swept up to 1,000-node sparse workloads.
 pub fn e6_mdst(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
-        let g = generators::workload(n, 0.3, seed);
+        let p = if n >= 256 { 8.0 / n as f64 } else { 0.3 };
+        let g = generators::workload(n, p, seed);
         let report = construct_mdst(&g, &EngineConfig::seeded(seed));
         let (opt_text, within_one) = if n <= 14 {
             let (opt, _) = fr::exact_min_degree_spanning_tree(&g, 14);
@@ -415,8 +432,9 @@ pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
     }
 }
 
-/// E8 — recovery from transient faults: rounds to re-stabilize after corrupting `k`
-/// registers of a converged spanning-tree layer.
+/// E8 — recovery from transient faults: rounds, moves **and guard evaluations** (the
+/// incremental executor's work unit) to re-stabilize after corrupting `k` registers of
+/// a converged spanning-tree layer.
 pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
     let g = generators::workload(n, 0.12, seed);
     let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(seed));
@@ -426,12 +444,14 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
         "-".into(),
         initial.rounds.to_string(),
         initial.moves.to_string(),
+        exec.guard_evaluations().to_string(),
         initial.legal.to_string(),
     ]];
     for &frac in fractions {
         let k = ((n as f64 * frac).round() as usize).max(1);
         let rounds_before = exec.rounds();
         let moves_before = exec.moves();
+        let guards_before = exec.guard_evaluations();
         exec.corrupt_random_nodes(k);
         let q = exec.run_to_quiescence(10_000_000).unwrap();
         rows.push(vec![
@@ -439,6 +459,7 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
             format!("{:.0}%", frac * 100.0),
             (q.rounds - rounds_before).to_string(),
             (q.moves - moves_before).to_string(),
+            (exec.guard_evaluations() - guards_before).to_string(),
             q.legal.to_string(),
         ]);
     }
@@ -450,7 +471,62 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
             "fault fraction".into(),
             "recovery rounds".into(),
             "recovery moves".into(),
+            "recovery guard evals".into(),
             "legal after".into(),
+        ],
+        rows,
+    }
+}
+
+/// E8b — the new scenario class unlocked by the resumable engine: transient label
+/// corruption injected *between waves* of a composed MST run. The engine's next step
+/// runs the 1-round verification wave, rebuilds exactly the rejected families, and the
+/// table records the measured recovery cost in rounds and label writes.
+pub fn e8_label_faults(n: usize, faults: &[usize], seed: u64) -> ExperimentTable {
+    let g = generators::workload(n, 0.15, seed);
+    let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+    let report = engine.run();
+    let mut rows = vec![vec![
+        "stabilize from scratch".to_string(),
+        "-".into(),
+        "-".into(),
+        report.total_rounds.to_string(),
+        report.labels_written.to_string(),
+        report.legal.to_string(),
+    ]];
+    for &k in faults {
+        engine.corrupt_random_labels(k);
+        let event = engine.step();
+        let PhaseEvent::Recovered {
+            families_rebuilt,
+            labels_written,
+            rounds,
+        } = event
+        else {
+            panic!("corruption must trigger a recovery wave, got {event:?}");
+        };
+        let silent_again = matches!(engine.step(), PhaseEvent::Stabilized { legal: true });
+        rows.push(vec![
+            format!("corrupt {k} labels mid-composition"),
+            k.to_string(),
+            families_rebuilt.to_string(),
+            rounds.to_string(),
+            labels_written.to_string(),
+            silent_again.to_string(),
+        ]);
+    }
+    ExperimentTable {
+        id: "E8b".into(),
+        claim: format!(
+            "composition-layer fault recovery: label corruption between waves (n = {n})"
+        ),
+        headers: vec![
+            "scenario".into(),
+            "corrupted labels".into(),
+            "families rebuilt".into(),
+            "recovery rounds".into(),
+            "labels rewritten".into(),
+            "silent again".into(),
         ],
         rows,
     }
@@ -520,12 +596,30 @@ pub fn full_report(seed: u64) -> Vec<ExperimentTable> {
         e1_bfs(&[16, 32, 64, 128], seed),
         e2_switch(&[16, 32, 64, 128], seed),
         e3_nca(&[32, 64, 128, 256], seed),
-        e4_mst(&[16, 32, 64], seed),
+        e4_mst(&[16, 32, 64, 1000, 2500, 5000], seed),
         e5_mst_space(&[16, 32, 64, 128], seed),
-        e6_mdst(&[10, 14, 24, 40], seed),
+        e6_mdst(&[10, 14, 24, 40, 1000], seed),
         e7_mdst_space(&[16, 32, 64], seed),
         e8_faults(40, &[0.05, 0.25, 0.5, 1.0], seed),
+        e8_label_faults(64, &[1, 4, 16], seed),
         e9_sched_ablation(24, seed),
+    ]
+}
+
+/// A tiny-size pass over every experiment, exercised by CI so the harness and the
+/// report binary can no longer rot uncompiled (or un-runnable).
+pub fn smoke_report(seed: u64) -> Vec<ExperimentTable> {
+    vec![
+        e1_bfs(&[12], seed),
+        e2_switch(&[12], seed),
+        e3_nca(&[16], seed),
+        e4_mst(&[12], seed),
+        e5_mst_space(&[12], seed),
+        e6_mdst(&[10], seed),
+        e7_mdst_space(&[12], seed),
+        e8_faults(12, &[0.5], seed),
+        e8_label_faults(16, &[2], seed),
+        e9_sched_ablation(12, seed),
     ]
 }
 
@@ -577,5 +671,36 @@ mod tests {
         assert_eq!(e6_mdst(&[10], 1).rows.len(), 1);
         assert_eq!(e8_faults(12, &[0.5], 1).rows.len(), 2);
         assert!(e9_sched_ablation(12, 1).rows.len() >= 7);
+    }
+
+    #[test]
+    fn e8_reports_guard_evaluations_alongside_rounds() {
+        let table = e8_faults(14, &[0.25], 3);
+        let col = table
+            .headers
+            .iter()
+            .position(|h| h.contains("guard evals"))
+            .expect("E8 exposes the guard-evaluation work unit");
+        for row in &table.rows {
+            assert!(row[col].parse::<u64>().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn e8b_recovers_from_label_corruption() {
+        let table = e8_label_faults(16, &[1, 3], 2);
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows[1..] {
+            assert_eq!(row.last().unwrap(), "true", "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_grid_covers_every_experiment() {
+        let tables = smoke_report(5);
+        assert_eq!(tables.len(), 10);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
+        }
     }
 }

@@ -6,6 +6,20 @@ use stst_runtime::SchedulerKind;
 
 use crate::potential::{CyclicalDecreasing, NestDecreasing};
 
+/// How the composition engine maintains the label families across improvement
+/// iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Relabel {
+    /// Repair labels incrementally on the dirty region of each loop-free switch (the
+    /// paper's model: Lemmas 3.1, 4.1 and 7.1 charge repair per wave on the affected
+    /// region).
+    #[default]
+    Incremental,
+    /// Re-prove every label family from scratch after every switch. Retained as the
+    /// reference mode for the differential oracles and the speedup benches.
+    FromScratch,
+}
+
 /// Configuration of a composed construction run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -15,21 +29,36 @@ pub struct EngineConfig {
     pub scheduler: SchedulerKind,
     /// Step budget for the guarded-rule phases.
     pub max_steps: u64,
+    /// Label maintenance mode of the improvement phase.
+    pub relabel: Relabel,
 }
 
 impl EngineConfig {
-    /// Central daemon, generous step budget.
+    /// Central daemon, generous step budget, incremental label maintenance.
     pub fn seeded(seed: u64) -> Self {
         EngineConfig {
             seed,
             scheduler: SchedulerKind::Central,
             max_steps: 5_000_000,
+            relabel: Relabel::Incremental,
         }
     }
 
     /// Overrides the daemon.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the guarded-rule step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Overrides the label maintenance mode.
+    pub fn with_relabel(mut self, relabel: Relabel) -> Self {
+        self.relabel = relabel;
         self
     }
 }
@@ -48,8 +77,11 @@ pub struct ConstructionReport {
     /// Total rounds: guarded-rule rounds of the tree-construction phase plus the round
     /// charges of every wave and switch of the improvement phase.
     pub total_rounds: u64,
-    /// Rounds broken down by phase.
-    pub phase_rounds: Vec<(String, u64)>,
+    /// Rounds broken down by phase (interned labels, first-seen order).
+    pub phase_rounds: Vec<(&'static str, u64)>,
+    /// Per-node label records written across all labeling waves — the deterministic
+    /// work unit compared between [`Relabel::Incremental`] and [`Relabel::FromScratch`].
+    pub labels_written: u64,
     /// Number of edge swaps (or well-nested swap sequences) applied.
     pub improvements: usize,
     /// Maximum register size (bits per node) observed across all phases, including the
@@ -79,15 +111,17 @@ pub struct LocalSearchStats {
     pub initial_potential: u64,
     /// Potential of the final tree (zero on success).
     pub final_potential: u64,
+    /// `true` iff the potential reached zero within the `φ_max` iteration budget.
+    /// When `false`, the returned tree is the best one reached before the budget ran
+    /// out — both search engines report exhaustion this way (the seed's `local_search`
+    /// panicked while `nested_local_search` silently returned a non-converged tree).
+    pub converged: bool,
 }
 
 /// Algorithm 1 (sequential reference): repeatedly apply the improving swap prescribed by
-/// a cyclical-decreasing potential until the potential reaches zero.
-///
-/// # Panics
-///
-/// Panics if the potential fails to decrease (which would contradict the
-/// cyclical-decreasing property) for more than `φ_max` iterations.
+/// a cyclical-decreasing potential until the potential reaches zero, or until the
+/// potential's own `φ_max` budget is exhausted (then `stats.converged` is `false` —
+/// which for a genuinely cyclical-decreasing potential cannot happen).
 pub fn local_search<P: CyclicalDecreasing>(
     graph: &Graph,
     initial: Tree,
@@ -102,8 +136,8 @@ pub fn local_search<P: CyclicalDecreasing>(
     for _ in 0..=budget {
         match potential.improving_swap(graph, &tree) {
             None => {
-                stats.final_potential = potential.value(graph, &tree);
-                return (tree, stats);
+                stats.converged = true;
+                break;
             }
             Some((e, f)) => {
                 tree = tree.with_swap(graph, e, f);
@@ -111,14 +145,14 @@ pub fn local_search<P: CyclicalDecreasing>(
             }
         }
     }
-    panic!(
-        "potential '{}' did not reach zero within its own φ_max budget",
-        potential.name()
-    );
+    stats.final_potential = potential.value(graph, &tree);
+    (tree, stats)
 }
 
 /// Algorithm 3 (sequential reference): repeatedly apply a well-nested improving swap
-/// sequence prescribed by a nest-decreasing potential until the potential reaches zero.
+/// sequence prescribed by a nest-decreasing potential until the potential reaches zero,
+/// or until the `φ_max` budget is exhausted (then `stats.converged` is `false`, exactly
+/// as for [`local_search`]).
 pub fn nested_local_search<P: NestDecreasing>(
     graph: &Graph,
     initial: Tree,
@@ -132,7 +166,10 @@ pub fn nested_local_search<P: NestDecreasing>(
     let budget = potential.max_value(graph).saturating_add(8);
     for _ in 0..=budget {
         match potential.improved(graph, &tree) {
-            None => break,
+            None => {
+                stats.converged = true;
+                break;
+            }
             Some(next) => {
                 tree = next;
                 stats.improvements += 1;
@@ -146,7 +183,7 @@ pub fn nested_local_search<P: NestDecreasing>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::potential::{BfsPotential, MdstPotential, MstPotential};
+    use crate::potential::{BfsPotential, MdstPotential, MstPotential, Potential};
     use stst_graph::bfs::{bfs_tree, is_bfs_tree};
     use stst_graph::generators;
     use stst_graph::mst::is_mst;
@@ -193,7 +230,8 @@ mod tests {
         let report = ConstructionReport {
             tree: Tree::path(3),
             total_rounds: 12,
-            phase_rounds: vec![("tree construction".into(), 5), ("labels".into(), 7)],
+            phase_rounds: vec![("tree construction", 5), ("labels", 7)],
+            labels_written: 0,
             improvements: 1,
             max_register_bits: 32,
             legal: true,
@@ -204,9 +242,72 @@ mod tests {
 
     #[test]
     fn engine_config_builders() {
-        let c = EngineConfig::seeded(9).with_scheduler(SchedulerKind::Adversarial);
+        let c = EngineConfig::seeded(9)
+            .with_scheduler(SchedulerKind::Adversarial)
+            .with_max_steps(123)
+            .with_relabel(Relabel::FromScratch);
         assert_eq!(c.seed, 9);
         assert_eq!(c.scheduler, SchedulerKind::Adversarial);
+        assert_eq!(c.max_steps, 123);
+        assert_eq!(c.relabel, Relabel::FromScratch);
         assert_eq!(EngineConfig::default().scheduler, SchedulerKind::Central);
+        assert_eq!(EngineConfig::default().relabel, Relabel::Incremental);
+    }
+
+    #[test]
+    fn both_search_engines_report_budget_exhaustion_the_same_way() {
+        // A deliberately broken potential: always claims an improving move exists and
+        // never decreases. Both engines must stop at the φ_max budget and report
+        // `converged: false` instead of panicking or silently looking converged.
+        struct Liar;
+        impl Potential for Liar {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn value(&self, _: &Graph, _: &Tree) -> u64 {
+                1
+            }
+            fn max_value(&self, _: &Graph) -> u64 {
+                4
+            }
+        }
+        impl CyclicalDecreasing for Liar {
+            fn improving_swap(
+                &self,
+                graph: &Graph,
+                tree: &Tree,
+            ) -> Option<(stst_graph::EdgeId, stst_graph::EdgeId)> {
+                // Swap a non-tree edge with a cycle edge and back, forever.
+                let e = graph.edge_ids().find(|&e| {
+                    let ed = graph.edge(e);
+                    !tree.contains_edge(ed.u, ed.v)
+                })?;
+                let f = tree.fundamental_cycle_tree_edges(graph, e)[0];
+                Some((e, f))
+            }
+        }
+        impl NestDecreasing for Liar {
+            fn improved(&self, graph: &Graph, tree: &Tree) -> Option<Tree> {
+                let (e, f) = self.improving_swap(graph, tree)?;
+                Some(tree.with_swap(graph, e, f))
+            }
+        }
+        let g = stst_graph::generators::ring(6);
+        let (_, flat) = local_search(&g, Tree::path(6), &Liar);
+        let (_, nested) = nested_local_search(&g, Tree::path(6), &Liar);
+        assert!(!flat.converged);
+        assert!(!nested.converged);
+        assert!(flat.improvements > 0);
+        assert_eq!(flat.improvements, nested.improvements);
+        assert_eq!(flat.final_potential, 1);
+        assert_eq!(nested.final_potential, 1);
+    }
+
+    #[test]
+    fn converged_runs_say_so() {
+        let g = generators::ring(12);
+        let (_, stats) = local_search(&g, Tree::path(12), &BfsPotential);
+        assert!(stats.converged);
+        assert_eq!(stats.final_potential, 0);
     }
 }

@@ -14,6 +14,11 @@
 //! * [`switch`] — the loop-free edge-switch module of §IV, which performs
 //!   `T ← T + e − f` through a sequence of local reparentings while keeping the
 //!   redundant (malleable) labels accepted at every intermediate configuration;
+//! * [`engine`] — the resumable composition engine: owns the tree and every label
+//!   family as persistent state, steps at phase granularity, repairs labels
+//!   incrementally on the dirty region of each switch (with the from-scratch provers
+//!   retained behind [`Relabel::FromScratch`]), and accepts wave-boundary label
+//!   corruption with measured recovery;
 //! * [`nca_build`] — the wave-based construction of the NCA labels of §V on a
 //!   stabilized tree, with round and space accounting;
 //! * [`waves`] — round-cost accounting for broadcast/convergecast waves over the
@@ -28,12 +33,15 @@
 //! The spanning-tree / BFS layer runs as *bona fide* guarded rules under any daemon of
 //! the runtime. The MST and MDST constructions are composed exactly as the paper
 //! composes them — label-construction waves, fundamental-cycle searches and loop-free
-//! switches over the current tree — and are simulated at *wave granularity*: every wave
-//! is charged its real round cost on the current tree (heights and path lengths are
-//! measured, not assumed), and every intermediate configuration is checked to stay
-//! loop-free and accepted by the malleable scheme. DESIGN.md discusses this choice.
+//! switches over the current tree — and are simulated at *wave granularity* by the
+//! [`engine`]: every wave is charged its real round cost on the current tree (heights,
+//! path lengths and dirty regions are measured, not assumed), labels are repaired
+//! incrementally per switch exactly as the paper's lemmas charge them (with staged,
+//! malleable-scheme-verified switches retained in the [`Relabel::FromScratch`]
+//! reference mode). DESIGN.md discusses this choice.
 
 pub mod bfs;
+pub mod engine;
 pub mod framework;
 pub mod mdst;
 pub mod mst;
@@ -43,6 +51,10 @@ pub mod spanning;
 pub mod switch;
 pub mod waves;
 
-pub use framework::{ConstructionReport, EngineConfig};
+pub use engine::{CompositionEngine, EngineTask, PhaseEvent};
+pub use framework::{ConstructionReport, EngineConfig, Relabel};
 pub use mdst::construct_mdst;
 pub use mst::construct_mst;
+// The runtime's fault hooks and daemons, re-exported so wave-boundary corruption
+// scenarios can be scripted against `stst-core` alone.
+pub use stst_runtime::{ExecMode, Executor, ExecutorConfig, SchedulerKind};

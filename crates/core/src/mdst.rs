@@ -16,126 +16,31 @@
 //!    (Fürer–Raghavachari's theorem), the labels are consistent, and no rule is
 //!    enabled: the construction is silent.
 
-use stst_graph::fr::{fr_certificate, improve_once, is_fr_tree};
-use stst_graph::{EdgeId, Graph, Tree};
-use stst_labeling::fr_labels::FrScheme;
-use stst_labeling::redundant::RedundantScheme;
-use stst_labeling::scheme::ProofLabelingScheme;
-use stst_runtime::{Executor, ExecutorConfig};
+use stst_graph::Graph;
 
+use crate::engine::{CompositionEngine, EngineTask};
 use crate::framework::{ConstructionReport, EngineConfig};
-use crate::nca_build::build_nca_labels;
-use crate::spanning::MinIdSpanningTree;
-use crate::waves::{self, RoundLedger};
 
 /// Runs the silent self-stabilizing MDST (FR-tree) construction from an arbitrary
 /// initial configuration and returns the measured report. `report.legal` is `true` iff
 /// the stabilized tree is a certified FR-tree (hence of degree ≤ OPT + 1).
+///
+/// This is a thin wrapper around [`CompositionEngine`] run to silence; use the engine
+/// directly for phase-step control, incremental-vs-from-scratch comparisons
+/// ([`crate::framework::Relabel`]) or wave-boundary fault injection.
 ///
 /// # Panics
 ///
 /// Panics if the guarded-rule spanning-tree phase does not converge within the
 /// configured step budget.
 pub fn construct_mdst(graph: &Graph, config: &EngineConfig) -> ConstructionReport {
-    let mut ledger = RoundLedger::new();
-    let mut max_register_bits = 0usize;
-
-    // Phase 1: guarded-rule spanning tree.
-    let exec_config = ExecutorConfig::with_scheduler(config.seed, config.scheduler);
-    let mut exec = Executor::from_arbitrary(graph, MinIdSpanningTree, exec_config);
-    let quiescence = exec
-        .run_to_quiescence(config.max_steps)
-        .expect("the spanning-tree phase converges on connected graphs");
-    ledger.charge("tree construction (guarded rules)", quiescence.rounds);
-    max_register_bits = max_register_bits.max(exec.peak_space_report().max_bits);
-    let mut tree: Tree = exec
-        .extract_tree()
-        .expect("phase 1 stabilizes on a spanning tree");
-
-    // Phase 2/3: Fürer–Raghavachari improvement loop over well-nested swap sequences.
-    let fr_scheme = FrScheme;
-    let redundant = RedundantScheme;
-    let mut improvements = 0usize;
-    let guard = graph.node_count() * graph.node_count() + 10;
-    for _ in 0..guard {
-        // FR marking / fragment propagation: one convergecast + one broadcast over the
-        // tree, plus a cycle inspection per candidate edge (charged as one broadcast).
-        ledger.charge(
-            "FR marking and fragment propagation",
-            waves::convergecast_rounds(&tree) + 2 * waves::broadcast_rounds(&tree),
-        );
-        let nca = build_nca_labels(graph, &tree);
-        ledger.charge("NCA labels", nca.rounds);
-        let redundant_labels = redundant.prove(graph, &tree);
-        ledger.charge(
-            "redundant labels",
-            waves::convergecast_rounds(&tree) + waves::broadcast_rounds(&tree),
-        );
-        // Register budget: redundant + NCA + FR labels (all O(log n)-bit, the point of
-        // Corollary 8.1), measured.
-        let fr_bits = if is_fr_tree(graph, &tree) {
-            let labels = fr_scheme.prove(graph, &tree);
-            labels
-                .iter()
-                .map(|l| fr_scheme.label_bits(l))
-                .max()
-                .unwrap_or(0)
-        } else {
-            // While not yet an FR-tree the nodes carry the same fields (degree, mark,
-            // fragment pointer); account for the same size.
-            2 * 8 + 2 + 2 * 8
-        };
-        let label_bits = fr_bits
-            + nca.max_label_bits
-            + redundant_labels
-                .iter()
-                .map(|l| redundant.label_bits(l))
-                .max()
-                .unwrap_or(0);
-        max_register_bits = max_register_bits.max(label_bits);
-
-        match improve_once(graph, &tree) {
-            None => break,
-            Some(next) => {
-                // Charge the well-nested swap sequence: each swapped edge goes through a
-                // loop-free switch whose pipelined cost is O(height + path); we charge
-                // the measured symmetric difference times one switch wave.
-                let swapped = edge_difference(graph, &tree, &next);
-                let per_switch =
-                    2 * waves::broadcast_rounds(&tree) + 2 * waves::convergecast_rounds(&tree) + 2;
-                ledger.charge(
-                    "well-nested loop-free switches",
-                    per_switch * swapped.max(1) as u64,
-                );
-                tree = next;
-                improvements += 1;
-            }
-        }
-    }
-
-    let legal = fr_certificate(graph, &tree).is_some();
-    ConstructionReport {
-        total_rounds: ledger.total(),
-        phase_rounds: ledger.by_phase(),
-        improvements,
-        max_register_bits,
-        legal,
-        tree,
-    }
-}
-
-/// Number of edges in which two spanning trees of the same graph differ (half of the
-/// symmetric difference).
-fn edge_difference(graph: &Graph, a: &Tree, b: &Tree) -> usize {
-    let ea: std::collections::HashSet<EdgeId> = a.edge_ids_in(graph).into_iter().collect();
-    let eb: std::collections::HashSet<EdgeId> = b.edge_ids_in(graph).into_iter().collect();
-    ea.symmetric_difference(&eb).count() / 2
+    CompositionEngine::new(graph, EngineTask::Mdst, *config).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stst_graph::fr::exact_min_degree_spanning_tree;
+    use stst_graph::fr::{exact_min_degree_spanning_tree, is_fr_tree};
     use stst_graph::generators;
     use stst_runtime::SchedulerKind;
 

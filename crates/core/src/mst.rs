@@ -18,20 +18,19 @@
 //! is the measured maximum over all phases (dominated by the `O(log² n)`-bit fragment
 //! labels, which is optimal for silent MST by the Korman–Kutten lower bound).
 
-use stst_graph::{Graph, Tree};
-use stst_labeling::mst_fragments::{assign_fragment_labels, fragment_guided_swap};
-use stst_labeling::redundant::RedundantScheme;
-use stst_labeling::scheme::ProofLabelingScheme;
+use stst_graph::Graph;
 use stst_runtime::{Executor, ExecutorConfig, Register};
 
+use crate::engine::{CompositionEngine, EngineTask};
 use crate::framework::{ConstructionReport, EngineConfig};
-use crate::nca_build::build_nca_labels;
 use crate::spanning::MinIdSpanningTree;
-use crate::switch::loop_free_switch;
-use crate::waves::{self, RoundLedger};
 
 /// Runs the silent self-stabilizing MST construction from an arbitrary initial
 /// configuration and returns the measured report.
+///
+/// This is a thin wrapper around [`CompositionEngine`] run to silence; use the engine
+/// directly for phase-step control, incremental-vs-from-scratch comparisons
+/// ([`crate::framework::Relabel`]) or wave-boundary fault injection.
 ///
 /// # Panics
 ///
@@ -39,76 +38,7 @@ use crate::waves::{self, RoundLedger};
 /// configured step budget (which, for connected graphs, indicates a budget far too small
 /// for the graph size).
 pub fn construct_mst(graph: &Graph, config: &EngineConfig) -> ConstructionReport {
-    let mut ledger = RoundLedger::new();
-    let mut max_register_bits = 0usize;
-
-    // Phase 1: guarded-rule spanning-tree construction from an arbitrary configuration.
-    let exec_config = ExecutorConfig::with_scheduler(config.seed, config.scheduler);
-    let mut exec = Executor::from_arbitrary(graph, MinIdSpanningTree, exec_config);
-    let quiescence = exec
-        .run_to_quiescence(config.max_steps)
-        .expect("the spanning-tree phase converges on connected graphs");
-    ledger.charge("tree construction (guarded rules)", quiescence.rounds);
-    max_register_bits = max_register_bits.max(exec.peak_space_report().max_bits);
-    let mut tree: Tree = exec
-        .extract_tree()
-        .expect("phase 1 stabilizes on a spanning tree");
-
-    // Phase 2/3: PLS-guided Borůvka improvement loop.
-    let mut improvements = 0usize;
-    let redundant = RedundantScheme;
-    loop {
-        // Label construction on the current tree: fragment labels + NCA labels +
-        // redundant labels (the latter are maintained by the switch module itself).
-        let fragment_labels = assign_fragment_labels(graph, &tree);
-        let levels = fragment_labels.first().map_or(1, |l| l.levels.len());
-        ledger.charge(
-            "fragment labels (convergecast + broadcast per level)",
-            waves::fragment_labeling_rounds(&tree, levels),
-        );
-        let nca = build_nca_labels(graph, &tree);
-        ledger.charge("NCA labels", nca.rounds);
-        let redundant_labels = redundant.prove(graph, &tree);
-        ledger.charge(
-            "redundant labels",
-            waves::convergecast_rounds(&tree) + waves::broadcast_rounds(&tree),
-        );
-
-        let label_bits = fragment_labels
-            .iter()
-            .map(|l| l.bit_size())
-            .max()
-            .unwrap_or(0)
-            + nca.max_label_bits
-            + redundant_labels
-                .iter()
-                .map(|l| redundant.label_bits(l))
-                .max()
-                .unwrap_or(0);
-        max_register_bits = max_register_bits.max(label_bits);
-
-        // Improvement step: lightest outgoing edge of a violating fragment vs heaviest
-        // cycle edge (red rule).
-        match fragment_guided_swap(graph, &tree) {
-            None => break,
-            Some((e, f)) => {
-                let switch = loop_free_switch(graph, &tree, e, f);
-                ledger.charge("loop-free edge switch", switch.rounds);
-                tree = switch.tree;
-                improvements += 1;
-            }
-        }
-    }
-
-    let legal = stst_graph::mst::is_mst(graph, &tree);
-    ConstructionReport {
-        total_rounds: ledger.total(),
-        phase_rounds: ledger.by_phase(),
-        improvements,
-        max_register_bits,
-        legal,
-        tree,
-    }
+    CompositionEngine::new(graph, EngineTask::Mst, *config).run()
 }
 
 /// Convenience wrapper: the peak register size (in bits) of one MST construction run —

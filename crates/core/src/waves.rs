@@ -6,12 +6,27 @@
 //! length of the affected path); the [`RoundLedger`] records every charge with its
 //! provenance so experiment reports can break the total down by phase.
 
+use std::collections::HashMap;
+
 use stst_graph::Tree;
 
-/// Itemized record of rounds charged to the different phases of a composed run.
+/// Record of rounds charged to the different phases of a composed run.
+///
+/// Phase labels are interned `&'static str`s: the hot improvement loop charges a wave
+/// per label repair and per switch, and allocating a `String` per charge (as the seed
+/// did) showed up in profiles at composition scale. Grouping is maintained as a
+/// first-seen index at charge time — `O(1)` per charge and no per-entry storage —
+/// instead of the seed's `O(phases²)` linear re-scan over an itemized entry list that
+/// nothing consumed.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundLedger {
-    entries: Vec<(String, u64)>,
+    /// First-seen order of distinct phase labels, with their running totals.
+    grouped: Vec<(&'static str, u64)>,
+    /// Label → index into `grouped`.
+    index: HashMap<&'static str, usize>,
+    /// Number of individual charges recorded.
+    charges: usize,
+    total: u64,
 }
 
 impl RoundLedger {
@@ -21,30 +36,31 @@ impl RoundLedger {
     }
 
     /// Records `rounds` rounds spent in the phase `label`.
-    pub fn charge(&mut self, label: impl Into<String>, rounds: u64) {
-        self.entries.push((label.into(), rounds));
+    pub fn charge(&mut self, label: &'static str, rounds: u64) {
+        self.charges += 1;
+        self.total += rounds;
+        match self.index.get(label) {
+            Some(&i) => self.grouped[i].1 += rounds,
+            None => {
+                self.index.insert(label, self.grouped.len());
+                self.grouped.push((label, rounds));
+            }
+        }
     }
 
     /// Total rounds charged.
     pub fn total(&self) -> u64 {
-        self.entries.iter().map(|(_, r)| r).sum()
+        self.total
     }
 
-    /// The itemized entries, in charge order.
-    pub fn entries(&self) -> &[(String, u64)] {
-        &self.entries
+    /// Number of individual charges recorded.
+    pub fn charges(&self) -> usize {
+        self.charges
     }
 
-    /// Sums the entries grouped by label (for compact reports).
-    pub fn by_phase(&self) -> Vec<(String, u64)> {
-        let mut grouped: Vec<(String, u64)> = Vec::new();
-        for (label, rounds) in &self.entries {
-            match grouped.iter_mut().find(|(l, _)| l == label) {
-                Some((_, total)) => *total += rounds,
-                None => grouped.push((label.clone(), *rounds)),
-            }
-        }
-        grouped
+    /// The entries grouped by label, in first-seen order (for compact reports).
+    pub fn by_phase(&self) -> Vec<(&'static str, u64)> {
+        self.grouped.clone()
     }
 }
 
@@ -73,6 +89,14 @@ pub fn nca_labeling_rounds(tree: &Tree) -> u64 {
     convergecast_rounds(tree) + broadcast_rounds(tree)
 }
 
+/// Rounds for repairing a label family after a loop-free switch (Lemmas 3.1/4.1 charge
+/// repair per wave *on the affected region*): one downward and one upward wave over the
+/// re-hung subtree plus one round per hop of the reparenting path and of the root-path
+/// patches.
+pub fn repair_rounds(dirty_subtree_height: u64, path_len: u64) -> u64 {
+    2 * (dirty_subtree_height + 1) + path_len
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,11 +108,27 @@ mod tests {
         ledger.charge("switch", 5);
         ledger.charge("label", 7);
         assert_eq!(ledger.total(), 22);
-        assert_eq!(ledger.entries().len(), 3);
-        assert_eq!(
-            ledger.by_phase(),
-            vec![("label".to_string(), 17), ("switch".to_string(), 5)]
-        );
+        assert_eq!(ledger.charges(), 3);
+        assert_eq!(ledger.by_phase(), vec![("label", 17), ("switch", 5)]);
+    }
+
+    #[test]
+    fn grouping_preserves_first_seen_order_across_many_phases() {
+        let mut ledger = RoundLedger::new();
+        let labels = ["a", "b", "c", "d"];
+        for round in 0..100u64 {
+            ledger.charge(labels[(round % 4) as usize], round);
+        }
+        let grouped = ledger.by_phase();
+        assert_eq!(grouped.len(), 4);
+        assert_eq!(grouped.iter().map(|(l, _)| *l).collect::<Vec<_>>(), labels);
+        assert_eq!(grouped.iter().map(|(_, r)| r).sum::<u64>(), ledger.total());
+    }
+
+    #[test]
+    fn repair_rounds_scale_with_the_dirty_region() {
+        assert_eq!(repair_rounds(0, 1), 3);
+        assert_eq!(repair_rounds(4, 3), 13);
     }
 
     #[test]

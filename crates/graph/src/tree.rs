@@ -121,6 +121,24 @@ impl Tree {
         })
     }
 
+    /// Builds a tree from a parent-pointer vector **without validating it**, for callers
+    /// that maintain the pointers themselves (the incremental composition engine applies
+    /// `O(path)`-sized edits and cannot afford the `O(n·h)` validation of
+    /// [`Tree::from_parents`] on every switch). `root` must be the unique node with a
+    /// `⊥` pointer and the pointers must be acyclic; both are checked in debug builds.
+    pub fn from_parents_unchecked(parents: Vec<Option<NodeId>>, root: NodeId) -> Self {
+        debug_assert!(
+            Tree::from_parents(parents.clone())
+                .map(|t| t.root == root)
+                .unwrap_or(false),
+            "from_parents_unchecked requires a valid rooted tree"
+        );
+        Tree {
+            parent: parents,
+            root,
+        }
+    }
+
     /// Builds a tree from a parent-pointer vector and checks that every tree edge is an
     /// edge of `graph` (i.e. the tree is a spanning tree *of that graph*).
     ///

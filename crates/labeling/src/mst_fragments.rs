@@ -10,6 +10,8 @@
 //! edge `e` of a violating fragment and the heaviest edge `f` of the fundamental cycle
 //! `T + e` form an improving swap (`φ(T + e − f) < φ(T)` — Tarjan's red rule).
 
+use std::collections::{BTreeSet, HashMap, HashSet};
+
 use stst_graph::ids::bits_for;
 use stst_graph::mst::{boruvka_on_tree, BoruvkaRun};
 use stst_graph::{EdgeId, Graph, Ident, NodeId, Tree, Weight};
@@ -62,6 +64,10 @@ impl FragmentLabel {
 pub fn assign_fragment_labels(graph: &Graph, tree: &Tree) -> Vec<FragmentLabel> {
     let run: BoruvkaRun =
         boruvka_on_tree(graph, tree).expect("fragment labels need a spanning tree of the graph");
+    labels_from_traces(graph, &run)
+}
+
+fn labels_from_traces(graph: &Graph, run: &BoruvkaRun) -> Vec<FragmentLabel> {
     run.traces
         .iter()
         .map(|trace| FragmentLabel {
@@ -71,77 +77,23 @@ pub fn assign_fragment_labels(graph: &Graph, tree: &Tree) -> Vec<FragmentLabel> 
                 .zip(trace.chosen_edge.iter())
                 .map(|(&fragment, &edge)| FragmentLevel {
                     fragment,
-                    outgoing: edge.map(|e| {
-                        let ed = graph.edge(e);
-                        (graph.ident(ed.u), graph.ident(ed.v), ed.weight)
-                    }),
+                    outgoing: edge.map(|e| outgoing_triple(graph, e)),
                 })
                 .collect(),
         })
         .collect()
 }
 
-/// `φ_x(T)`: the largest level `i` such that for every level `j ≤ i` the recorded
-/// outgoing edge of `x`'s level-`j` fragment is the minimum-weight outgoing edge of that
-/// fragment *in the whole graph* (levels are 1-indexed in the paper; we return a count
-/// in `0..=k`).
-fn node_potential(graph: &Graph, labels: &[FragmentLabel], x: NodeId) -> usize {
-    let k = labels[x.0].levels.len();
-    for i in 0..k {
-        let level = &labels[x.0].levels[i];
-        // The true minimum-weight outgoing edge of x's level-i fragment in G.
-        let fragment = level.fragment;
-        let min_out = min_outgoing_edge_of_fragment(graph, labels, i, fragment);
-        let recorded = level.outgoing;
-        match (recorded, min_out) {
-            (None, None) => continue, // final level: the fragment spans everything
-            (Some((a, b, w)), Some(e)) => {
-                let ed = graph.edge(e);
-                let same = (graph.ident(ed.u), graph.ident(ed.v), ed.weight) == (a, b, w)
-                    || (graph.ident(ed.v), graph.ident(ed.u), ed.weight) == (a, b, w);
-                if !same {
-                    return i;
-                }
-            }
-            _ => return i,
-        }
-    }
-    k
-}
-
-/// The minimum-weight edge of `graph` with exactly one endpoint in the level-`i`
-/// fragment identified by `fragment` (fragments are read off the labels).
-fn min_outgoing_edge_of_fragment(
-    graph: &Graph,
-    labels: &[FragmentLabel],
-    level: usize,
-    fragment: Ident,
-) -> Option<EdgeId> {
-    let in_fragment = |v: NodeId| {
-        labels[v.0]
-            .levels
-            .get(level)
-            .is_some_and(|l| l.fragment == fragment)
-    };
-    graph
-        .edge_ids()
-        .filter(|&e| {
-            let ed = graph.edge(e);
-            in_fragment(ed.u) ^ in_fragment(ed.v)
-        })
-        .min_by_key(|&e| (graph.weight(e), e.index()))
+/// The `(ID(a), ID(b), w)` form in which a recorded outgoing edge is stored in a label.
+fn outgoing_triple(graph: &Graph, e: EdgeId) -> (Ident, Ident, Weight) {
+    let ed = graph.edge(e);
+    (graph.ident(ed.u), graph.ident(ed.v), ed.weight)
 }
 
 /// The MST potential `φ(T) = k·n − Σ_x φ_x(T)` of §VI, computed from freshly assigned
 /// fragment labels. Zero iff `T` is a minimum spanning tree.
 pub fn mst_potential(graph: &Graph, tree: &Tree) -> u64 {
-    let labels = assign_fragment_labels(graph, tree);
-    let k = labels.first().map_or(0, |l| l.levels.len());
-    let total: usize = graph
-        .nodes()
-        .map(|x| node_potential(graph, &labels, x))
-        .sum();
-    (k * graph.node_count() - total) as u64
+    FragmentState::new(graph, tree).potential()
 }
 
 /// The improving swap prescribed by the potential: for a node `x` whose level-`(i+1)`
@@ -149,29 +101,509 @@ pub fn mst_potential(graph: &Graph, tree: &Tree) -> u64 {
 /// minimum-weight outgoing edge of that fragment in `G` and `f` = the heaviest tree edge
 /// on the fundamental cycle of `T + e`. Returns `None` iff the tree is an MST.
 pub fn fragment_guided_swap(graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
-    let labels = assign_fragment_labels(graph, tree);
-    let k = labels.first().map_or(0, |l| l.levels.len());
-    // Find the node with the smallest φ_x < k (any violating node works; picking the
-    // smallest index keeps the choice deterministic, mirroring the root's arbitration).
-    let mut violating: Option<(NodeId, usize)> = None;
-    for x in graph.nodes() {
-        let px = node_potential(graph, &labels, x);
-        if px < k && violating.is_none_or(|(_, best)| px < best) {
-            violating = Some((x, px));
+    FragmentState::new(graph, tree).improving_swap(graph, tree)
+}
+
+/// One Borůvka fragment of one level, as maintained incrementally: its member nodes,
+/// the minimum-weight outgoing **tree** edge it recorded, and the identity of the
+/// level-above fragment it merged into (its own identity at the final level).
+#[derive(Clone, Debug)]
+struct FragRecord {
+    members: Vec<NodeId>,
+    chosen: Option<EdgeId>,
+    parent: Ident,
+}
+
+/// Persistent Borůvka-trace state for one spanning tree, supporting *incremental* label
+/// repair after a loop-free switch `T ← T + e − f` (the tentpole of the composition
+/// engine). The state keeps, per level, every fragment's member list and chosen edge,
+/// plus the true minimum-weight outgoing edge of every fragment *in the whole graph*
+/// (the quantity the potential compares against) and the per-node potential `φ_x`.
+///
+/// [`FragmentState::apply_swap`] exploits that a swap changes the tree edge set by
+/// exactly `{+e, −f}`: at every level, a fragment's membership, chosen edge and true
+/// minimum outgoing edge can change only if the fragment contains an endpoint of `e` or
+/// `f`, or if one of its constituent fragments already changed at the level below. The
+/// repair walks the levels once, recomputes only that dirty frontier, and rewrites only
+/// the labels of nodes in dirty fragments — producing labels bit-identical to
+/// [`assign_fragment_labels`] on the new tree (asserted by the differential oracle
+/// tests) at a cost proportional to the dirty region instead of `O(m log n)`.
+pub struct FragmentState {
+    labels: Vec<FragmentLabel>,
+    /// Per level: fragment identity → record. `levels.len()` equals the trace length.
+    levels: Vec<HashMap<Ident, FragRecord>>,
+    /// Tree membership per edge (the only tree representation the traces depend on).
+    is_tree_edge: Vec<bool>,
+    /// Per level: fragment identity → minimum-weight outgoing edge over *all* graph
+    /// edges (`None` only for the final spanning fragment).
+    true_min_out: Vec<HashMap<Ident, EdgeId>>,
+    /// `φ_x` per node: the first level whose recorded edge is not the true minimum
+    /// outgoing edge of `x`'s fragment (or `k` when all levels agree).
+    phi: Vec<usize>,
+    phi_sum: u64,
+}
+
+impl FragmentState {
+    /// Builds the state from scratch (the `Relabel::FromScratch` reference prover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a spanning tree of `graph`.
+    pub fn new(graph: &Graph, tree: &Tree) -> Self {
+        let run = boruvka_on_tree(graph, tree)
+            .expect("fragment labels need a spanning tree of the graph");
+        let labels = labels_from_traces(graph, &run);
+        let n = graph.node_count();
+        let k = run.levels;
+        let mut levels: Vec<HashMap<Ident, FragRecord>> = vec![HashMap::new(); k];
+        for v in graph.nodes() {
+            let trace = &run.traces[v.0];
+            for i in 0..k {
+                let rec = levels[i]
+                    .entry(trace.fragment[i])
+                    .or_insert_with(|| FragRecord {
+                        members: Vec::new(),
+                        chosen: trace.chosen_edge[i],
+                        parent: if i + 1 < k {
+                            trace.fragment[i + 1]
+                        } else {
+                            trace.fragment[i]
+                        },
+                    });
+                rec.members.push(v);
+            }
         }
+        let mut is_tree_edge = vec![false; graph.edge_count()];
+        for e in tree.edge_ids_in(graph) {
+            is_tree_edge[e.index()] = true;
+        }
+        let mut state = FragmentState {
+            labels,
+            levels,
+            is_tree_edge,
+            true_min_out: vec![HashMap::new(); k],
+            phi: vec![0; n],
+            phi_sum: 0,
+        };
+        for i in 0..k {
+            state.true_min_out[i] = state.true_min_level(graph, i);
+        }
+        for v in graph.nodes() {
+            state.phi[v.0] = state.node_phi(v);
+        }
+        state.phi_sum = state.phi.iter().map(|&p| p as u64).sum();
+        state
     }
-    let (x, i) = violating?;
-    let fragment = labels[x.0].levels[i].fragment;
-    let e = min_outgoing_edge_of_fragment(graph, &labels, i, fragment)
-        .expect("a violating fragment has an outgoing edge");
-    let edge = graph.edge(e);
-    if tree.contains_edge(edge.u, edge.v) {
-        // The recorded edge was wrong but the true minimum is already a tree edge; the
-        // discrepancy is in the labels, not the tree. Re-labelling fixes it, no swap.
-        return None;
+
+    /// The maintained labels (always equal to `assign_fragment_labels` on the current
+    /// tree).
+    pub fn labels(&self) -> &[FragmentLabel] {
+        &self.labels
     }
-    let f = stst_graph::mst::heaviest_cycle_edge(graph, tree, e);
-    Some((e, f))
+
+    /// Mutable access to the labels, for **fault injection only**: after mutating a
+    /// label the state is inconsistent until the owner detects the corruption (via
+    /// [`FragmentScheme`]) and rebuilds the state from scratch.
+    pub fn labels_mut(&mut self) -> &mut [FragmentLabel] {
+        &mut self.labels
+    }
+
+    /// Number of Borůvka levels of the current trace.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `φ(T) = k·n − Σ_x φ_x(T)`; zero iff the current tree is an MST.
+    pub fn potential(&self) -> u64 {
+        (self.level_count() * self.labels.len()) as u64 - self.phi_sum
+    }
+
+    /// The improving swap prescribed by the potential on the current tree (which must be
+    /// the tree the state was built/repaired for). `None` iff `φ(T) = 0`.
+    pub fn improving_swap(&self, graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeId)> {
+        let k = self.level_count();
+        let mut violating: Option<(NodeId, usize)> = None;
+        for x in graph.nodes() {
+            let px = self.phi[x.0];
+            if px < k && violating.is_none_or(|(_, best)| px < best) {
+                violating = Some((x, px));
+            }
+        }
+        let (x, i) = violating?;
+        let fragment = self.labels[x.0].levels[i].fragment;
+        let e = *self.true_min_out[i]
+            .get(&fragment)
+            .expect("a violating fragment has an outgoing edge");
+        if self.is_tree_edge[e.index()] {
+            // The recorded edge was wrong but the true minimum is already a tree edge;
+            // the discrepancy is in the labels, not the tree (unreachable for
+            // prover-exact state, kept for parity with the label-based definition).
+            return None;
+        }
+        let f = stst_graph::mst::heaviest_cycle_edge(graph, tree, e);
+        Some((e, f))
+    }
+
+    /// True minimum-weight outgoing edge (over all graph edges) of every fragment of
+    /// level `i`, computed from scratch in one edge scan.
+    fn true_min_level(&self, graph: &Graph, i: usize) -> HashMap<Ident, EdgeId> {
+        let mut best: HashMap<Ident, EdgeId> = HashMap::new();
+        for e in graph.edge_ids() {
+            let ed = graph.edge(e);
+            let fu = self.labels[ed.u.0].levels[i].fragment;
+            let fv = self.labels[ed.v.0].levels[i].fragment;
+            if fu == fv {
+                continue;
+            }
+            for f in [fu, fv] {
+                let slot = best.entry(f).or_insert(e);
+                if (graph.weight(e), e.index()) < (graph.weight(*slot), slot.index()) {
+                    *slot = e;
+                }
+            }
+        }
+        best
+    }
+
+    /// True minimum outgoing edge of one fragment, by scanning its members' incident
+    /// edges (the dirty-fragment path; cost `O(Σ_{v ∈ F} deg(v))`).
+    fn true_min_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
+        let members = &self.levels[level][&fragment].members;
+        let mut best: Option<EdgeId> = None;
+        for &v in members {
+            for &(w, e) in graph.neighbors(v) {
+                if self.labels[w.0].levels[level].fragment == fragment {
+                    continue;
+                }
+                if best.is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
+                {
+                    best = Some(e);
+                }
+            }
+        }
+        best
+    }
+
+    /// Minimum-weight outgoing **tree** edge of one fragment (the edge Borůvka records).
+    fn chosen_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
+        let members = &self.levels[level][&fragment].members;
+        let mut best: Option<EdgeId> = None;
+        for &v in members {
+            for &(w, e) in graph.neighbors(v) {
+                if !self.is_tree_edge[e.index()]
+                    || self.labels[w.0].levels[level].fragment == fragment
+                {
+                    continue;
+                }
+                if best.is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
+                {
+                    best = Some(e);
+                }
+            }
+        }
+        best
+    }
+
+    /// Recomputes `φ_x` from the maintained records.
+    fn node_phi(&self, x: NodeId) -> usize {
+        let k = self.level_count();
+        for i in 0..k {
+            let fragment = self.labels[x.0].levels[i].fragment;
+            let recorded = self.levels[i][&fragment].chosen;
+            let true_min = self.true_min_out[i].get(&fragment).copied();
+            match (recorded, true_min) {
+                (None, None) => continue, // final level: the fragment spans everything
+                (Some(r), Some(t)) if r == t => continue,
+                _ => return i,
+            }
+        }
+        k
+    }
+
+    /// Incrementally repairs the state for the swap `T ← T + add − remove`, leaving
+    /// labels, records, true minima and potentials exactly as a from-scratch rebuild on
+    /// the new tree would. Returns the number of per-node label entries rewritten (the
+    /// deterministic work unit of the incremental-vs-from-scratch comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remove` is not a tree edge or `add` already is one.
+    pub fn apply_swap(&mut self, graph: &Graph, add: EdgeId, remove: EdgeId) -> u64 {
+        assert!(
+            self.is_tree_edge[remove.index()] && !self.is_tree_edge[add.index()],
+            "apply_swap needs a non-tree edge to add and a tree edge to remove"
+        );
+        self.is_tree_edge[remove.index()] = false;
+        self.is_tree_edge[add.index()] = true;
+        let add_edge = graph.edge(add);
+        let remove_edge = graph.edge(remove);
+        let endpoints = [add_edge.u, add_edge.v, remove_edge.u, remove_edge.v];
+        let old_level_count = self.level_count();
+
+        let mut writes = 0u64;
+        let mut phi_dirty: HashSet<NodeId> = HashSet::new();
+        // Fragments of the current level whose member set was rebuilt by the merge step
+        // below (none at level 0: singletons never change membership).
+        let mut membership_dirty: HashSet<Ident> = HashSet::new();
+        // Stale fragment identities to drop from the current level before processing it.
+        let mut stale: Vec<Ident> = Vec::new();
+        let mut level = 0usize;
+        loop {
+            for id in stale.drain(..) {
+                self.levels[level].remove(&id);
+                self.true_min_out[level].remove(&id);
+            }
+            // (A) Recompute chosen edges (and true minima) on the dirty frontier: the
+            // rebuilt fragments plus every fragment containing an endpoint of e or f
+            // (the only fragments whose incident tree-edge set changed).
+            let mut rechoose: BTreeSet<Ident> = membership_dirty.iter().copied().collect();
+            for &v in &endpoints {
+                rechoose.insert(self.labels[v.0].levels[level].fragment);
+            }
+            for id in rechoose {
+                let new_chosen = self.chosen_of(graph, level, id);
+                let rebuilt = membership_dirty.contains(&id);
+                let rec = self.levels[level].get_mut(&id).expect("fragment exists");
+                if rebuilt || new_chosen != rec.chosen {
+                    rec.chosen = new_chosen;
+                    let members = rec.members.clone();
+                    let triple = new_chosen.map(|e| outgoing_triple(graph, e));
+                    // Only members whose recorded edge actually differs perform a
+                    // register write (a rebuilt fragment that kept its choice leaves
+                    // most labels untouched); the work counter counts real writes.
+                    for &m in &members {
+                        let slot = &mut self.labels[m.0].levels[level].outgoing;
+                        if *slot != triple {
+                            *slot = triple;
+                            writes += 1;
+                            phi_dirty.insert(m);
+                        }
+                    }
+                    // A changed record can flip φ even for members whose label text is
+                    // unchanged (φ reads the fragment's record, not the node's copy).
+                    phi_dirty.extend(members);
+                }
+                if rebuilt {
+                    let new_min = self.true_min_of(graph, level, id);
+                    let old_min = self.true_min_out[level].get(&id).copied();
+                    if new_min != old_min {
+                        let members = self.levels[level][&id].members.clone();
+                        phi_dirty.extend(members);
+                    }
+                    match new_min {
+                        Some(e) => {
+                            self.true_min_out[level].insert(id, e);
+                        }
+                        None => {
+                            self.true_min_out[level].remove(&id);
+                        }
+                    }
+                }
+            }
+            // (B) Termination: a single fragment spans the tree at this level.
+            if self.levels[level].len() == 1 {
+                writes += self.finalize_levels(level + 1, old_level_count, &mut phi_dirty);
+                break;
+            }
+            // (C) Merge into level + 1: group the fragments along their chosen edges
+            // (cheap per-fragment bookkeeping, no per-node work), then rebuild only the
+            // groups whose composition actually changed.
+            let next_dirty = self.merge_level(
+                graph,
+                level,
+                &membership_dirty,
+                &mut stale,
+                &mut writes,
+                &mut phi_dirty,
+            );
+            membership_dirty = next_dirty;
+            level += 1;
+        }
+
+        // (D) Repair the per-node potentials of every node whose fragment stack,
+        // recorded edge or true minimum changed.
+        if self.level_count() != old_level_count {
+            phi_dirty.extend(graph.nodes());
+        }
+        let mut dirty_nodes: Vec<NodeId> = phi_dirty.into_iter().collect();
+        dirty_nodes.sort_unstable();
+        for x in dirty_nodes {
+            let new_phi = self.node_phi(x);
+            self.phi_sum = self.phi_sum - self.phi[x.0] as u64 + new_phi as u64;
+            self.phi[x.0] = new_phi;
+        }
+        writes
+    }
+
+    /// The merge step of one repair level: groups the level's fragments along their
+    /// chosen edges with a fragment-granularity union-find, keeps every group whose
+    /// composition is provably unchanged, and rebuilds the rest. Returns the identities
+    /// of the rebuilt level-`level + 1` fragments.
+    fn merge_level(
+        &mut self,
+        graph: &Graph,
+        level: usize,
+        membership_dirty: &HashSet<Ident>,
+        stale: &mut Vec<Ident>,
+        writes: &mut u64,
+        phi_dirty: &mut HashSet<NodeId>,
+    ) -> HashSet<Ident> {
+        let mut ids: Vec<Ident> = self.levels[level].keys().copied().collect();
+        ids.sort_unstable();
+        let index: HashMap<Ident, usize> = ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut dsu: Vec<usize> = (0..ids.len()).collect();
+        fn find(dsu: &mut [usize], mut x: usize) -> usize {
+            while dsu[x] != x {
+                dsu[x] = dsu[dsu[x]];
+                x = dsu[x];
+            }
+            x
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let Some(e) = self.levels[level][&id].chosen else {
+                panic!("a non-final fragment of a spanning tree has an outgoing tree edge");
+            };
+            let ed = graph.edge(e);
+            let fu = self.labels[ed.u.0].levels[level].fragment;
+            let fv = self.labels[ed.v.0].levels[level].fragment;
+            let other = if fu == id { fv } else { fu };
+            let (a, b) = (find(&mut dsu, i), find(&mut dsu, index[&other]));
+            if a != b {
+                dsu[a] = b;
+            }
+        }
+        let mut components: HashMap<usize, Vec<Ident>> = HashMap::new();
+        for (i, &id) in ids.iter().enumerate() {
+            components.entry(find(&mut dsu, i)).or_default().push(id);
+        }
+        let growing = level + 1 >= self.levels.len();
+        if growing {
+            self.levels.push(HashMap::new());
+            self.true_min_out.push(HashMap::new());
+        }
+        let mut next_dirty: HashSet<Ident> = HashSet::new();
+        let mut rebuilt: Vec<(Ident, Vec<NodeId>)> = Vec::new();
+        for constituents in components.into_values() {
+            // A group is unchanged iff every constituent kept its membership, they all
+            // merged into the same old parent, and together they cover all of it.
+            let clean =
+                !growing && constituents.iter().all(|id| !membership_dirty.contains(id)) && {
+                    let parent = self.levels[level][&constituents[0]].parent;
+                    constituents
+                        .iter()
+                        .all(|id| self.levels[level][id].parent == parent)
+                        && self.levels[level + 1].get(&parent).is_some_and(|rec| {
+                            rec.members.len()
+                                == constituents
+                                    .iter()
+                                    .map(|id| self.levels[level][id].members.len())
+                                    .sum::<usize>()
+                        })
+                };
+            if clean {
+                continue;
+            }
+            let new_ident = *constituents.iter().min().expect("non-empty group");
+            let mut members: Vec<NodeId> = Vec::new();
+            for id in &constituents {
+                let rec = self.levels[level].get_mut(id).expect("constituent exists");
+                rec.parent = new_ident;
+                members.extend(rec.members.iter().copied());
+            }
+            members.sort_unstable();
+            // The group recomposed out of different constituents but to exactly its old
+            // member set (the common case one level above a local swap: the two sides of
+            // the fundamental cycle re-merge): everything above this level is unchanged,
+            // so the upward dirty cascade stops here.
+            if !growing
+                && self.levels[level + 1]
+                    .get(&new_ident)
+                    .is_some_and(|old| old.members == members)
+            {
+                continue;
+            }
+            rebuilt.push((new_ident, members));
+        }
+        let new_idents: Vec<Ident> = rebuilt.iter().map(|(id, _)| *id).collect();
+        for (new_ident, members) in rebuilt {
+            for &m in &members {
+                let label = &mut self.labels[m.0];
+                if level + 1 < label.levels.len() {
+                    // The member's old group is dissolved by this rebuild (unless the
+                    // rebuilt group reuses its identity — filtered below); remember it
+                    // so the next level drops the record before processing. Only members
+                    // whose identity entry actually differs perform a register write.
+                    let old_parent = label.levels[level + 1].fragment;
+                    if old_parent != new_ident {
+                        stale.push(old_parent);
+                        label.levels[level + 1].fragment = new_ident;
+                        *writes += 1;
+                        phi_dirty.insert(m);
+                    }
+                } else {
+                    label.levels.push(FragmentLevel {
+                        fragment: new_ident,
+                        outgoing: None,
+                    });
+                    *writes += 1;
+                    phi_dirty.insert(m);
+                }
+            }
+            self.levels[level + 1].insert(
+                new_ident,
+                FragRecord {
+                    members,
+                    chosen: None,
+                    parent: new_ident,
+                },
+            );
+            next_dirty.insert(new_ident);
+        }
+        stale.sort_unstable();
+        stale.dedup();
+        stale.retain(|id| !new_idents.contains(id));
+        next_dirty
+    }
+
+    /// Truncates or confirms the trace length once the repair reached the spanning
+    /// fragment at `new_level_count` levels, mirroring the from-scratch run's final
+    /// `(fragment, ⊥)` entries. Returns the labels rewritten.
+    fn finalize_levels(
+        &mut self,
+        new_level_count: usize,
+        old_level_count: usize,
+        phi_dirty: &mut HashSet<NodeId>,
+    ) -> u64 {
+        let last = new_level_count - 1;
+        let final_ident = {
+            let (&id, rec) = self.levels[last]
+                .iter_mut()
+                .next()
+                .expect("the final level has one fragment");
+            rec.parent = id;
+            debug_assert!(
+                rec.chosen.is_none(),
+                "the spanning fragment has no outgoing edge"
+            );
+            id
+        };
+        self.levels.truncate(new_level_count);
+        self.true_min_out.truncate(new_level_count);
+        if new_level_count == old_level_count {
+            return 0;
+        }
+        let mut writes = 0u64;
+        for (i, label) in self.labels.iter_mut().enumerate() {
+            if label.levels.len() != new_level_count {
+                label.levels.truncate(new_level_count);
+                label.levels[last].fragment = final_ident;
+                label.levels[last].outgoing = None;
+                writes += 1;
+                phi_dirty.insert(NodeId(i));
+            }
+        }
+        writes
+    }
 }
 
 /// The fragment labels as a proof-labeling scheme for MST (completeness: the labels of
@@ -328,6 +760,66 @@ mod tests {
                 assert!(!outcome.accepted(), "seed {seed}: non-MST must be flagged");
             }
         }
+    }
+
+    #[test]
+    fn incremental_state_matches_from_scratch_across_swap_sequences() {
+        // Drive the red-rule local search with an incrementally repaired FragmentState
+        // and assert, after every single swap, that labels and potential are
+        // bit-identical to a from-scratch rebuild on the new tree.
+        for seed in 0..6 {
+            let g = generators::workload(26, 0.25, seed);
+            let mut t = bfs_tree(&g, g.min_ident_node());
+            let mut state = FragmentState::new(&g, &t);
+            let mut guard = 0;
+            while let Some((e, f)) = state.improving_swap(&g, &t) {
+                t = t.with_swap(&g, e, f);
+                let written = state.apply_swap(&g, e, f);
+                let fresh = FragmentState::new(&g, &t);
+                assert_eq!(state.labels(), fresh.labels(), "seed {seed} swap {guard}");
+                assert_eq!(
+                    state.potential(),
+                    fresh.potential(),
+                    "seed {seed} swap {guard}"
+                );
+                assert_eq!(state.phi, fresh.phi, "seed {seed} swap {guard}");
+                assert_eq!(
+                    state.improving_swap(&g, &t),
+                    fresh.improving_swap(&g, &t),
+                    "seed {seed} swap {guard}"
+                );
+                assert!(written > 0, "a swap always rewrites some labels");
+                guard += 1;
+                assert!(guard < 500, "local search must terminate");
+            }
+            assert_eq!(state.potential(), 0);
+            assert!(is_mst(&g, &t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_repair_touches_a_small_dirty_region() {
+        // On a larger sparse instance the per-swap repair must rewrite far fewer labels
+        // than the `n · levels` a from-scratch relabeling writes.
+        let g = generators::workload(160, 0.05, 9);
+        let mut t = bfs_tree(&g, g.min_ident_node());
+        let mut state = FragmentState::new(&g, &t);
+        let full = (g.node_count() * state.level_count()) as u64;
+        let mut total: u64 = 0;
+        let mut swaps: u64 = 0;
+        while let Some((e, f)) = state.improving_swap(&g, &t) {
+            t = t.with_swap(&g, e, f);
+            total += state.apply_swap(&g, e, f);
+            swaps += 1;
+            assert!(swaps < 1000);
+        }
+        assert!(swaps > 0, "the BFS tree of this workload is not an MST");
+        assert!(
+            total < swaps * full / 2,
+            "incremental repair wrote {total} labels over {swaps} swaps, \
+             from-scratch would write {} per swap",
+            full
+        );
     }
 
     #[test]

@@ -141,6 +141,74 @@ pub fn assign_nca_labels(graph: &Graph, tree: &Tree) -> Vec<NcaLabel> {
     labels
 }
 
+/// Incrementally repairs heavy-path NCA labels after a tree edit.
+///
+/// `children`, `sizes` and `depths` describe the **new** tree (already repaired by the
+/// caller); `seeds` is the dirty frontier — every node whose children set changed plus
+/// the parents of every node whose subtree size changed (those are the only places where
+/// the heavy-child selection, and hence the label derivation, can differ from the old
+/// tree). Starting from each seed in top-down order, the repair re-derives the labels of
+/// the seed's children and descends only while a label actually changes: a node whose
+/// derived label is unchanged roots a subtree of unchanged labels (labels are a pure
+/// function of the parent label and the heavy-child choice along the path). The result
+/// is bit-identical to [`assign_nca_labels`] on the new tree.
+///
+/// Returns the number of labels rewritten (the deterministic work unit).
+pub fn repair_nca_labels(
+    graph: &Graph,
+    children: &[Vec<NodeId>],
+    sizes: &[usize],
+    depths: &[usize],
+    labels: &mut [NcaLabel],
+    seeds: &[NodeId],
+) -> usize {
+    let heavy_child = |v: NodeId| -> Option<NodeId> {
+        children[v.0]
+            .iter()
+            .copied()
+            .max_by_key(|&c| (sizes[c.0], std::cmp::Reverse(graph.ident(c))))
+    };
+    let derive = |parent_label: &NcaLabel, heavy: Option<NodeId>, c: NodeId| -> NcaLabel {
+        let mut label = parent_label.clone();
+        if Some(c) == heavy {
+            let last = label.segments.last_mut().expect("labels are never empty");
+            last.depth += 1;
+        } else {
+            label.segments.push(Segment {
+                head: graph.ident(c),
+                depth: 0,
+            });
+        }
+        label
+    };
+
+    let mut ordered: Vec<NodeId> = seeds.to_vec();
+    ordered.sort_by_key(|&v| depths[v.0]);
+    ordered.dedup();
+    let mut processed = vec![false; labels.len()];
+    let mut writes = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &seed in &ordered {
+        if processed[seed.0] {
+            continue;
+        }
+        stack.push(seed);
+        while let Some(v) = stack.pop() {
+            processed[v.0] = true;
+            let heavy = heavy_child(v);
+            for &c in &children[v.0] {
+                let label = derive(&labels[v.0], heavy, c);
+                if label != labels[c.0] {
+                    labels[c.0] = label;
+                    writes += 1;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    writes
+}
+
 /// The proof-labeling scheme *for the NCA labeling itself* (Lemma 5.1): the verifier at
 /// `v` checks that `v`'s label extends its parent's label in one of the two legal ways
 /// (heavy continuation or new path headed by `v`), and that at most one child continues

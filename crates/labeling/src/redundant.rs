@@ -165,6 +165,30 @@ impl ProofLabelingScheme for RedundantScheme {
     }
 }
 
+/// Incrementally repairs a full redundant labeling after a tree edit, given the already
+/// repaired `depths` and `sizes` arrays of the *new* tree and the dirty regions computed
+/// by the caller (the composition engine): `depth_dirty` is the set of nodes whose
+/// root path changed, `size_dirty` the set of nodes whose subtree membership changed.
+/// Untouched labels are exactly those of the old tree, so patching the dirty regions
+/// reproduces [`RedundantScheme::prove`] on the new tree bit for bit (the root never
+/// changes across a loop-free switch). Returns the number of label components written —
+/// the deterministic work unit of the incremental-vs-from-scratch comparison.
+pub fn repair_redundant_labels(
+    labels: &mut [RedundantLabel],
+    depths: &[usize],
+    sizes: &[usize],
+    depth_dirty: &[NodeId],
+    size_dirty: &[NodeId],
+) -> usize {
+    for &v in depth_dirty {
+        labels[v.0].dist = Some(depths[v.0] as u64);
+    }
+    for &v in size_dirty {
+        labels[v.0].size = Some(sizes[v.0] as u64);
+    }
+    depth_dirty.len() + size_dirty.len()
+}
+
 /// Checks the pruning constraints C1 and C2 of §IV for a label assignment over a tree:
 ///
 /// * C1: if `λ'(v) = (d, ⊥)` then `λ'(p(v)) = (d', ⊥)`;
