@@ -1,0 +1,126 @@
+//! Parallel wave execution at scale: the deterministic worker pool vs the sequential
+//! executor, swept over network size × thread count.
+//!
+//! Two workloads:
+//!
+//! * `sync_bfs` — synchronous-daemon BFS stabilization from an arbitrary
+//!   configuration. Every round is one wave: all enabled guards read the immutable
+//!   pre-round configuration, so the executor shards the refresh frontier across the
+//!   pool and applies the results at the barrier. This is the paper-model workload the
+//!   ≥3× @ 8 threads acceptance target is measured on (on a host with ≥ 8 cores; the
+//!   bench prints the measured ratio for whatever host it runs on).
+//! * `reproof_waves` — the composition engine's from-scratch label reproofs
+//!   (`Relabel::FromScratch` MST): fragment/NCA/redundant provers run concurrently and
+//!   the fragment prover shards its per-level scans.
+//!
+//! Before timing anything, the bench asserts that the final configuration and round
+//! count at every thread count are **bit-identical** to the single-threaded run — the
+//! determinism contract, not just a statistical check.
+//!
+//! `-- --smoke` runs a reduced grid (small n, threads ∈ {1, 4}); CI uses it to keep
+//! the pool code from rotting.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::{construct_mst, EngineConfig, Relabel};
+use stst_graph::{generators, Graph};
+use stst_runtime::{Executor, ExecutorConfig, SchedulerKind};
+
+use stst_core::bfs::RootedBfs;
+
+const SEED: u64 = 71;
+
+fn bfs_graph(n: usize) -> Graph {
+    // ~3 extra edges per node over the spanning backbone: sparse, small Δ, big waves.
+    generators::shuffle_idents(&generators::random_sparse(n, 3 * n, SEED), SEED)
+}
+
+fn run_sync_bfs(g: &Graph, threads: usize) -> (Vec<stst_core::bfs::BfsState>, u64) {
+    let root = g.ident(g.min_ident_node());
+    let config =
+        ExecutorConfig::with_scheduler(SEED, SchedulerKind::Synchronous).with_threads(threads);
+    let mut exec = Executor::from_arbitrary(g, RootedBfs::new(root), config);
+    let q = exec.run_to_quiescence(10_000_000).expect("BFS converges");
+    (exec.states().to_vec(), q.rounds)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, thread_counts): (&[usize], &[usize]) = if smoke {
+        (&[2_000], &[1, 4])
+    } else {
+        (&[10_000, 100_000], &[1, 2, 4, 8])
+    };
+
+    let mut group = c.benchmark_group("parallel_scale");
+    group
+        .sample_size(if smoke { 2 } else { 5 })
+        .measurement_time(Duration::from_secs(if smoke { 2 } else { 12 }))
+        .warm_up_time(Duration::from_millis(if smoke { 50 } else { 500 }));
+
+    for &n in sizes {
+        let g = bfs_graph(n);
+        // Determinism gate (untimed): every thread count must reproduce the
+        // single-threaded trajectory bit for bit.
+        let (ref_states, ref_rounds) = run_sync_bfs(&g, 1);
+        for &t in thread_counts {
+            let (states, rounds) = run_sync_bfs(&g, t);
+            assert!(
+                states == ref_states && rounds == ref_rounds,
+                "threads={t} diverged from the sequential execution at n={n}"
+            );
+        }
+        let mut means = vec![Duration::ZERO; thread_counts.len()];
+        for (slot, &t) in thread_counts.iter().enumerate() {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("sync_bfs/{n}"), format!("threads={t}")),
+                &t,
+                |b, &t| {
+                    b.iter(|| black_box(run_sync_bfs(&g, t)));
+                    means[slot] = b.mean();
+                },
+            );
+        }
+        if means[0] > Duration::ZERO {
+            for (i, &t) in thread_counts.iter().enumerate() {
+                println!(
+                    "parallel_scale/sync_bfs/{n}: threads={t} speedup vs threads=1 = {:.2}x",
+                    means[0].as_secs_f64() / means[i].as_secs_f64().max(1e-12)
+                );
+            }
+        }
+    }
+
+    // The engine's from-scratch reproof waves (the Relabel::FromScratch reference
+    // mode re-proves every family after every switch — the heaviest wave workload).
+    // The guarded-rule tree phase runs under the synchronous daemon: it is not what
+    // this group measures, and synchronously it converges in diameter-ish rounds.
+    let n = if smoke { 300 } else { 2_000 };
+    let g = generators::workload(n, 6.0 / n as f64, SEED);
+    let engine_config = |t: usize| {
+        EngineConfig::seeded(SEED)
+            .with_scheduler(SchedulerKind::Synchronous)
+            .with_relabel(Relabel::FromScratch)
+            .with_threads(t)
+    };
+    let ref_report = construct_mst(&g, &engine_config(1));
+    for &t in thread_counts {
+        let report = construct_mst(&g, &engine_config(t));
+        assert_eq!(report.tree, ref_report.tree, "threads={t} reproof diverged");
+        assert_eq!(report.labels_written, ref_report.labels_written);
+        group.bench_with_input(
+            BenchmarkId::new(&format!("reproof_waves/{n}"), format!("threads={t}")),
+            &t,
+            |b, &t| {
+                let config = engine_config(t);
+                b.iter(|| black_box(construct_mst(&g, &config)));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -292,17 +292,20 @@ fn densities_for(n: usize) -> Vec<f64> {
 }
 
 /// E4 — silent MST (Corollary 6.1): rounds, switches, label writes, register bits,
-/// optimality — now swept up to 5,000-node sparse workloads.
-pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
+/// optimality — now swept up to 5,000-node sparse workloads. `threads` drives the
+/// engine's parallel wave execution (results are bit-identical at any value; the
+/// column records what the wall clock was measured with).
+pub fn e4_mst(sizes: &[usize], seed: u64, threads: usize) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
         for p in densities_for(n) {
             let g = generators::workload(n, p, seed);
-            let report = construct_mst(&g, &EngineConfig::seeded(seed));
+            let report = construct_mst(&g, &EngineConfig::seeded(seed).with_threads(threads));
             let opt = mst::kruskal(&g).unwrap().total_weight(&g);
             rows.push(vec![
                 n.to_string(),
                 g.edge_count().to_string(),
+                threads.to_string(),
                 report.total_rounds.to_string(),
                 report.improvements.to_string(),
                 report.labels_written.to_string(),
@@ -318,6 +321,7 @@ pub fn e4_mst(sizes: &[usize], seed: u64) -> ExperimentTable {
         headers: vec![
             "n".into(),
             "m".into(),
+            "threads".into(),
             "rounds".into(),
             "switches".into(),
             "label writes".into(),
@@ -434,14 +438,17 @@ pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
 
 /// E8 — recovery from transient faults: rounds, moves **and guard evaluations** (the
 /// incremental executor's work unit) to re-stabilize after corrupting `k` registers of
-/// a converged spanning-tree layer.
-pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
+/// a converged spanning-tree layer. `threads` drives the executor's parallel wave
+/// evaluation (bit-identical results; the column records the measurement setting).
+pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> ExperimentTable {
     let g = generators::workload(n, 0.12, seed);
-    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(seed));
+    let config = ExecutorConfig::seeded(seed).with_threads(threads);
+    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
     let initial = exec.run_to_quiescence(10_000_000).unwrap();
     let mut rows = vec![vec![
         "from scratch".to_string(),
         "-".into(),
+        threads.to_string(),
         initial.rounds.to_string(),
         initial.moves.to_string(),
         exec.guard_evaluations().to_string(),
@@ -457,6 +464,7 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
         rows.push(vec![
             format!("corrupt {k} registers"),
             format!("{:.0}%", frac * 100.0),
+            threads.to_string(),
             (q.rounds - rounds_before).to_string(),
             (q.moves - moves_before).to_string(),
             (exec.guard_evaluations() - guards_before).to_string(),
@@ -469,6 +477,7 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64) -> ExperimentTable {
         headers: vec![
             "scenario".into(),
             "fault fraction".into(),
+            "threads".into(),
             "recovery rounds".into(),
             "recovery moves".into(),
             "recovery guard evals".into(),
@@ -590,34 +599,48 @@ pub fn e9_sched_ablation(n: usize, seed: u64) -> ExperimentTable {
     }
 }
 
+/// Worker threads the full report measures with: the host's available parallelism,
+/// capped at 8 (the widest point of the `parallel_scale` sweep). Results are
+/// bit-identical at any value — this only affects wall clock and the recorded
+/// `threads` column.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Runs the full default experiment grid (the one recorded in EXPERIMENTS.md).
 pub fn full_report(seed: u64) -> Vec<ExperimentTable> {
+    let threads = default_threads();
     vec![
         e1_bfs(&[16, 32, 64, 128], seed),
         e2_switch(&[16, 32, 64, 128], seed),
         e3_nca(&[32, 64, 128, 256], seed),
-        e4_mst(&[16, 32, 64, 1000, 2500, 5000], seed),
+        e4_mst(&[16, 32, 64, 1000, 2500, 5000], seed, threads),
         e5_mst_space(&[16, 32, 64, 128], seed),
         e6_mdst(&[10, 14, 24, 40, 1000], seed),
         e7_mdst_space(&[16, 32, 64], seed),
-        e8_faults(40, &[0.05, 0.25, 0.5, 1.0], seed),
+        e8_faults(40, &[0.05, 0.25, 0.5, 1.0], seed, threads),
         e8_label_faults(64, &[1, 4, 16], seed),
         e9_sched_ablation(24, seed),
     ]
 }
 
 /// A tiny-size pass over every experiment, exercised by CI so the harness and the
-/// report binary can no longer rot uncompiled (or un-runnable).
+/// report binary can no longer rot uncompiled (or un-runnable). Runs with 2 worker
+/// threads so the parallel plumbing is exercised end-to-end (the pool degrades
+/// gracefully at toy sizes — small waves stay inline).
 pub fn smoke_report(seed: u64) -> Vec<ExperimentTable> {
     vec![
         e1_bfs(&[12], seed),
         e2_switch(&[12], seed),
         e3_nca(&[16], seed),
-        e4_mst(&[12], seed),
+        e4_mst(&[12], seed, 2),
         e5_mst_space(&[12], seed),
         e6_mdst(&[10], seed),
         e7_mdst_space(&[12], seed),
-        e8_faults(12, &[0.5], seed),
+        e8_faults(12, &[0.5], seed, 2),
         e8_label_faults(16, &[2], seed),
         e9_sched_ablation(12, seed),
     ]
@@ -667,15 +690,15 @@ mod tests {
         assert_eq!(e1_bfs(&[12], 1).rows.len(), 2);
         assert_eq!(e2_switch(&[12], 1).rows.len(), 1);
         assert_eq!(e3_nca(&[16], 1).rows.len(), 2);
-        assert_eq!(e4_mst(&[12], 1).rows.len(), 2);
+        assert_eq!(e4_mst(&[12], 1, 1).rows.len(), 2);
         assert_eq!(e6_mdst(&[10], 1).rows.len(), 1);
-        assert_eq!(e8_faults(12, &[0.5], 1).rows.len(), 2);
+        assert_eq!(e8_faults(12, &[0.5], 1, 1).rows.len(), 2);
         assert!(e9_sched_ablation(12, 1).rows.len() >= 7);
     }
 
     #[test]
     fn e8_reports_guard_evaluations_alongside_rounds() {
-        let table = e8_faults(14, &[0.25], 3);
+        let table = e8_faults(14, &[0.25], 3, 1);
         let col = table
             .headers
             .iter()
@@ -684,6 +707,27 @@ mod tests {
         for row in &table.rows {
             assert!(row[col].parse::<u64>().unwrap() > 0);
         }
+    }
+
+    #[test]
+    fn e4_and_e8_report_identical_results_at_any_thread_count() {
+        let strip_threads = |t: &ExperimentTable| {
+            let col = t.headers.iter().position(|h| h == "threads").unwrap();
+            t.rows
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.remove(col);
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = e4_mst(&[14], 5, 1);
+        let b = e4_mst(&[14], 5, 4);
+        assert_eq!(strip_threads(&a), strip_threads(&b));
+        let a = e8_faults(14, &[0.25], 5, 1);
+        let b = e8_faults(14, &[0.25], 5, 4);
+        assert_eq!(strip_threads(&a), strip_threads(&b));
     }
 
     #[test]

@@ -40,7 +40,12 @@ use stst_labeling::mst_fragments::{FragmentLabel, FragmentScheme, FragmentState}
 use stst_labeling::nca::{assign_nca_labels, repair_nca_labels, NcaLabel, NcaScheme};
 use stst_labeling::redundant::{repair_redundant_labels, RedundantLabel, RedundantScheme};
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
+use stst_runtime::par::ThreadPool;
 use stst_runtime::{Executor, ExecutorConfig};
+
+/// Minimum network size before the engine's per-node verification waves go through
+/// the pool (below this, spawn overhead dominates). Results are unaffected.
+const PAR_VERIFY_MIN: usize = 256;
 
 use crate::framework::{ConstructionReport, EngineConfig, Relabel};
 use crate::spanning::MinIdSpanningTree;
@@ -282,6 +287,9 @@ pub struct CompositionEngine<'g> {
     pending: Option<PendingRepair>,
     corrupted: bool,
     rng: StdRng,
+    /// Scoped worker pool shared by the heavy from-scratch phases (verification waves,
+    /// label reproofs, per-level Borůvka scans) and the guarded-rule executor.
+    pool: ThreadPool,
     ledger: RoundLedger,
     improvements: usize,
     labels_written: u64,
@@ -308,6 +316,7 @@ impl<'g> CompositionEngine<'g> {
             pending: None,
             corrupted: false,
             rng: StdRng::seed_from_u64(config.seed ^ 0xc0_de),
+            pool: ThreadPool::new(config.threads),
             ledger: RoundLedger::new(),
             improvements: 0,
             labels_written: 0,
@@ -390,7 +399,8 @@ impl<'g> CompositionEngine<'g> {
     }
 
     fn build_tree(&mut self) -> PhaseEvent {
-        let exec_config = ExecutorConfig::with_scheduler(self.config.seed, self.config.scheduler);
+        let exec_config = ExecutorConfig::with_scheduler(self.config.seed, self.config.scheduler)
+            .with_threads(self.config.threads);
         let mut exec = Executor::from_arbitrary(self.graph, MinIdSpanningTree, exec_config);
         let quiescence = exec
             .run_to_quiescence(self.config.max_steps)
@@ -472,33 +482,58 @@ impl<'g> CompositionEngine<'g> {
     }
 
     /// The from-scratch provers (first labeling pass and the `Relabel::FromScratch`
-    /// reference mode): every family is rebuilt with full waves over the tree.
+    /// reference mode): every family is rebuilt with full waves over the tree. The
+    /// families are independent pure functions of `(graph, tree)`, so they run
+    /// concurrently on the pool (the fragment prover additionally parallelizes its
+    /// per-level scans internally); ledger charges and work counters are applied
+    /// afterwards, on the calling thread, in the same fixed family order at any
+    /// thread count.
     fn build_labels_from_scratch(&mut self) {
         let n = self.graph.node_count() as u64;
+        let graph = self.graph;
         if self.task == EngineTask::Mst {
             let tree = &self.state.as_ref().expect("tree built").tree;
-            let fragments = FragmentState::new(self.graph, tree);
-            let rounds = waves::fragment_labeling_rounds(tree, fragments.level_count());
+            let pool = &self.pool;
+            let (fragments, (nca, redundant)) = pool.join(
+                || FragmentState::new_with_pool(graph, tree, pool),
+                || {
+                    pool.join(
+                        || assign_nca_labels(graph, tree),
+                        || RedundantScheme.prove(graph, tree),
+                    )
+                },
+            );
+            let fragment_rounds = waves::fragment_labeling_rounds(tree, fragments.level_count());
+            let nca_rounds = waves::nca_labeling_rounds(tree);
+            let redundant_rounds = waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree);
+            self.fragments = Some(fragments);
+            self.nca = nca;
+            self.redundant = redundant;
             self.ledger.charge(
                 "fragment labels (convergecast + broadcast per level)",
-                rounds,
+                fragment_rounds,
             );
             self.labels_written += n;
-            self.fragments = Some(fragments);
+            self.ledger.charge("NCA labels", nca_rounds);
+            self.labels_written += n;
+            self.ledger.charge("redundant labels", redundant_rounds);
+            self.labels_written += n;
         } else {
             self.charge_fr_marking();
+            let tree = &self.state.as_ref().expect("tree built").tree;
+            let (nca, redundant) = self.pool.join(
+                || assign_nca_labels(graph, tree),
+                || RedundantScheme.prove(graph, tree),
+            );
+            let nca_rounds = waves::nca_labeling_rounds(tree);
+            let redundant_rounds = waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree);
+            self.nca = nca;
+            self.redundant = redundant;
+            self.ledger.charge("NCA labels", nca_rounds);
+            self.labels_written += n;
+            self.ledger.charge("redundant labels", redundant_rounds);
+            self.labels_written += n;
         }
-        let tree = &self.state.as_ref().expect("tree built").tree;
-        self.nca = assign_nca_labels(self.graph, tree);
-        self.ledger
-            .charge("NCA labels", waves::nca_labeling_rounds(tree));
-        self.labels_written += n;
-        self.redundant = RedundantScheme.prove(self.graph, tree);
-        self.ledger.charge(
-            "redundant labels",
-            waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree),
-        );
-        self.labels_written += n;
     }
 
     /// The FR marking / fragment-propagation wave of the MDST composition (§VIII),
@@ -757,6 +792,34 @@ impl<'g> CompositionEngine<'g> {
         hit
     }
 
+    /// Runs a family's 1-round proof-labeling verification wave: every node checks its
+    /// own label against its neighbors'. The per-node verifiers are independent pure
+    /// reads, so big networks are verified shard-parallel on the pool; the outcome
+    /// ("did any node reject") is a commutative OR, identical at any thread count.
+    fn verification_wave_accepts<S>(
+        &self,
+        scheme: &S,
+        instance: &Instance<'_>,
+        labels: &[S::Label],
+    ) -> bool
+    where
+        S: ProofLabelingScheme + Sync,
+        S::Label: Sync,
+    {
+        let n = self.graph.node_count();
+        if !self.pool.is_parallel() || n < PAR_VERIFY_MIN {
+            return scheme.verify_all(instance, labels).accepted();
+        }
+        self.pool
+            .run(n, |_, range| {
+                range
+                    .into_iter()
+                    .all(|i| scheme.verify_at(instance, labels, NodeId(i)))
+            })
+            .into_iter()
+            .all(|shard_accepted| shard_accepted)
+    }
+
     /// The recovery wave: run every family's 1-round proof-labeling verifier, rebuild
     /// the families some node rejected, and charge the measured cost.
     fn recover(&mut self) -> PhaseEvent {
@@ -769,27 +832,21 @@ impl<'g> CompositionEngine<'g> {
         let mut families_rebuilt = 0usize;
         let mut rounds = 1u64; // the verification wave itself
         if let Some(fragments) = self.fragments.as_ref() {
-            if !FragmentScheme
-                .verify_all(&instance, fragments.labels())
-                .accepted()
-            {
-                let fresh = FragmentState::new(self.graph, tree);
+            if !self.verification_wave_accepts(&FragmentScheme, &instance, fragments.labels()) {
+                let fresh = FragmentState::new_with_pool(self.graph, tree, &self.pool);
                 rounds += waves::fragment_labeling_rounds(tree, fresh.level_count());
                 self.fragments = Some(fresh);
                 self.labels_written += n;
                 families_rebuilt += 1;
             }
         }
-        if !NcaScheme.verify_all(&instance, &self.nca).accepted() {
+        if !self.verification_wave_accepts(&NcaScheme, &instance, &self.nca) {
             self.nca = assign_nca_labels(self.graph, tree);
             rounds += waves::nca_labeling_rounds(tree);
             self.labels_written += n;
             families_rebuilt += 1;
         }
-        if !RedundantScheme
-            .verify_all(&instance, &self.redundant)
-            .accepted()
-        {
+        if !self.verification_wave_accepts(&RedundantScheme, &instance, &self.redundant) {
             self.redundant = RedundantScheme.prove(self.graph, tree);
             rounds += waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree);
             self.labels_written += n;

@@ -31,6 +31,10 @@ pub struct EngineConfig {
     pub max_steps: u64,
     /// Label maintenance mode of the improvement phase.
     pub relabel: Relabel,
+    /// Worker threads for parallel wave execution (1 = fully sequential). Threaded
+    /// through to the guarded-rule executor and to the engine's from-scratch reproof
+    /// and verification waves; results are bit-identical at any value.
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -41,6 +45,7 @@ impl EngineConfig {
             scheduler: SchedulerKind::Central,
             max_steps: 5_000_000,
             relabel: Relabel::Incremental,
+            threads: 1,
         }
     }
 
@@ -59,6 +64,12 @@ impl EngineConfig {
     /// Overrides the label maintenance mode.
     pub fn with_relabel(mut self, relabel: Relabel) -> Self {
         self.relabel = relabel;
+        self
+    }
+
+    /// Overrides the worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -245,13 +256,17 @@ mod tests {
         let c = EngineConfig::seeded(9)
             .with_scheduler(SchedulerKind::Adversarial)
             .with_max_steps(123)
-            .with_relabel(Relabel::FromScratch);
+            .with_relabel(Relabel::FromScratch)
+            .with_threads(4);
         assert_eq!(c.seed, 9);
         assert_eq!(c.scheduler, SchedulerKind::Adversarial);
         assert_eq!(c.max_steps, 123);
         assert_eq!(c.relabel, Relabel::FromScratch);
+        assert_eq!(c.threads, 4);
         assert_eq!(EngineConfig::default().scheduler, SchedulerKind::Central);
         assert_eq!(EngineConfig::default().relabel, Relabel::Incremental);
+        assert_eq!(EngineConfig::default().threads, 1);
+        assert_eq!(EngineConfig::seeded(0).with_threads(0).threads, 1);
     }
 
     #[test]

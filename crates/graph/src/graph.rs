@@ -79,6 +79,12 @@ pub struct Graph {
     offsets: Vec<u32>,
     /// Flat adjacency array, grouped by node, insertion order within each group.
     adj: Vec<(NodeId, EdgeId)>,
+    /// Per-node port permutation sorting the adjacency slice by `(weight, neighbor
+    /// ident)`: entry `offsets[v] + k` is the *local* index (into `neighbors(v)`) of
+    /// `v`'s `k`-th lightest incident edge. Weights and identities are incorruptible
+    /// constants, so this is computed once per CSR rebuild — "lightest incident edge"
+    /// rules (the MST hot loop) read it instead of sorting per guard evaluation.
+    adj_order: Vec<u32>,
 }
 
 impl Graph {
@@ -90,6 +96,7 @@ impl Graph {
             edges: Vec::new(),
             offsets: vec![0; n + 1],
             adj: Vec::new(),
+            adj_order: Vec::new(),
         }
     }
 
@@ -149,6 +156,29 @@ impl Graph {
             self.adj[cursor[e.v.0] as usize] = (e.u, id);
             cursor[e.v.0] += 1;
         }
+        self.rebuild_weight_order();
+    }
+
+    /// Recomputes the per-node weight-order permutation from the current CSR, weights
+    /// and identities (`O(m log Δ)`). Called whenever any of those change.
+    fn rebuild_weight_order(&mut self) {
+        let n = self.node_count();
+        let mut order = std::mem::take(&mut self.adj_order);
+        order.clear();
+        order.resize(self.adj.len(), 0);
+        for v in 0..n {
+            let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+            let slice = &self.adj[range.clone()];
+            let sub = &mut order[range];
+            for (k, slot) in sub.iter_mut().enumerate() {
+                *slot = k as u32;
+            }
+            sub.sort_by_key(|&k| {
+                let (w, e) = slice[k as usize];
+                (self.edges[e.0].weight, self.ids[w.0])
+            });
+        }
+        self.adj_order = order;
     }
 
     /// Number of nodes.
@@ -213,6 +243,8 @@ impl Graph {
         let distinct: HashSet<_> = ids.iter().collect();
         assert_eq!(distinct.len(), ids.len(), "identities must be distinct");
         self.ids = ids;
+        // Identities break weight ties in the per-node weight order.
+        self.rebuild_weight_order();
     }
 
     /// Adds an undirected edge and returns its [`EdgeId`].
@@ -253,6 +285,15 @@ impl Graph {
         (self.offsets[v.0 + 1] - self.offsets[v.0]) as usize
     }
 
+    /// Port permutation of `v`'s adjacency slice in increasing `(weight, neighbor
+    /// ident)` order: entry `k` is the local index into [`Graph::neighbors`]`(v)` of
+    /// `v`'s `k`-th lightest incident edge. Precomputed at CSR (re)build time, so
+    /// "lightest incident edge" rules pay no per-call sort or allocation.
+    #[inline]
+    pub fn neighbor_order_by_weight(&self, v: NodeId) -> &[u32] {
+        &self.adj_order[self.offsets[v.0] as usize..self.offsets[v.0 + 1] as usize]
+    }
+
     /// The edge between `u` and `v`, if present.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         self.neighbors(u)
@@ -283,6 +324,7 @@ impl Graph {
         for (rank, &i) in order.iter().enumerate() {
             g.edges[i].weight = rank as Weight + 1;
         }
+        g.rebuild_weight_order();
         g
     }
 
@@ -460,6 +502,43 @@ mod tests {
     #[should_panic(expected = "duplicate edge")]
     fn bulk_construction_rejects_duplicates() {
         let _ = Graph::from_edges(3, &[(0, 1, 1), (1, 0, 2)]);
+    }
+
+    #[test]
+    fn weight_order_is_sorted_and_tracks_mutations() {
+        let assert_order = |g: &Graph| {
+            for v in g.nodes() {
+                let nbrs = g.neighbors(v);
+                let order = g.neighbor_order_by_weight(v);
+                assert_eq!(order.len(), nbrs.len());
+                let keys: Vec<_> = order
+                    .iter()
+                    .map(|&k| {
+                        let (w, e) = nbrs[k as usize];
+                        (g.weight(e), g.ident(w))
+                    })
+                    .collect();
+                assert!(
+                    keys.windows(2).all(|p| p[0] <= p[1]),
+                    "node {v:?}: {keys:?}"
+                );
+                let mut seen: Vec<u32> = order.to_vec();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..nbrs.len() as u32).collect::<Vec<_>>());
+            }
+        };
+        let mut g = Graph::from_edges(4, &[(0, 1, 5), (1, 2, 3), (0, 2, 9), (2, 3, 1), (1, 3, 7)]);
+        assert_order(&g);
+        // add_edge rebuilds the CSR (and the order with it).
+        let mut grown = g.clone();
+        grown.add_edge(NodeId(0), NodeId(3), 2);
+        assert_order(&grown);
+        // Identity reassignment re-breaks weight ties.
+        g.set_idents(vec![40, 30, 20, 10]);
+        assert_order(&g);
+        // Weight re-ranking recomputes the order.
+        let u = g.with_unique_weights(5);
+        assert_order(&u);
     }
 
     #[test]

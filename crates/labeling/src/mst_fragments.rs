@@ -15,6 +15,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use stst_graph::ids::bits_for;
 use stst_graph::mst::{boruvka_on_tree, BoruvkaRun};
 use stst_graph::{EdgeId, Graph, Ident, NodeId, Tree, Weight};
+use stst_runtime::par::ThreadPool;
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -144,12 +145,26 @@ pub struct FragmentState {
 }
 
 impl FragmentState {
-    /// Builds the state from scratch (the `Relabel::FromScratch` reference prover).
+    /// Builds the state from scratch (the `Relabel::FromScratch` reference prover),
+    /// sequentially. See [`FragmentState::new_with_pool`] for the parallel variant.
     ///
     /// # Panics
     ///
     /// Panics if `tree` is not a spanning tree of `graph`.
     pub fn new(graph: &Graph, tree: &Tree) -> Self {
+        FragmentState::new_with_pool(graph, tree, &ThreadPool::sequential())
+    }
+
+    /// Builds the state from scratch, running the per-level true-minimum-outgoing-edge
+    /// scans (one `O(m)` pass per Borůvka level, mutually independent given the
+    /// traces) and the per-node potential pass on `pool`. The result is bit-identical
+    /// to [`FragmentState::new`] at any pool width: levels are computed independently
+    /// and merged in level order, `φ_x` per node in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a spanning tree of `graph`.
+    pub fn new_with_pool(graph: &Graph, tree: &Tree, pool: &ThreadPool) -> Self {
         let run = boruvka_on_tree(graph, tree)
             .expect("fragment labels need a spanning tree of the graph");
         let labels = labels_from_traces(graph, &run);
@@ -185,12 +200,18 @@ impl FragmentState {
             phi: vec![0; n],
             phi_sum: 0,
         };
-        for i in 0..k {
-            state.true_min_out[i] = state.true_min_level(graph, i);
-        }
-        for v in graph.nodes() {
-            state.phi[v.0] = state.node_phi(v);
-        }
+        state.true_min_out = pool
+            .run(k, |_, range| {
+                range
+                    .map(|i| state.true_min_level(graph, i))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut phi = std::mem::take(&mut state.phi);
+        pool.fill_with(&mut phi, |i| state.node_phi(NodeId(i)));
+        state.phi = phi;
         state.phi_sum = state.phi.iter().map(|&p| p as u64).sum();
         state
     }
@@ -265,43 +286,56 @@ impl FragmentState {
         best
     }
 
-    /// True minimum outgoing edge of one fragment, by scanning its members' incident
-    /// edges (the dirty-fragment path; cost `O(Σ_{v ∈ F} deg(v))`).
-    fn true_min_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
+    /// Minimum outgoing edge of one fragment under the exact `(weight, edge index)`
+    /// order, optionally restricted to tree edges — the shared scan of the
+    /// dirty-fragment repair path. Each member's incident edges are walked in the
+    /// CSR's precomputed weight order (`Graph::neighbor_order_by_weight`), so the scan
+    /// **early-exits** as soon as the remaining edges of a member are strictly heavier
+    /// than the best candidate so far: only ties by weight still need the edge-index
+    /// comparison, and equal weights are contiguous in the order. Results are
+    /// identical to the full `O(Σ_{v ∈ F} deg(v))` scan; the cost drops to the prefix
+    /// of each adjacency list at or below the winning weight.
+    fn min_outgoing(
+        &self,
+        graph: &Graph,
+        level: usize,
+        fragment: Ident,
+        tree_only: bool,
+    ) -> Option<EdgeId> {
         let members = &self.levels[level][&fragment].members;
-        let mut best: Option<EdgeId> = None;
+        let mut best: Option<(Weight, EdgeId)> = None;
         for &v in members {
-            for &(w, e) in graph.neighbors(v) {
-                if self.labels[w.0].levels[level].fragment == fragment {
-                    continue;
+            let nbrs = graph.neighbors(v);
+            for &k in graph.neighbor_order_by_weight(v) {
+                let (w, e) = nbrs[k as usize];
+                let weight = graph.weight(e);
+                if let Some((best_w, best_e)) = best {
+                    if weight > best_w {
+                        break; // ascending order: nothing later in this list can win
+                    }
+                    if weight == best_w && e.index() >= best_e.index() {
+                        continue;
+                    }
                 }
-                if best.is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
-                {
-                    best = Some(e);
-                }
-            }
-        }
-        best
-    }
-
-    /// Minimum-weight outgoing **tree** edge of one fragment (the edge Borůvka records).
-    fn chosen_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
-        let members = &self.levels[level][&fragment].members;
-        let mut best: Option<EdgeId> = None;
-        for &v in members {
-            for &(w, e) in graph.neighbors(v) {
-                if !self.is_tree_edge[e.index()]
+                if (tree_only && !self.is_tree_edge[e.index()])
                     || self.labels[w.0].levels[level].fragment == fragment
                 {
                     continue;
                 }
-                if best.is_none_or(|b| (graph.weight(e), e.index()) < (graph.weight(b), b.index()))
-                {
-                    best = Some(e);
-                }
+                best = Some((weight, e));
             }
         }
-        best
+        best.map(|(_, e)| e)
+    }
+
+    /// True minimum outgoing edge of one fragment (over all graph edges).
+    fn true_min_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
+        self.min_outgoing(graph, level, fragment, false)
+    }
+
+    /// Minimum-weight outgoing **tree** edge of one fragment (the edge Borůvka records).
+    fn chosen_of(&self, graph: &Graph, level: usize, fragment: Ident) -> Option<EdgeId> {
+        self.min_outgoing(graph, level, fragment, true)
     }
 
     /// Recomputes `φ_x` from the maintained records.
@@ -820,6 +854,30 @@ mod tests {
              from-scratch would write {} per swap",
             full
         );
+    }
+
+    #[test]
+    fn pooled_prover_is_bit_identical_to_the_sequential_prover() {
+        for seed in 0..3 {
+            let g = generators::workload(120, 0.06, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            let seq = FragmentState::new(&g, &t);
+            for threads in [2usize, 8] {
+                let par = FragmentState::new_with_pool(&g, &t, &ThreadPool::new(threads));
+                assert_eq!(seq.labels(), par.labels(), "seed {seed}, {threads} threads");
+                assert_eq!(seq.phi, par.phi, "seed {seed}, {threads} threads");
+                assert_eq!(seq.potential(), par.potential());
+                assert_eq!(seq.true_min_out.len(), par.true_min_out.len());
+                for (a, b) in seq.true_min_out.iter().zip(&par.true_min_out) {
+                    assert_eq!(a, b);
+                }
+                assert_eq!(
+                    seq.improving_swap(&g, &t),
+                    par.improving_swap(&g, &t),
+                    "seed {seed}, {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,12 @@ use crate::view::View;
 /// Returning `Some(state)` equal to the node's current state is treated as *disabled*
 /// by the executor — guards should be written so that an enabled node always changes its
 /// register, otherwise the algorithm can never become silent.
-pub trait Algorithm {
+///
+/// Algorithms are `Sync`: [`Algorithm::step`] is a pure function of the view, and the
+/// parallel wave executor evaluates it concurrently from worker threads over the
+/// immutable pre-round configuration. (Every transition function is a stateless rule
+/// table in practice, so the bound is satisfied by construction.)
+pub trait Algorithm: Sync {
     /// The register content maintained at each node.
     type State: Register;
 

@@ -25,6 +25,21 @@
 //! offers no randomness, so this is enforced by construction). A full-rescan reference
 //! mode ([`ExecMode::FullRescan`]) is retained for differential testing and for
 //! benchmarking the speedup.
+//!
+//! # Deterministic parallel wave execution
+//!
+//! The same purity makes large steps embarrassingly parallel: every guard reads only
+//! the immutable pre-step configuration, so with [`ExecutorConfig::with_threads`] the
+//! executor evaluates the guards of the refresh frontier (the closed neighborhoods of
+//! the movers — under the synchronous daemon, potentially the whole network) on a
+//! scoped worker pool ([`crate::par::ThreadPool`]) over stable node-range shards.
+//! Everything order-sensitive — the write-back of pending transitions, the enabled-set
+//! bookkeeping, round accounting, RNG draws — stays on the calling thread, applied in
+//! the *same deterministic frontier order* the sequential path uses, so executions are
+//! **bit-identical at any thread count** (asserted by `tests/parallel_determinism.rs`
+//! across daemons, seeds and fault injection). Small frontiers (under
+//! [`PAR_MIN_ITEMS`] guards) skip the pool entirely, so `threads > 1` never slows the
+//! central-daemon steady state and `threads = 1` is the sequential executor verbatim.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,9 +49,16 @@ use stst_graph::tree::TreeError;
 use stst_graph::{Graph, NodeId, Tree};
 
 use crate::algorithm::{Algorithm, ParentPointer};
+use crate::par::ThreadPool;
 use crate::register::Register;
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::view::{NeighborInfo, View};
+
+/// Minimum number of guard evaluations in one wave before the executor hands the work
+/// to the pool: below this, thread spawn overhead beats the parallelism. Purity makes
+/// the threshold invisible in the results (both paths compute the same values in the
+/// same order) — it only affects wall clock.
+pub const PAR_MIN_ITEMS: usize = 128;
 
 /// How the executor maintains its enabled set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -59,6 +81,9 @@ pub struct ExecutorConfig {
     pub scheduler: SchedulerKind,
     /// Enabled-set maintenance strategy (incremental unless benchmarking the rescan).
     pub mode: ExecMode,
+    /// Worker threads for parallel wave evaluation (1 = fully sequential). Results are
+    /// bit-identical at any value; only wall clock changes.
+    pub threads: usize,
 }
 
 impl ExecutorConfig {
@@ -68,6 +93,7 @@ impl ExecutorConfig {
             seed,
             scheduler: SchedulerKind::Central,
             mode: ExecMode::Incremental,
+            threads: 1,
         }
     }
 
@@ -77,12 +103,19 @@ impl ExecutorConfig {
             seed,
             scheduler,
             mode: ExecMode::Incremental,
+            threads: 1,
         }
     }
 
     /// The same configuration with the given enabled-set mode.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// The same configuration with the given worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -179,6 +212,17 @@ pub struct Executor<'g, A: Algorithm> {
     stamp: u32,
     /// Peak register size observed at any point of the execution, per node.
     peak_bits: Vec<usize>,
+    /// Scoped worker pool for parallel wave evaluation (width 1 = sequential).
+    pool: ThreadPool,
+    /// Scratch buffer the daemon's per-step selection is written into (reused across
+    /// steps — no per-step allocation, [`Scheduler::select_into`]).
+    chosen_buf: Vec<NodeId>,
+    /// Scratch buffer holding the refresh frontier of the current step, in the
+    /// deterministic order bookkeeping is applied in.
+    refresh_buf: Vec<NodeId>,
+    /// Scratch buffer for the parallel wave's guard results, index-aligned with
+    /// `refresh_buf`.
+    eval_buf: Vec<Option<A::State>>,
 }
 
 impl<'g, A: Algorithm> Executor<'g, A> {
@@ -231,8 +275,12 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             touched: vec![0; n],
             stamp: 0,
             peak_bits,
+            pool: ThreadPool::new(config.threads),
+            chosen_buf: Vec::new(),
+            refresh_buf: Vec::new(),
+            eval_buf: Vec::new(),
         };
-        exec.rescan_all();
+        exec.initial_scan();
         exec.refill_round_pending();
         exec
     }
@@ -305,14 +353,16 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     }
 
     /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
-    /// enabled, `None` otherwise. Pure read — does not touch the executor's caches.
+    /// enabled, `None` otherwise. Pure read — does not touch the executor's caches,
+    /// which is what lets the parallel wave run it from worker threads.
     fn eval_guard(&self, v: NodeId) -> Option<A::State> {
         let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
-        let view = View::new(
+        let view = View::with_weight_order(
             v,
             self.graph.ident(v),
             self.graph.node_count(),
             &self.nbr_info[range],
+            self.graph.neighbor_order_by_weight(v),
             &self.states,
         );
         match self.algo.step(&view) {
@@ -326,6 +376,15 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     fn refresh(&mut self, v: NodeId) {
         self.guard_evals += 1;
         let next = self.eval_guard(v);
+        self.apply_refresh(v, next);
+    }
+
+    /// Applies an already-evaluated guard result to the caches: the pending slot, the
+    /// indexed enabled set and (on an enabled → disabled transition) the round bitset.
+    /// This is the order-sensitive half of a refresh — the parallel wave evaluates
+    /// guards on the pool but always applies them here, on the calling thread, in
+    /// frontier order, so the enabled-list layout matches the sequential path exactly.
+    fn apply_refresh(&mut self, v: NodeId, next: Option<A::State>) {
         let now = next.is_some();
         let was = self.in_enabled[v.0];
         self.pending[v.0] = next;
@@ -350,6 +409,28 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         for v in self.graph.nodes() {
             self.refresh(v);
         }
+    }
+
+    /// The construction-time scan over every guard: parallel when the pool and the
+    /// network are big enough (an arbitrary initial configuration enables most of the
+    /// network, so this is a full wave), bookkeeping applied in node order either way.
+    fn initial_scan(&mut self) {
+        let n = self.graph.node_count();
+        if !self.pool.is_parallel() || n < PAR_MIN_ITEMS {
+            self.rescan_all();
+            return;
+        }
+        let mut results = std::mem::take(&mut self.eval_buf);
+        results.clear();
+        results.resize(n, None);
+        self.pool
+            .fill_with(&mut results, |i| self.eval_guard(NodeId(i)));
+        self.guard_evals += n as u64;
+        for (i, slot) in results.iter_mut().enumerate() {
+            let next = slot.take();
+            self.apply_refresh(NodeId(i), next);
+        }
+        self.eval_buf = results;
     }
 
     /// Re-evaluates the guards of `v` and its neighbors, skipping nodes already
@@ -403,12 +484,27 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.in_enabled[v.0]
     }
 
+    /// Number of enabled nodes in the current configuration (`O(1)`).
+    pub fn enabled_count(&self) -> usize {
+        self.enabled_list.len()
+    }
+
     /// All enabled nodes of the current configuration, in ascending index order.
-    /// Maintained incrementally — this accessor only sorts a copy of the set.
+    /// Allocating wrapper around [`Executor::enabled_nodes_into`] — per-step loops
+    /// (the differential oracles) should reuse a scratch buffer through that instead.
     pub fn enabled_nodes(&self) -> Vec<NodeId> {
-        let mut nodes = self.enabled_list.clone();
-        nodes.sort_unstable();
+        let mut nodes = Vec::with_capacity(self.enabled_list.len());
+        self.enabled_nodes_into(&mut nodes);
         nodes
+    }
+
+    /// Writes the enabled nodes, in ascending index order, into `out` (cleared first).
+    /// Reusing one scratch buffer across a step loop avoids cloning the whole enabled
+    /// list every step.
+    pub fn enabled_nodes_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(&self.enabled_list);
+        out.sort_unstable();
     }
 
     /// Brute-force oracle: recomputes the enabled set by evaluating every guard from
@@ -447,18 +543,21 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.guard_evals
     }
 
-    /// Executes one daemon step. Returns the nodes that were activated, or an empty
-    /// vector if the configuration was already quiescent.
-    pub fn step_once(&mut self) -> Vec<NodeId> {
+    /// Executes one daemon step. Returns the nodes that were activated (borrowed from
+    /// an internal scratch buffer, valid until the next `&mut self` call), or an empty
+    /// slice if the configuration was already quiescent.
+    pub fn step_once(&mut self) -> &[NodeId] {
         if self.enabled_list.is_empty() {
-            return Vec::new();
+            self.chosen_buf.clear();
+            return &self.chosen_buf;
         }
         if self.round_count == 0 {
             // Defensive: a round in progress always tracks some pending node; if the
             // bookkeeping was reset externally, restart the round at the current set.
             self.refill_round_pending();
         }
-        let chosen = self.scheduler.select(&self.enabled_list);
+        let mut chosen = std::mem::take(&mut self.chosen_buf);
+        self.scheduler.select_into(&self.enabled_list, &mut chosen);
         // All chosen nodes read the same pre-step configuration (their reads are
         // concurrent): the cached pending transitions were all computed against it, so
         // applying them in sequence is exactly the simultaneous write.
@@ -476,20 +575,60 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             self.clear_round_bit(v);
         }
         match self.mode {
-            ExecMode::Incremental => {
-                // Only the closed neighborhoods of the movers can change enabledness.
-                self.bump_stamp();
-                for i in 0..chosen.len() {
-                    self.refresh_closed_neighborhood(chosen[i]);
-                }
-            }
+            ExecMode::Incremental => self.refresh_after_moves(&chosen),
             ExecMode::FullRescan => self.rescan_all(),
         }
         if self.round_count == 0 {
             self.rounds += 1;
             self.refill_round_pending();
         }
-        chosen
+        self.chosen_buf = chosen;
+        &self.chosen_buf
+    }
+
+    /// Incremental-mode refresh of one step: only the closed neighborhoods of the
+    /// movers can change enabledness. The frontier is collected once, in a
+    /// deterministic order (movers in selection order, each followed by its CSR-order
+    /// neighbors, first occurrence wins); big frontiers are guard-evaluated on the
+    /// worker pool, small ones inline — bookkeeping is applied in frontier order
+    /// either way, so the two paths leave bit-identical executor state.
+    fn refresh_after_moves(&mut self, chosen: &[NodeId]) {
+        self.bump_stamp();
+        let mut frontier = std::mem::take(&mut self.refresh_buf);
+        frontier.clear();
+        for &v in chosen {
+            if self.touched[v.0] != self.stamp {
+                self.touched[v.0] = self.stamp;
+                frontier.push(v);
+            }
+            let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
+            for i in range {
+                let w = self.nbr_info[i].node;
+                if self.touched[w.0] != self.stamp {
+                    self.touched[w.0] = self.stamp;
+                    frontier.push(w);
+                }
+            }
+        }
+        self.guard_evals += frontier.len() as u64;
+        if self.pool.is_parallel() && frontier.len() >= PAR_MIN_ITEMS {
+            let mut results = std::mem::take(&mut self.eval_buf);
+            results.clear();
+            results.resize(frontier.len(), None);
+            self.pool
+                .fill_with(&mut results, |i| self.eval_guard(frontier[i]));
+            for (i, slot) in results.iter_mut().enumerate() {
+                let next = slot.take();
+                self.apply_refresh(frontier[i], next);
+            }
+            self.eval_buf = results;
+        } else {
+            for &v in &frontier {
+                let next = self.eval_guard(v);
+                self.apply_refresh(v, next);
+            }
+        }
+        self.refresh_buf = frontier;
     }
 
     /// Runs until no node is enabled or the step budget runs out.
@@ -836,8 +975,8 @@ mod tests {
                     assert!(full.is_quiescent());
                     break;
                 }
-                let mut a = inc.step_once();
-                let mut b = full.step_once();
+                let mut a = inc.step_once().to_vec();
+                let mut b = full.step_once().to_vec();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "daemon {kind}, step {step}");
@@ -846,6 +985,37 @@ mod tests {
                 inc.is_quiescent(),
                 "daemon {kind} must converge within the budget"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_wave_execution_is_bit_identical_to_sequential() {
+        // Large enough to cross PAR_MIN_ITEMS both at the initial scan and in the
+        // synchronous waves, so the pool path genuinely runs.
+        let g = generators::random_connected(300, 0.02, 8);
+        for kind in SchedulerKind::all() {
+            let (base_states, base_q, base_guards) = {
+                let config = ExecutorConfig::with_scheduler(4, kind);
+                let mut exec = Executor::from_arbitrary(&g, FloodMax, config);
+                let q = exec.run_to_quiescence(500_000).unwrap();
+                (exec.states().to_vec(), q, exec.guard_evaluations())
+            };
+            for threads in [2usize, 8] {
+                let config = ExecutorConfig::with_scheduler(4, kind).with_threads(threads);
+                let mut exec = Executor::from_arbitrary(&g, FloodMax, config);
+                let q = exec.run_to_quiescence(500_000).unwrap();
+                assert_eq!(
+                    exec.states(),
+                    base_states.as_slice(),
+                    "daemon {kind}, {threads} threads"
+                );
+                assert_eq!(q, base_q, "daemon {kind}, {threads} threads");
+                assert_eq!(
+                    exec.guard_evaluations(),
+                    base_guards,
+                    "daemon {kind}, {threads} threads"
+                );
+            }
         }
     }
 

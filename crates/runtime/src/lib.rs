@@ -24,16 +24,23 @@
 //!   step — see DESIGN.md), with a retained full-rescan reference mode
 //!   ([`ExecMode::FullRescan`]) for differential testing and benchmarking;
 //! * [`SpaceReport`] / [`Quiescence`] — the measurements consumed by the experiment
-//!   harness.
+//!   harness;
+//! * [`par`] — a deterministic scoped worker pool ([`ThreadPool`]): the executor uses
+//!   it to evaluate synchronous-daemon waves in parallel over stable node-range
+//!   shards (bit-identical to the sequential path at any thread count, see
+//!   `ExecutorConfig::with_threads`), and the composition engine reuses it for its
+//!   heavy from-scratch phases.
 
 pub mod algorithm;
 pub mod executor;
+pub mod par;
 pub mod register;
 pub mod scheduler;
 pub mod view;
 
 pub use algorithm::{Algorithm, ParentPointer};
 pub use executor::{ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport};
+pub use par::ThreadPool;
 pub use register::Register;
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use view::{NeighborInfo, NeighborView, View};

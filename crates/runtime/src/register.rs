@@ -12,7 +12,11 @@ use stst_graph::{Ident, Weight};
 ///
 /// Implementors must report the number of bits their *current* value needs; the
 /// executor aggregates those into per-node and per-configuration space reports.
-pub trait Register: Clone + std::fmt::Debug + PartialEq {
+///
+/// Registers are `Send + Sync` plain data: the parallel wave executor evaluates
+/// guards over the immutable pre-round configuration from worker threads
+/// (`stst-runtime::par`), so register contents must be shareable across them.
+pub trait Register: Clone + std::fmt::Debug + PartialEq + Send + Sync {
     /// Number of bits needed to store the current register content.
     fn bit_size(&self) -> usize;
 }

@@ -104,19 +104,37 @@ impl Scheduler {
 
     /// Selects the nodes to activate among `enabled` (which must be non-empty).
     ///
+    /// Allocating wrapper around [`Scheduler::select_into`] — step loops should reuse
+    /// a scratch buffer through `select_into` instead.
+    ///
     /// # Panics
     ///
     /// Panics if `enabled` is empty — the executor must detect silence before asking.
     pub fn select(&mut self, enabled: &[NodeId]) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.select_into(enabled, &mut out);
+        out
+    }
+
+    /// Selects the nodes to activate among `enabled` (which must be non-empty) into
+    /// `out` (cleared first). Writing into a caller-owned scratch buffer keeps the
+    /// per-step cost allocation-free — under the synchronous daemon the old
+    /// `Vec`-returning path cloned the whole enabled list every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty — the executor must detect silence before asking.
+    pub fn select_into(&mut self, enabled: &[NodeId], out: &mut Vec<NodeId>) {
         assert!(
             !enabled.is_empty(),
             "the daemon is only consulted when some node is enabled"
         );
-        let chosen = match self.kind {
+        out.clear();
+        match self.kind {
             SchedulerKind::Central => {
-                vec![*enabled.choose(&mut self.rng).expect("non-empty")]
+                out.push(*enabled.choose(&mut self.rng).expect("non-empty"));
             }
-            SchedulerKind::Synchronous => enabled.to_vec(),
+            SchedulerKind::Synchronous => out.extend_from_slice(enabled),
             SchedulerKind::RoundRobin => {
                 for &v in enabled {
                     self.mask[v.0] = true;
@@ -134,33 +152,28 @@ impl Scheduler {
                 for &v in enabled {
                     self.mask[v.0] = false;
                 }
-                vec![pick.expect("some enabled node exists")]
+                out.push(pick.expect("some enabled node exists"));
             }
             SchedulerKind::UniformRandom => {
-                let mut subset: Vec<NodeId> = enabled
-                    .iter()
-                    .copied()
-                    .filter(|_| self.rng.gen_bool(0.5))
-                    .collect();
-                if subset.is_empty() {
-                    subset.push(*enabled.choose(&mut self.rng).expect("non-empty"));
+                out.extend(enabled.iter().copied().filter(|_| self.rng.gen_bool(0.5)));
+                if out.is_empty() {
+                    out.push(*enabled.choose(&mut self.rng).expect("non-empty"));
                 }
-                subset
             }
             SchedulerKind::Adversarial => {
                 // Starve the least-activated nodes: keep choosing the enabled node that
                 // has already been activated the most (ties broken by identity order).
-                let pick = *enabled
-                    .iter()
-                    .max_by_key(|v| (self.activations[v.0], std::cmp::Reverse(v.0)))
-                    .expect("non-empty");
-                vec![pick]
+                out.push(
+                    *enabled
+                        .iter()
+                        .max_by_key(|v| (self.activations[v.0], std::cmp::Reverse(v.0)))
+                        .expect("non-empty"),
+                );
             }
-        };
-        for &v in &chosen {
+        }
+        for &v in out.iter() {
             self.activations[v.0] += 1;
         }
-        chosen
     }
 }
 
@@ -224,6 +237,18 @@ mod tests {
     fn asking_with_no_enabled_node_is_a_bug() {
         let mut s = Scheduler::new(SchedulerKind::Central, 3, 1);
         let _ = s.select(&[]);
+    }
+
+    #[test]
+    fn select_into_reuses_the_buffer_and_matches_select() {
+        let mut a = Scheduler::new(SchedulerKind::UniformRandom, 8, 4);
+        let mut b = Scheduler::new(SchedulerKind::UniformRandom, 8, 4);
+        let enabled = ids(&[0, 2, 3, 5, 7]);
+        let mut buf = Vec::new();
+        for _ in 0..30 {
+            a.select_into(&enabled, &mut buf);
+            assert_eq!(buf, b.select(&enabled), "same seed, same RNG stream");
+        }
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct View<'a, S> {
     /// Per-neighbor constants, one entry per incident edge, in a fixed (but arbitrary)
     /// port order.
     neighbors: &'a [NeighborInfo],
+    /// Optional precomputed port permutation sorting `neighbors` by `(weight, ident)`
+    /// (local indices into `neighbors`). Weights are incorruptible constants, so the
+    /// order can be computed once at graph build time; with it,
+    /// [`View::neighbors_by_weight`] neither allocates nor sorts.
+    weight_order: Option<&'a [u32]>,
     /// The dense register array of the whole configuration (neighbors are read through
     /// it lazily; locality is preserved because the iterator only dereferences the
     /// indices listed in `neighbors`).
@@ -95,6 +100,41 @@ impl<'a, S> View<'a, S> {
             n,
             state: &states[node.0],
             neighbors,
+            weight_order: None,
+            states,
+        }
+    }
+
+    /// Builds the view of `node` with a precomputed weight order for the neighbors
+    /// (local indices into `neighbors` sorted by `(weight, ident)`, as produced by
+    /// `Graph::neighbor_order_by_weight` at graph build time). This is the constructor
+    /// the executor uses: it makes [`View::neighbors_by_weight`] allocation- and
+    /// sort-free in hot guard evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range of `states`, or (debug only) if the order's
+    /// length does not match the neighbor count.
+    pub fn with_weight_order(
+        node: NodeId,
+        ident: Ident,
+        n: usize,
+        neighbors: &'a [NeighborInfo],
+        weight_order: &'a [u32],
+        states: &'a [S],
+    ) -> Self {
+        debug_assert_eq!(
+            neighbors.len(),
+            weight_order.len(),
+            "one order entry per neighbor"
+        );
+        View {
+            node,
+            ident,
+            n,
+            state: &states[node.0],
+            neighbors,
+            weight_order: Some(weight_order),
             states,
         }
     }
@@ -134,14 +174,75 @@ impl<'a, S> View<'a, S> {
     }
 
     /// Neighbors together with the weight of the connecting edge, ordered by increasing
-    /// weight (ties by identity). Convenient for "lightest incident edge" rules; this
-    /// helper allocates and is not meant for hot guard evaluations.
-    pub fn neighbors_by_weight(&self) -> Vec<NeighborView<'a, S>> {
-        let mut v: Vec<NeighborView<'a, S>> = self.neighbors().collect();
-        v.sort_by_key(|nb| (nb.weight, nb.ident));
-        v
+    /// weight (ties by identity). When the view was built with
+    /// [`View::with_weight_order`] (as the executor always does) the iterator walks the
+    /// precomputed port permutation — no allocation, no sort, hot-loop safe. Views
+    /// built with [`View::new`] fall back to sorting a collected vector once.
+    pub fn neighbors_by_weight(&self) -> NeighborsByWeight<'a, S> {
+        let inner = match self.weight_order {
+            Some(order) => ByWeightInner::Precomputed {
+                order: order.iter(),
+                neighbors: self.neighbors,
+                states: self.states,
+            },
+            None => {
+                let mut v: Vec<NeighborView<'a, S>> = self.neighbors().collect();
+                v.sort_by_key(|nb| (nb.weight, nb.ident));
+                ByWeightInner::Sorted(v.into_iter())
+            }
+        };
+        NeighborsByWeight { inner }
     }
 }
+
+/// Iterator over a [`View`]'s neighbors in increasing `(weight, ident)` order —
+/// allocation-free when the view carries a precomputed weight order.
+#[derive(Clone, Debug)]
+pub struct NeighborsByWeight<'a, S> {
+    inner: ByWeightInner<'a, S>,
+}
+
+#[derive(Clone, Debug)]
+enum ByWeightInner<'a, S> {
+    Precomputed {
+        order: std::slice::Iter<'a, u32>,
+        neighbors: &'a [NeighborInfo],
+        states: &'a [S],
+    },
+    Sorted(std::vec::IntoIter<NeighborView<'a, S>>),
+}
+
+impl<'a, S> Iterator for NeighborsByWeight<'a, S> {
+    type Item = NeighborView<'a, S>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            ByWeightInner::Precomputed {
+                order,
+                neighbors,
+                states,
+            } => {
+                let info = &neighbors[*order.next()? as usize];
+                Some(NeighborView {
+                    node: info.node,
+                    ident: info.ident,
+                    weight: info.weight,
+                    state: &states[info.node.0],
+                })
+            }
+            ByWeightInner::Sorted(items) => items.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            ByWeightInner::Precomputed { order, .. } => order.size_hint(),
+            ByWeightInner::Sorted(items) => items.size_hint(),
+        }
+    }
+}
+
+impl<S> ExactSizeIterator for NeighborsByWeight<'_, S> {}
 
 /// Lazy, allocation-free iterator over a [`View`]'s neighbors.
 #[derive(Clone, Debug)]
@@ -232,14 +333,33 @@ mod tests {
     }
 
     #[test]
-    fn weight_ordering() {
+    fn weight_ordering_fallback_sorts() {
         let states = [0u64, 1, 2, 3];
         let view = sample_view(&states);
-        let order: Vec<Ident> = view
-            .neighbors_by_weight()
-            .iter()
-            .map(|nb| nb.ident)
-            .collect();
+        let order: Vec<Ident> = view.neighbors_by_weight().map(|nb| nb.ident).collect();
         assert_eq!(order, vec![2, 7, 9]);
+        assert_eq!(view.neighbors_by_weight().len(), 3);
+    }
+
+    #[test]
+    fn precomputed_weight_order_matches_the_sorting_fallback() {
+        let states = [0u64, 11, 22, 33];
+        // INFO's (weight, ident) order is (10,2) < (20,7) < (30,9): ports 1, 2, 0.
+        let order = [1u32, 2, 0];
+        let view = View::with_weight_order(NodeId(0), 5, 4, &INFO, &order, &states);
+        let fallback = sample_view(&states);
+        let a: Vec<(Ident, u64)> = view
+            .neighbors_by_weight()
+            .map(|nb| (nb.ident, *nb.state))
+            .collect();
+        let b: Vec<(Ident, u64)> = fallback
+            .neighbors_by_weight()
+            .map(|nb| (nb.ident, *nb.state))
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(2, 22), (7, 33), (9, 11)]);
+        // The plain port-order iterator is unaffected by the weight order.
+        let ports: Vec<Ident> = view.neighbors().map(|nb| nb.ident).collect();
+        assert_eq!(ports, vec![9, 2, 7]);
     }
 }

@@ -26,7 +26,7 @@ fn main() {
         let rounds_before = exec.rounds();
         let moves_before = exec.moves();
         let hit = exec.corrupt_random_nodes(k);
-        let enabled = exec.enabled_nodes().len();
+        let enabled = exec.enabled_count();
         println!(
             "\ncorrupted {} registers ({} nodes detect something to fix locally)",
             hit.len(),

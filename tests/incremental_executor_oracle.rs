@@ -23,8 +23,12 @@ fn drive_with_oracle<A: Algorithm>(
     perturb_every: Option<usize>,
     label: &str,
 ) {
+    // One scratch buffer reused across the whole step loop (`enabled_nodes_into`):
+    // reading the maintained set costs no per-step allocation.
+    let mut maintained = Vec::new();
+    exec.enabled_nodes_into(&mut maintained);
     assert_eq!(
-        exec.enabled_nodes(),
+        maintained,
         exec.rescan_enabled_nodes(),
         "{label}: initial set"
     );
@@ -40,19 +44,22 @@ fn drive_with_oracle<A: Algorithm>(
         if let Some(every) = perturb_every {
             if step % every == every - 1 {
                 exec.corrupt_random_nodes(3);
+                exec.enabled_nodes_into(&mut maintained);
                 assert_eq!(
-                    exec.enabled_nodes(),
+                    maintained,
                     exec.rescan_enabled_nodes(),
                     "{label}: after corruption at step {step}"
                 );
             }
         }
         exec.step_once();
+        exec.enabled_nodes_into(&mut maintained);
         assert_eq!(
-            exec.enabled_nodes(),
+            maintained,
             exec.rescan_enabled_nodes(),
             "{label}: after step {step}"
         );
+        assert_eq!(maintained.len(), exec.enabled_count(), "{label}: count");
         assert_eq!(
             exec.is_quiescent(),
             exec.rescan_enabled_nodes().is_empty(),

@@ -1,0 +1,148 @@
+//! Differential oracle for deterministic parallel wave execution.
+//!
+//! The contract of `stst-runtime::par` (and of every consumer: the executor's
+//! parallel guard waves, the engine's concurrent from-scratch provers and sharded
+//! verification waves) is that results are **bit-identical to the sequential path at
+//! any thread count**: work is split into stable node-range shards of pure reads over
+//! the immutable pre-wave snapshot, and everything order-sensitive is applied on the
+//! calling thread in the sequential order. These tests pin that contract across
+//! seeds, daemons and thread counts ∈ {1, 2, 8}, including under fault injection —
+//! both step-by-step (trajectory equality) and end-to-end (final configurations,
+//! round/move/guard counters, engine reports).
+
+use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTask, PhaseEvent};
+use self_stabilizing_spanning_trees::core::spanning::MinIdSpanningTree;
+use self_stabilizing_spanning_trees::core::{EngineConfig, Relabel};
+use self_stabilizing_spanning_trees::graph::generators;
+use self_stabilizing_spanning_trees::runtime::{Executor, ExecutorConfig, SchedulerKind};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn executor_trajectories_are_bit_identical_across_thread_counts() {
+    // Big enough that synchronous waves cross the executor's parallel threshold, so
+    // the pool path genuinely runs (not just trivially equal by sharing code).
+    let g = generators::workload(400, 0.015, 31);
+    for kind in SchedulerKind::all() {
+        for seed in [3u64, 9] {
+            let run = |threads: usize| {
+                let config = ExecutorConfig::with_scheduler(seed, kind).with_threads(threads);
+                let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
+                let q = exec.run_to_quiescence(5_000_000).expect("converges");
+                (
+                    exec.states().to_vec(),
+                    q,
+                    exec.guard_evaluations(),
+                    exec.activation_counts(),
+                )
+            };
+            let reference = run(1);
+            for &threads in &THREAD_COUNTS[1..] {
+                assert_eq!(
+                    run(threads),
+                    reference,
+                    "daemon {kind}, seed {seed}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn executor_stepwise_equality_holds_under_fault_injection() {
+    let g = generators::workload(350, 0.02, 7);
+    for kind in [SchedulerKind::Synchronous, SchedulerKind::UniformRandom] {
+        let config = ExecutorConfig::with_scheduler(5, kind);
+        let mut seq = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
+        let mut par2 = Executor::from_arbitrary(&g, MinIdSpanningTree, config.with_threads(2));
+        let mut par8 = Executor::from_arbitrary(&g, MinIdSpanningTree, config.with_threads(8));
+        assert_eq!(seq.states(), par2.states());
+        assert_eq!(seq.states(), par8.states());
+        for step in 0..120 {
+            if step % 13 == 12 {
+                // Same seed ⇒ the three executors corrupt the same registers with the
+                // same garbage; the RNG never depends on the thread count.
+                let a = seq.corrupt_random_nodes(5);
+                let b = par2.corrupt_random_nodes(5);
+                let c = par8.corrupt_random_nodes(5);
+                assert_eq!(a, b, "daemon {kind}, step {step}");
+                assert_eq!(a, c, "daemon {kind}, step {step}");
+            }
+            if seq.is_quiescent() {
+                assert!(par2.is_quiescent() && par8.is_quiescent());
+                break;
+            }
+            let chosen = seq.step_once().to_vec();
+            assert_eq!(chosen, par2.step_once(), "daemon {kind}, step {step}");
+            assert_eq!(chosen, par8.step_once(), "daemon {kind}, step {step}");
+            assert_eq!(seq.states(), par2.states(), "daemon {kind}, step {step}");
+            assert_eq!(seq.states(), par8.states(), "daemon {kind}, step {step}");
+            assert_eq!(seq.rounds(), par2.rounds(), "daemon {kind}, step {step}");
+            assert_eq!(seq.rounds(), par8.rounds(), "daemon {kind}, step {step}");
+            assert_eq!(
+                seq.guard_evaluations(),
+                par8.guard_evaluations(),
+                "daemon {kind}, step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_reports_are_identical_across_thread_counts() {
+    for (task, n) in [(EngineTask::Mst, 260), (EngineTask::Mdst, 100)] {
+        for relabel in [Relabel::Incremental, Relabel::FromScratch] {
+            let g = generators::workload(n, 8.0 / n as f64, 13);
+            let run = |threads: usize| {
+                let config = EngineConfig::seeded(13)
+                    .with_relabel(relabel)
+                    .with_threads(threads);
+                let mut engine = CompositionEngine::new(&g, task, config);
+                engine.run()
+            };
+            let reference = run(1);
+            for &threads in &THREAD_COUNTS[1..] {
+                let report = run(threads);
+                let label = format!("{task:?}/{relabel:?}/{threads} threads");
+                assert_eq!(report.tree, reference.tree, "{label}");
+                assert_eq!(report.total_rounds, reference.total_rounds, "{label}");
+                assert_eq!(report.phase_rounds, reference.phase_rounds, "{label}");
+                assert_eq!(report.labels_written, reference.labels_written, "{label}");
+                assert_eq!(report.improvements, reference.improvements, "{label}");
+                assert_eq!(
+                    report.max_register_bits, reference.max_register_bits,
+                    "{label}"
+                );
+                assert!(report.legal, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_fault_recovery_is_identical_across_thread_counts() {
+    // n ≥ 256 so the recovery's verification waves take the sharded pool path.
+    let g = generators::workload(300, 6.0 / 300.0, 17);
+    let run = |threads: usize| {
+        let config = EngineConfig::seeded(17).with_threads(threads);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+        engine.run();
+        let hit = engine.corrupt_random_labels(9);
+        let recovery = engine.step();
+        let silent = matches!(engine.step(), PhaseEvent::Stabilized { legal: true });
+        (
+            hit,
+            recovery,
+            silent,
+            engine.nca_labels().to_vec(),
+            engine.redundant_labels().to_vec(),
+        )
+    };
+    let reference = run(1);
+    assert!(
+        matches!(reference.1, PhaseEvent::Recovered { families_rebuilt, .. } if families_rebuilt >= 1)
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        assert_eq!(run(threads), reference, "{threads} threads");
+    }
+}
