@@ -1,0 +1,142 @@
+//! Live-churn recovery at scale: incremental re-stabilization under a steady stream
+//! of single-edge topology events, swept over graph size × thread count.
+//!
+//! Before timing anything the bench asserts two contracts:
+//!
+//! * **determinism** — the churned run (final tree, label-write and round counters)
+//!   is bit-identical at every thread count to the single-threaded run;
+//! * **incrementality** — per applied event batch, the engine writes fewer labels
+//!   than a from-scratch rebuild of the composition on the final mutated graph (the
+//!   E10 acceptance gate, here at bench scale).
+//!
+//! `-- --smoke` runs a reduced grid (small n, threads ∈ {1, 4}); CI uses it to keep
+//! the churn path from rotting.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_churn::{trace, ChurnDriver, ChurnTrace};
+use stst_core::engine::{CompositionEngine, EngineTask};
+use stst_core::EngineConfig;
+use stst_graph::{generators, Graph, Tree};
+
+const SEED: u64 = 71;
+
+fn churn_graph(n: usize) -> Graph {
+    generators::workload(n, 6.0 / n as f64, SEED)
+}
+
+struct ChurnOutcome {
+    tree: Tree,
+    labels_written: u64,
+    rounds: u64,
+    applied_batches: u64,
+    churn_labels: u64,
+}
+
+fn run_churn(g: &Graph, churn: &ChurnTrace, threads: usize) -> ChurnOutcome {
+    let engine = CompositionEngine::new(
+        g,
+        EngineTask::Mst,
+        EngineConfig::seeded(SEED).with_threads(threads),
+    );
+    let mut driver = ChurnDriver::new(engine);
+    driver.stabilize();
+    let summary = driver.run_trace(churn);
+    let engine = driver.into_engine();
+    ChurnOutcome {
+        tree: engine.tree().clone(),
+        labels_written: engine.labels_written(),
+        rounds: engine.total_rounds(),
+        applied_batches: summary.batches as u64 - summary.severed as u64,
+        churn_labels: summary.total_labels_written,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, thread_counts): (&[usize], &[usize]) = if smoke {
+        (&[300], &[1, 4])
+    } else {
+        (&[1_000, 2_500], &[1, 2, 4, 8])
+    };
+    let waves = if smoke { 6 } else { 10 };
+
+    let mut group = c.benchmark_group("churn_scale");
+    group
+        .sample_size(if smoke { 2 } else { 5 })
+        .measurement_time(Duration::from_secs(if smoke { 2 } else { 12 }))
+        .warm_up_time(Duration::from_millis(if smoke { 50 } else { 500 }));
+
+    for &n in sizes {
+        let g = churn_graph(n);
+        let churn = trace::steady_poisson(&g, waves, 1.0, 0.0, SEED);
+        // Determinism gate (untimed): every thread count reproduces the
+        // single-threaded churned run bit for bit.
+        let reference = run_churn(&g, &churn, 1);
+        for &t in thread_counts.iter().filter(|&&t| t != 1) {
+            let outcome = run_churn(&g, &churn, t);
+            assert!(
+                outcome.tree == reference.tree
+                    && outcome.labels_written == reference.labels_written
+                    && outcome.rounds == reference.rounds,
+                "threads={t} diverged from the sequential churned run at n={n}"
+            );
+        }
+        // Incrementality gate: per applied batch, the churn recovery writes fewer
+        // labels than one from-scratch rebuild of the composition on the final
+        // mutated graph.
+        if let Some(per_batch) = reference
+            .churn_labels
+            .checked_div(reference.applied_batches)
+        {
+            let final_graph = {
+                let mut replay = g.clone();
+                for batch in &churn.batches {
+                    for event in batch {
+                        let muts = event.mutations(replay.node_count());
+                        let mut trial = replay.clone();
+                        trial.apply_mutations(&muts);
+                        if trial.is_connected() {
+                            replay = trial;
+                        }
+                    }
+                }
+                replay
+            };
+            let mut fresh =
+                CompositionEngine::new(&final_graph, EngineTask::Mst, EngineConfig::seeded(SEED));
+            let rebuild = fresh.run();
+            assert_eq!(
+                fresh.tree(),
+                &reference.tree,
+                "rebuild and churned run agree on the MST of the final graph"
+            );
+            assert!(
+                per_batch < rebuild.labels_written,
+                "n={n}: churn recovery wrote {per_batch} labels/batch, \
+                 a from-scratch rebuild writes {}",
+                rebuild.labels_written
+            );
+            println!(
+                "churn_scale/{n}: {} labels/batch incremental vs {} per rebuild ({}x)",
+                per_batch,
+                rebuild.labels_written,
+                rebuild.labels_written / per_batch.max(1)
+            );
+        }
+        for &t in thread_counts {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("steady_churn/{n}"), format!("threads={t}")),
+                &t,
+                |b, &t| {
+                    b.iter(|| black_box(run_churn(&g, &churn, t)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //!
 //! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke]`
 //!
-//! * `--json` emits machine-readable output;
+//! * `--json` emits machine-readable output — a `{host, tables}` document whose
+//!   `host` block records the logical core count and thread grid, so recorded
+//!   `BENCH_*.json` baselines are self-describing;
 //! * `--smoke` runs the tiny-size grid (every experiment at toy sizes — the CI check
 //!   that keeps the harness runnable).
 
@@ -15,13 +17,16 @@ fn main() {
         .unwrap_or(2015);
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
-    let tables = if smoke {
-        stst_bench::smoke_report(seed)
+    let (tables, thread_grid) = if smoke {
+        (stst_bench::smoke_report(seed), vec![2])
     } else {
-        stst_bench::full_report(seed)
+        (
+            stst_bench::full_report(seed),
+            vec![stst_bench::default_threads()],
+        )
     };
     if json {
-        println!("{}", stst_bench::tables_to_json(&tables));
+        println!("{}", stst_bench::report_json(&tables, &thread_grid));
         return;
     }
     println!(

@@ -1,6 +1,6 @@
 //! Experiment harness for the ICDCS 2015 reproduction.
 //!
-//! The paper has no empirical tables (it is a theory paper), so the experiments E1–E9
+//! The paper has no empirical tables (it is a theory paper), so the experiments E1–E10
 //! defined in DESIGN.md operationalize its claims: each function here runs one
 //! experiment over a parameter sweep and returns printable rows; the `report` binary
 //! assembles them into the tables recorded in EXPERIMENTS.md, and the Criterion benches
@@ -9,6 +9,7 @@
 use stst_baselines::compact_mst::{self, CompactVariant};
 use stst_baselines::naive_reset::DistanceOnlySpanningTree;
 use stst_baselines::prior_mdst;
+use stst_churn::{trace, ChurnDriver};
 use stst_core::bfs::RootedBfs;
 use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
 use stst_core::nca_build::build_nca_labels;
@@ -42,7 +43,7 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// A named experiment result table.
 #[derive(Clone, Debug)]
 pub struct ExperimentTable {
-    /// Experiment identifier (E1–E9).
+    /// Experiment identifier (E1–E10).
     pub id: String,
     /// One-line description (the paper claim being exercised).
     pub claim: String,
@@ -128,6 +129,31 @@ pub fn tables_to_json(tables: &[ExperimentTable]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Host metadata as a JSON object: the logical core count and the worker-thread grid
+/// the run measured with. Recorded in every `BENCH_*.json` / `report --json` output so
+/// single-core baselines (like the first `BENCH_parallel.json`) are self-describing
+/// instead of explained only in prose.
+pub fn host_metadata_json(thread_grid: &[usize]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let grid: Vec<String> = thread_grid.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\"logical_cores\":{},\"thread_grid\":[{}]}}",
+        cores,
+        grid.join(",")
+    )
+}
+
+/// The `report --json` document: host metadata plus the experiment tables.
+pub fn report_json(tables: &[ExperimentTable], thread_grid: &[usize]) -> String {
+    format!(
+        "{{\"host\":{},\n \"tables\":{}}}",
+        host_metadata_json(thread_grid),
+        tables_to_json(tables)
+    )
 }
 
 fn f(x: f64) -> String {
@@ -599,6 +625,114 @@ pub fn e9_sched_ablation(n: usize, seed: u64) -> ExperimentTable {
     }
 }
 
+/// E10 — live topology churn (the headline scenario of self-stabilization): a
+/// steady stream of single-edge events (link add/remove, weight drift) hits a
+/// stabilized MST composition, and the engine's incremental re-stabilization
+/// (`CompositionEngine::apply_topology` + resumed local search) is compared, per
+/// event, against tearing the engine down and rebuilding from scratch on the mutated
+/// graph. Severing events are dropped and counted (`Partitioned` is reported, never
+/// repaired). Results are bit-identical at any `threads` value.
+pub fn e10_churn(
+    sizes: &[usize],
+    rates: &[f64],
+    waves: usize,
+    seed: u64,
+    threads: usize,
+) -> ExperimentTable {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for &rate in rates {
+            let p = densities_for(n)[0];
+            let g = generators::workload(n, p, seed);
+            let engine = CompositionEngine::new(
+                &g,
+                EngineTask::Mst,
+                EngineConfig::seeded(seed).with_threads(threads),
+            );
+            let mut driver = ChurnDriver::new(engine);
+            driver.stabilize();
+            let churn = trace::steady_poisson(&g, waves, rate, 0.0, seed);
+            let mut severed = 0u64;
+            let mut events = 0u64;
+            let mut incr_labels = 0u64;
+            let mut incr_rounds = 0u64;
+            let mut incr_switches = 0u64;
+            let mut rebuild_labels = 0u64;
+            let mut rebuild_rounds = 0u64;
+            for batch in &churn.batches {
+                if batch.is_empty() {
+                    continue;
+                }
+                let report = driver.inject(batch);
+                if !report.applied {
+                    severed += 1;
+                    continue;
+                }
+                events += report.events as u64;
+                incr_labels += report.labels_written;
+                incr_rounds += report.recovery_rounds;
+                incr_switches += report.switches;
+                // The rebuild-from-scratch baseline: a fresh engine on the mutated
+                // graph (what a system without topology deltas would have to do).
+                let mutated = driver.engine().graph().clone();
+                let mut fresh = CompositionEngine::new(
+                    &mutated,
+                    EngineTask::Mst,
+                    EngineConfig::seeded(seed).with_threads(threads),
+                );
+                let rebuilt = fresh.run();
+                assert!(rebuilt.legal, "the rebuild baseline is an MST");
+                rebuild_labels += rebuilt.labels_written;
+                rebuild_rounds += rebuilt.total_rounds;
+            }
+            let per = |total: u64| {
+                if events == 0 {
+                    "-".to_string()
+                } else {
+                    f(total as f64 / events as f64)
+                }
+            };
+            rows.push(vec![
+                n.to_string(),
+                g.edge_count().to_string(),
+                threads.to_string(),
+                format!("{rate:.1}"),
+                events.to_string(),
+                severed.to_string(),
+                per(incr_labels),
+                per(rebuild_labels),
+                per(incr_rounds),
+                per(rebuild_rounds),
+                per(incr_switches),
+                if incr_labels == 0 {
+                    "inf".to_string()
+                } else {
+                    f(rebuild_labels as f64 / incr_labels as f64)
+                },
+            ]);
+        }
+    }
+    ExperimentTable {
+        id: "E10".into(),
+        claim: "live topology churn: incremental re-stabilization vs rebuild-from-scratch, per single-edge event".into(),
+        headers: vec![
+            "n".into(),
+            "m".into(),
+            "threads".into(),
+            "events/wave".into(),
+            "events".into(),
+            "severed (dropped)".into(),
+            "label writes/event (incr)".into(),
+            "label writes/event (rebuild)".into(),
+            "rounds/event (incr)".into(),
+            "rounds/event (rebuild)".into(),
+            "switches/event".into(),
+            "label-writes ratio (rebuild/incr)".into(),
+        ],
+        rows,
+    }
+}
+
 /// Worker threads the full report measures with: the host's available parallelism,
 /// capped at 8 (the widest point of the `parallel_scale` sweep). Results are
 /// bit-identical at any value — this only affects wall clock and the recorded
@@ -624,6 +758,7 @@ pub fn full_report(seed: u64) -> Vec<ExperimentTable> {
         e8_faults(40, &[0.05, 0.25, 0.5, 1.0], seed, threads),
         e8_label_faults(64, &[1, 4, 16], seed),
         e9_sched_ablation(24, seed),
+        e10_churn(&[64, 1000], &[0.5, 2.0], 8, seed, threads),
     ]
 }
 
@@ -643,6 +778,7 @@ pub fn smoke_report(seed: u64) -> Vec<ExperimentTable> {
         e8_faults(12, &[0.5], seed, 2),
         e8_label_faults(16, &[2], seed),
         e9_sched_ablation(12, seed),
+        e10_churn(&[16], &[1.5], 4, seed, 2),
     ]
 }
 
@@ -742,9 +878,51 @@ mod tests {
     #[test]
     fn smoke_grid_covers_every_experiment() {
         let tables = smoke_report(5);
-        assert_eq!(tables.len(), 10);
+        assert_eq!(tables.len(), 11);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
         }
+        assert_eq!(tables.last().unwrap().id, "E10");
+    }
+
+    #[test]
+    fn e10_incremental_beats_rebuild_on_label_writes() {
+        let table = e10_churn(&[48], &[1.0], 6, 3, 1);
+        assert_eq!(table.rows.len(), 1);
+        let row = &table.rows[0];
+        let col = |needle: &str| {
+            table
+                .headers
+                .iter()
+                .position(|h| h.contains(needle))
+                .unwrap_or_else(|| panic!("no column {needle}"))
+        };
+        let incr: f64 = row[col("(incr)")].parse().unwrap();
+        let rebuild: f64 = row[col("(rebuild)")].parse().unwrap();
+        assert!(
+            incr < rebuild,
+            "incremental wrote {incr} labels/event, rebuild {rebuild}"
+        );
+        let ratio: f64 = row[col("ratio")].parse().unwrap();
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    fn host_metadata_is_valid_json_with_the_grid() {
+        let json = host_metadata_json(&[1, 4]);
+        assert!(json.starts_with("{\"logical_cores\":"));
+        assert!(json.ends_with("\"thread_grid\":[1,4]}"));
+        let doc = report_json(&smoke_report_stub(), &[2]);
+        assert!(doc.starts_with("{\"host\":{\"logical_cores\":"));
+        assert!(doc.contains("\"tables\":["));
+    }
+
+    fn smoke_report_stub() -> Vec<ExperimentTable> {
+        vec![ExperimentTable {
+            id: "E0".into(),
+            claim: "stub".into(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+        }]
     }
 }

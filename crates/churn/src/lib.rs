@@ -1,0 +1,38 @@
+//! Live topology churn for the self-stabilizing constructions.
+//!
+//! Self-stabilization (Blin–Fraigniaud, ICDCS 2015) is precisely the property that the
+//! system recovers from *any* transient change — yet a static graph never exercises
+//! that promise on the workload it was designed for: links failing, weights drifting,
+//! nodes joining and leaving. This crate turns the composition engine into a system
+//! under churn:
+//!
+//! * [`TopologyEvent`] — the event model (edge add/remove, weight change, node
+//!   join/leave), lowered to the graph layer's batched [`stst_graph::Mutation`]s;
+//! * [`trace`] — seeded, deterministic trace generators: steady Poisson churn
+//!   ([`trace::steady_poisson`]), link flapping ([`trace::link_flapping`]),
+//!   partition-and-heal ([`trace::partition_and_heal`]) and weight drift
+//!   ([`trace::weight_drift`]). Generators maintain a *shadow* copy of the evolving
+//!   network and apply the same keep-connected policy as the driver, so a trace is
+//!   replayable event for event — except partition-and-heal, which deliberately emits
+//!   the severing cut so the [`PhaseEvent::Partitioned`] reporting path runs end to
+//!   end;
+//! * [`ChurnDriver`] — injects event batches **only at wave boundaries** (it steps the
+//!   engine to silence before every injection), which is what keeps parallel wave
+//!   execution bit-identical at any thread count under churn, and records the
+//!   marginal recovery cost of every event batch (rounds, label writes, switches).
+//!
+//! The differential contract — after every injected event the repaired labels and the
+//! re-stabilized tree are bit-identical to a from-scratch rebuild on the mutated
+//! graph — is pinned by `tests/churn_oracle.rs` at the repository root and measured by
+//! experiment E10 (`stst-bench`).
+
+pub mod driver;
+pub mod event;
+pub mod trace;
+
+pub use driver::{ChurnDriver, ChurnSummary, EventReport};
+pub use event::TopologyEvent;
+pub use trace::ChurnTrace;
+
+// Re-exported so churn scenarios can be scripted against this crate alone.
+pub use stst_core::engine::PhaseEvent;

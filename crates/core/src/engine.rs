@@ -31,11 +31,14 @@
 //! runs the 1-round proof-labeling verification wave, rebuilds exactly the rejected
 //! families, and reports the measured recovery cost (experiment E8b).
 
+use std::borrow::Cow;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use stst_graph::fr::{fr_certificate, improve_once};
-use stst_graph::{EdgeId, Graph, NodeId, Tree};
+use stst_graph::union_find::UnionFind;
+use stst_graph::{EdgeId, Graph, Mutation, MutationOutcome, NodeId, Tree, Weight};
 use stst_labeling::mst_fragments::{FragmentLabel, FragmentScheme, FragmentState};
 use stst_labeling::nca::{assign_nca_labels, repair_nca_labels, NcaLabel, NcaScheme};
 use stst_labeling::redundant::{repair_redundant_labels, RedundantLabel, RedundantScheme};
@@ -94,6 +97,27 @@ pub enum PhaseEvent {
         labels_written: u64,
         /// Rounds charged (one verification round plus the rebuild waves).
         rounds: u64,
+    },
+    /// A batch of topology mutations was applied and the affected state repaired; the
+    /// engine resumes local search from the repaired configuration on the next step.
+    TopologyApplied {
+        /// Nodes whose incident topology (or dense index) changed.
+        dirty_nodes: usize,
+        /// Orphaned subtrees re-anchored through the loop-free switch machinery (or,
+        /// after node churn, tree components reconnected by the rebuild).
+        reanchored: usize,
+        /// Per-node label records rewritten by the eager fragment repair.
+        labels_written: u64,
+        /// Rounds charged to the delta-detection and repair waves.
+        rounds: u64,
+    },
+    /// A batch of topology mutations would sever the network. Nothing was committed:
+    /// a spanning tree of a disconnected graph does not exist, so the condition is
+    /// *reported*, never silently "repaired" — the caller decides whether to drop the
+    /// batch (as the `stst-churn` driver does) or to tear the engine down.
+    Partitioned {
+        /// Number of connected components the mutated graph would have had.
+        components: usize,
     },
     /// No rule is enabled: the composition is silent.
     Stabilized {
@@ -276,7 +300,10 @@ struct PendingRepair {
 
 /// The resumable composition engine (see the module docs).
 pub struct CompositionEngine<'g> {
-    graph: &'g Graph,
+    /// The network. Borrowed until the first topology mutation, owned afterwards
+    /// ([`CompositionEngine::apply_topology`] clones on first write) — static-topology
+    /// runs keep the zero-copy behavior of the previous `&'g Graph` field.
+    graph: Cow<'g, Graph>,
     task: EngineTask,
     config: EngineConfig,
     phase: Phase,
@@ -305,7 +332,7 @@ impl<'g> CompositionEngine<'g> {
     /// [`run`]: CompositionEngine::run
     pub fn new(graph: &'g Graph, task: EngineTask, config: EngineConfig) -> Self {
         CompositionEngine {
-            graph,
+            graph: Cow::Borrowed(graph),
             task,
             config,
             phase: Phase::Build,
@@ -332,6 +359,22 @@ impl<'g> CompositionEngine<'g> {
     /// Panics before the tree-construction phase has run.
     pub fn tree(&self) -> &Tree {
         &self.state.as_ref().expect("tree not built yet").tree
+    }
+
+    /// The network the engine currently runs on (reflects every committed topology
+    /// mutation).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Total rounds charged so far (across construction, waves, switches and deltas).
+    pub fn total_rounds(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    /// Edge swaps (or well-nested swap sequences) applied so far.
+    pub fn improvements(&self) -> usize {
+        self.improvements
     }
 
     /// The maintained fragment labels (MST only, after the first labeling wave).
@@ -398,10 +441,229 @@ impl<'g> CompositionEngine<'g> {
         }
     }
 
+    /// Applies a batch of live topology mutations — links failing, weights drifting,
+    /// nodes joining and leaving — and repairs the engine's persistent state like a
+    /// **localized fault** (the headline promise of self-stabilization, exercised on
+    /// the workload it was designed for):
+    ///
+    /// * the graph delta is committed through [`Graph::apply_mutations`] (one CSR
+    ///   rebuild per batch), *unless* it would sever the network, which is reported as
+    ///   [`PhaseEvent::Partitioned`] without committing anything;
+    /// * every tree edge the batch deleted re-anchors its orphaned subtree through the
+    ///   loop-free switch machinery: the minimum-weight replacement edge is attached
+    ///   by the same parent-pointer reversal a switch uses, and the resulting dirty
+    ///   region is left pending for the incremental NCA/redundant label repair of the
+    ///   next wave (mutations that leave the tree intact — non-tree edge removal,
+    ///   edge insertion, weight drift — invalidate **no** tree-derived label at all);
+    /// * the Borůvka fragment state is repaired on the endpoint-dirty frontier
+    ///   ([`FragmentState::apply_topology`]), bit-identical to a from-scratch rebuild
+    ///   on the mutated instance;
+    /// * node churn remaps the dense index space, so it falls back to the coarse
+    ///   path: surviving tree edges are kept, components reconnected by the lightest
+    ///   replacement edges, and every label family re-proved from scratch on the next
+    ///   wave (`old_index` bookkeeping is in the returned
+    ///   [`stst_graph::MutationOutcome`] contract);
+    /// * local search then resumes: subsequent [`step`](CompositionEngine::step)s
+    ///   repair labels and apply improving swaps until the composition is silent on
+    ///   the mutated network. In [`Relabel::FromScratch`] mode every family is
+    ///   re-proved instead — the differential baseline the churn oracle and E10
+    ///   compare against.
+    ///
+    /// This is a wave-boundary event, exactly like
+    /// [`corrupt_random_labels`](CompositionEngine::corrupt_random_labels):
+    /// call it after a [`PhaseEvent::LabelsReady`], [`PhaseEvent::Stabilized`] or
+    /// [`PhaseEvent::TreeConstructed`] — never while a switch's label repair is
+    /// pending — so parallel wave execution stays deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label repair is pending or injected corruption is unresolved, or if
+    /// a mutation itself is invalid (see [`Graph::apply_mutations`]).
+    pub fn apply_topology(&mut self, mutations: &[Mutation]) -> PhaseEvent {
+        assert!(
+            self.pending.is_none() && !self.corrupted,
+            "topology deltas are wave-boundary events"
+        );
+        let mut next = self.graph.as_ref().clone();
+        let outcome = next.apply_mutations(mutations);
+        if !next.is_connected() {
+            return PhaseEvent::Partitioned {
+                components: next.component_count(),
+            };
+        }
+        let written_before = self.labels_written;
+        let rounds_before = self.ledger.total();
+        if self.state.is_none() {
+            // Nothing constructed yet: the guarded-rule build phase simply starts
+            // from the mutated network.
+            self.graph = Cow::Owned(next);
+            return PhaseEvent::TopologyApplied {
+                dirty_nodes: outcome.dirty.len(),
+                reanchored: 0,
+                labels_written: 0,
+                rounds: 0,
+            };
+        }
+        if outcome.node_set_changed {
+            self.graph = Cow::Owned(next);
+            return self.rebuild_after_node_churn(&outcome);
+        }
+        // Edge-level delta: identify the tree edges the batch deleted, then commit.
+        let severed: Vec<NodeId> = {
+            let state = self.state.as_ref().expect("tree built");
+            state
+                .tree
+                .edges()
+                .into_iter()
+                .filter(|&(v, p)| next.edge_between(v, p).is_none())
+                .map(|(v, _)| v)
+                .collect()
+        };
+        self.graph = Cow::Owned(next);
+        let mut frag_dirty: Vec<NodeId> = outcome.dirty.clone();
+        let mut rounds = 1u64; // the delta-detection wave
+        let reanchored = severed.len();
+        let mut structurally: Vec<NodeId> = Vec::new();
+        let mut depth_dirty: Vec<NodeId> = Vec::new();
+        let mut size_dirty: Vec<NodeId> = Vec::new();
+        let mut path_len = 0u64;
+        let mut dirty_height = 0u64;
+        for child_side in severed {
+            let state = self.state.as_mut().expect("tree built");
+            let (anchor, changes) = reanchor_changes(&self.graph, state, child_side)
+                .expect("a connected graph always offers a replacement edge");
+            let anchor_edge = self.graph.edge(anchor);
+            frag_dirty.push(anchor_edge.u);
+            frag_dirty.push(anchor_edge.v);
+            let region = state.apply_parent_changes(&changes);
+            let height = region.height_in(&state.depths);
+            rounds += waves::repair_rounds(height, changes.len() as u64);
+            structurally.extend(region.structurally_dirty);
+            depth_dirty.extend(region.depth_dirty);
+            size_dirty.extend(region.size_dirty);
+            path_len += changes.len() as u64;
+            dirty_height = dirty_height.max(height);
+        }
+        frag_dirty.sort_unstable();
+        frag_dirty.dedup();
+        match self.config.relabel {
+            Relabel::Incremental => {
+                if let Some(fragments) = self.fragments.as_mut() {
+                    let state = self.state.as_ref().expect("tree built");
+                    let written = fragments.apply_topology(&self.graph, &state.tree, &frag_dirty);
+                    self.labels_written += written;
+                    rounds += waves::repair_rounds(dirty_height, frag_dirty.len() as u64);
+                }
+                if reanchored > 0 {
+                    for list in [&mut structurally, &mut depth_dirty, &mut size_dirty] {
+                        list.sort_unstable();
+                        list.dedup();
+                    }
+                    self.pending = Some(PendingRepair {
+                        swap: None,
+                        region: DirtyRegion {
+                            structurally_dirty: structurally,
+                            depth_dirty,
+                            size_dirty,
+                        },
+                        path_len,
+                        dirty_height,
+                    });
+                    self.phase = Phase::Label;
+                } else if self.nca.is_empty() {
+                    // The delta landed right after TreeConstructed, before the first
+                    // labeling wave: there is nothing to repair yet — the next wave
+                    // proves every family from scratch on the mutated graph.
+                    self.phase = Phase::Label;
+                } else {
+                    // The tree is untouched, so every tree-derived label family is
+                    // still exact: resume local search directly.
+                    self.phase = Phase::Improve;
+                }
+                if !self.nca.is_empty() {
+                    self.account_register_bits();
+                }
+            }
+            Relabel::FromScratch => {
+                // Reference mode: the next wave re-proves every family from scratch.
+                self.pending = None;
+                self.phase = Phase::Label;
+            }
+        }
+        self.ledger
+            .charge("topology delta (dirty-region repair)", rounds);
+        PhaseEvent::TopologyApplied {
+            dirty_nodes: outcome.dirty.len(),
+            reanchored,
+            labels_written: self.labels_written - written_before,
+            rounds: self.ledger.total() - rounds_before,
+        }
+    }
+
+    /// The coarse repair path for node churn: the dense index space was remapped, so
+    /// every `NodeId`-keyed register is void. Surviving tree edges are kept, the
+    /// forest is reconnected with the lightest replacement edges (deterministic
+    /// Kruskal completion), the tree is re-rooted at the mutated graph's minimum
+    /// identity, and all label families are re-proved from scratch on the next wave.
+    fn rebuild_after_node_churn(&mut self, outcome: &MutationOutcome) -> PhaseEvent {
+        let old_state = self.state.take().expect("tree built");
+        let graph: &Graph = &self.graph;
+        let n = graph.node_count();
+        let mut new_of_old: Vec<Option<NodeId>> = vec![None; old_state.parents.len()];
+        for (i, o) in outcome.old_index.iter().enumerate() {
+            if let Some(o) = o {
+                new_of_old[o.0] = Some(NodeId(i));
+            }
+        }
+        let mut uf = UnionFind::new(n);
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for (v_old, p_old) in old_state.tree.edges() {
+            if let (Some(v), Some(p)) = (new_of_old[v_old.0], new_of_old[p_old.0]) {
+                if let Some(e) = graph.edge_between(v, p) {
+                    if uf.union(v.0, p.0) {
+                        edges.push(e);
+                    }
+                }
+            }
+        }
+        let surviving = edges.len();
+        let mut order: Vec<EdgeId> = graph.edge_ids().collect();
+        order.sort_by_key(|&e| (graph.weight(e), e.index()));
+        for e in order {
+            if uf.component_count() == 1 {
+                break;
+            }
+            let ed = graph.edge(e);
+            if uf.union(ed.u.0, ed.v.0) {
+                edges.push(e);
+            }
+        }
+        let root = graph.min_ident_node();
+        let tree =
+            Tree::from_edge_set(graph, &edges, root).expect("the mutated graph is connected");
+        self.state = Some(TreeState::new(tree));
+        self.fragments = None;
+        self.nca = Vec::new();
+        self.redundant = Vec::new();
+        self.pending = None;
+        let state = self.state.as_ref().expect("just rebuilt");
+        let rounds =
+            1 + waves::convergecast_rounds(&state.tree) + waves::broadcast_rounds(&state.tree);
+        self.ledger
+            .charge("topology delta (node churn rebuild)", rounds);
+        self.phase = Phase::Label;
+        PhaseEvent::TopologyApplied {
+            dirty_nodes: outcome.dirty.len(),
+            reanchored: n - 1 - surviving,
+            labels_written: 0,
+            rounds,
+        }
+    }
+
     fn build_tree(&mut self) -> PhaseEvent {
         let exec_config = ExecutorConfig::with_scheduler(self.config.seed, self.config.scheduler)
             .with_threads(self.config.threads);
-        let mut exec = Executor::from_arbitrary(self.graph, MinIdSpanningTree, exec_config);
+        let mut exec = Executor::from_arbitrary(&self.graph, MinIdSpanningTree, exec_config);
         let quiescence = exec
             .run_to_quiescence(self.config.max_steps)
             .expect("the spanning-tree phase converges on connected graphs");
@@ -435,7 +697,7 @@ impl<'g> CompositionEngine<'g> {
             let repair_rounds = waves::repair_rounds(pending.dirty_height, pending.path_len);
             if let Some((add, remove)) = pending.swap {
                 let fragments = self.fragments.as_mut().expect("MST maintains fragments");
-                let written = fragments.apply_swap(self.graph, add, remove);
+                let written = fragments.apply_swap(&self.graph, add, remove);
                 self.labels_written += written;
                 self.ledger
                     .charge("fragment label repair (dirty region)", repair_rounds);
@@ -447,7 +709,7 @@ impl<'g> CompositionEngine<'g> {
                 }
             }
             let written = repair_nca_labels(
-                self.graph,
+                &self.graph,
                 &state.children,
                 &state.sizes,
                 &state.depths,
@@ -490,8 +752,8 @@ impl<'g> CompositionEngine<'g> {
     /// thread count.
     fn build_labels_from_scratch(&mut self) {
         let n = self.graph.node_count() as u64;
-        let graph = self.graph;
         if self.task == EngineTask::Mst {
+            let graph: &Graph = &self.graph;
             let tree = &self.state.as_ref().expect("tree built").tree;
             let pool = &self.pool;
             let (fragments, (nca, redundant)) = pool.join(
@@ -520,6 +782,7 @@ impl<'g> CompositionEngine<'g> {
             self.labels_written += n;
         } else {
             self.charge_fr_marking();
+            let graph: &Graph = &self.graph;
             let tree = &self.state.as_ref().expect("tree built").tree;
             let (nca, redundant) = self.pool.join(
                 || assign_nca_labels(graph, tree),
@@ -562,9 +825,9 @@ impl<'g> CompositionEngine<'g> {
                 .unwrap_or(0),
             EngineTask::Mdst => {
                 let tree = &self.state.as_ref().expect("tree built").tree;
-                if stst_graph::fr::is_fr_tree(self.graph, tree) {
+                if stst_graph::fr::is_fr_tree(&self.graph, tree) {
                     let scheme = stst_labeling::fr_labels::FrScheme;
-                    let labels = scheme.prove(self.graph, tree);
+                    let labels = scheme.prove(&self.graph, tree);
                     labels
                         .iter()
                         .map(|l| scheme.label_bits(l))
@@ -597,8 +860,8 @@ impl<'g> CompositionEngine<'g> {
     fn improve_mst(&mut self) -> PhaseEvent {
         let fragments = self.fragments.as_ref().expect("MST maintains fragments");
         let tree = &self.state.as_ref().expect("tree built").tree;
-        let Some((add, remove)) = fragments.improving_swap(self.graph, tree) else {
-            self.legal = stst_graph::mst::is_mst(self.graph, tree);
+        let Some((add, remove)) = fragments.improving_swap(&self.graph, tree) else {
+            self.legal = stst_graph::mst::is_mst(&self.graph, tree);
             self.phase = Phase::Done;
             return PhaseEvent::Stabilized { legal: self.legal };
         };
@@ -675,7 +938,7 @@ impl<'g> CompositionEngine<'g> {
     /// rebuilt by the next labeling wave.
     fn switch_from_scratch(&mut self, add: EdgeId, remove: EdgeId) -> PhaseEvent {
         let state = self.state.as_mut().expect("tree built");
-        let outcome = loop_free_switch(self.graph, &state.tree, add, remove);
+        let outcome = loop_free_switch(&self.graph, &state.tree, add, remove);
         self.ledger.charge("loop-free edge switch", outcome.rounds);
         // The staged machinery re-proves the full redundant labeling once per local
         // switch (its relabeling phase) — that is the work the incremental mode saves.
@@ -693,15 +956,15 @@ impl<'g> CompositionEngine<'g> {
 
     fn improve_mdst(&mut self) -> PhaseEvent {
         let state = self.state.as_mut().expect("tree built");
-        let Some(next) = improve_once(self.graph, &state.tree) else {
-            self.legal = fr_certificate(self.graph, &state.tree).is_some();
+        let Some(next) = improve_once(&self.graph, &state.tree) else {
+            self.legal = fr_certificate(&self.graph, &state.tree).is_some();
             self.phase = Phase::Done;
             return PhaseEvent::Stabilized { legal: self.legal };
         };
         self.improvements += 1;
         // Charge the well-nested swap sequence: each swapped edge goes through a
         // loop-free switch whose pipelined cost is O(height + path).
-        let swapped = edge_difference(self.graph, &state.tree, &next);
+        let swapped = edge_difference(&self.graph, &state.tree, &next);
         let per_switch = 2 * waves::broadcast_rounds(&state.tree)
             + 2 * waves::convergecast_rounds(&state.tree)
             + 2;
@@ -826,14 +1089,14 @@ impl<'g> CompositionEngine<'g> {
         self.corrupted = false;
         let state = self.state.as_ref().expect("tree built");
         let tree = &state.tree;
-        let instance = Instance::from_tree(self.graph, tree);
+        let instance = Instance::from_tree(&self.graph, tree);
         let written_before = self.labels_written;
         let n = self.graph.node_count() as u64;
         let mut families_rebuilt = 0usize;
         let mut rounds = 1u64; // the verification wave itself
         if let Some(fragments) = self.fragments.as_ref() {
             if !self.verification_wave_accepts(&FragmentScheme, &instance, fragments.labels()) {
-                let fresh = FragmentState::new_with_pool(self.graph, tree, &self.pool);
+                let fresh = FragmentState::new_with_pool(&self.graph, tree, &self.pool);
                 rounds += waves::fragment_labeling_rounds(tree, fresh.level_count());
                 self.fragments = Some(fresh);
                 self.labels_written += n;
@@ -841,13 +1104,13 @@ impl<'g> CompositionEngine<'g> {
             }
         }
         if !self.verification_wave_accepts(&NcaScheme, &instance, &self.nca) {
-            self.nca = assign_nca_labels(self.graph, tree);
+            self.nca = assign_nca_labels(&self.graph, tree);
             rounds += waves::nca_labeling_rounds(tree);
             self.labels_written += n;
             families_rebuilt += 1;
         }
         if !self.verification_wave_accepts(&RedundantScheme, &instance, &self.redundant) {
-            self.redundant = RedundantScheme.prove(self.graph, tree);
+            self.redundant = RedundantScheme.prove(&self.graph, tree);
             rounds += waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree);
             self.labels_written += n;
             families_rebuilt += 1;
@@ -864,6 +1127,75 @@ impl<'g> CompositionEngine<'g> {
             rounds,
         }
     }
+}
+
+/// Finds the minimum-weight graph edge reconnecting the orphaned subtree rooted at
+/// `child_side` (whose parent edge was deleted by a topology mutation) to the rest of
+/// the tree, and the parent-pointer reversal attaching it — the same reversal shape a
+/// loop-free switch uses, so [`TreeState::apply_parent_changes`] yields the exact
+/// dirty region. Returns `None` only if the subtree has no outgoing edge, i.e. the
+/// graph is disconnected (which [`CompositionEngine::apply_topology`] rules out before
+/// committing). Members' incident edges are scanned in the CSR's precomputed weight
+/// order, so the search early-exits like the fragment repair scans.
+fn reanchor_changes(
+    graph: &Graph,
+    state: &TreeState,
+    child_side: NodeId,
+) -> Option<(EdgeId, Vec<(NodeId, NodeId)>)> {
+    let n = state.parents.len();
+    let mut in_subtree = vec![false; n];
+    let mut members: Vec<NodeId> = Vec::new();
+    let mut stack = vec![child_side];
+    while let Some(x) = stack.pop() {
+        if in_subtree[x.0] {
+            continue;
+        }
+        in_subtree[x.0] = true;
+        members.push(x);
+        stack.extend(state.children[x.0].iter().copied());
+    }
+    let mut best: Option<(Weight, EdgeId)> = None;
+    for &v in &members {
+        let nbrs = graph.neighbors(v);
+        for &k in graph.neighbor_order_by_weight(v) {
+            let (w, e) = nbrs[k as usize];
+            let weight = graph.weight(e);
+            if let Some((best_w, best_e)) = best {
+                if weight > best_w {
+                    break; // ascending order: nothing later in this list can win
+                }
+                if weight == best_w && e.index() >= best_e.index() {
+                    continue;
+                }
+            }
+            if in_subtree[w.0] {
+                continue;
+            }
+            best = Some((weight, e));
+        }
+    }
+    let (_, anchor) = best?;
+    let anchor_edge = graph.edge(anchor);
+    let (inside, outside) = if in_subtree[anchor_edge.u.0] {
+        (anchor_edge.u, anchor_edge.v)
+    } else {
+        (anchor_edge.v, anchor_edge.u)
+    };
+    // Reverse the parent pointers from the inside endpoint up to the orphan root,
+    // exactly as `switch_incremental` does (the stale pointer of `child_side` across
+    // the deleted edge is overwritten by the last reversal).
+    let mut path = vec![inside];
+    let mut cur = inside;
+    while cur != child_side {
+        cur = state.parents[cur.0].expect("child_side is an ancestor of inside");
+        path.push(cur);
+    }
+    let mut changes: Vec<(NodeId, NodeId)> = Vec::with_capacity(path.len());
+    changes.push((inside, outside));
+    for pair in path.windows(2) {
+        changes.push((pair[1], pair[0]));
+    }
+    Some((anchor, changes))
 }
 
 /// Number of edges in which two spanning trees of the same graph differ (half of the
@@ -974,6 +1306,216 @@ mod tests {
         assert_eq!(
             engine.nca_labels(),
             assign_nca_labels(&g, &tree_before).as_slice()
+        );
+    }
+
+    #[test]
+    fn topology_deltas_restabilize_on_the_mutated_graph() {
+        use stst_labeling::redundant::RedundantScheme;
+        use stst_labeling::scheme::ProofLabelingScheme;
+        for seed in 0..4 {
+            let g = generators::workload(20, 0.3, seed);
+            let mut engine =
+                CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+            assert!(engine.run().legal);
+            let assert_consistent = |engine: &CompositionEngine<'_>, what: &str| {
+                let g = engine.graph();
+                let t = engine.tree();
+                assert!(t.is_spanning_tree_of(g), "seed {seed}: {what}");
+                assert_eq!(
+                    t.total_weight(g),
+                    kruskal(g).unwrap().total_weight(g),
+                    "seed {seed}: {what}"
+                );
+                assert_eq!(
+                    engine.fragment_labels().unwrap(),
+                    stst_labeling::mst_fragments::assign_fragment_labels(g, t).as_slice(),
+                    "seed {seed}: {what}"
+                );
+                assert_eq!(
+                    engine.nca_labels(),
+                    assign_nca_labels(g, t).as_slice(),
+                    "seed {seed}: {what}"
+                );
+                assert_eq!(
+                    engine.redundant_labels(),
+                    RedundantScheme.prove(g, t).as_slice(),
+                    "seed {seed}: {what}"
+                );
+            };
+            let mut next_weight = engine
+                .graph()
+                .edges()
+                .iter()
+                .map(|e| e.weight)
+                .max()
+                .unwrap()
+                + 1;
+            // Weight drift on a tree edge: the tree survives but may stop being
+            // minimum; local search resumes and re-stabilizes.
+            let te = engine.tree().edge_ids_in(engine.graph())[2];
+            let (u, v) = {
+                let e = engine.graph().edge(te);
+                (e.u, e.v)
+            };
+            let event = engine.apply_topology(&[Mutation::SetWeight {
+                u,
+                v,
+                weight: next_weight,
+            }]);
+            next_weight += 1;
+            assert!(
+                matches!(event, PhaseEvent::TopologyApplied { reanchored: 0, .. }),
+                "seed {seed}: got {event:?}"
+            );
+            assert!(engine.run().legal);
+            assert_consistent(&engine, "tree-edge weight drift");
+            // Remove a non-bridge tree edge: its subtree re-anchors via the loop-free
+            // switch machinery.
+            let removable = engine
+                .tree()
+                .edge_ids_in(engine.graph())
+                .into_iter()
+                .find(|&e| {
+                    let ed = *engine.graph().edge(e);
+                    let mut trial = engine.graph().clone();
+                    trial.remove_edge(ed.u, ed.v);
+                    trial.is_connected()
+                })
+                .expect("some tree edge has a replacement");
+            let (u, v) = {
+                let e = engine.graph().edge(removable);
+                (e.u, e.v)
+            };
+            let event = engine.apply_topology(&[Mutation::RemoveEdge { u, v }]);
+            let PhaseEvent::TopologyApplied { reanchored, .. } = event else {
+                panic!("seed {seed}: expected a committed delta, got {event:?}");
+            };
+            assert_eq!(reanchored, 1, "seed {seed}");
+            assert!(engine.run().legal);
+            assert_consistent(&engine, "tree-edge removal");
+            // Insert a fresh light edge: it must be adopted by the MST.
+            let (a, b) = {
+                let g = engine.graph();
+                let mut found = None;
+                'outer: for a in g.nodes() {
+                    for b in g.nodes() {
+                        if a < b && g.edge_between(a, b).is_none() {
+                            found = Some((a, b));
+                            break 'outer;
+                        }
+                    }
+                }
+                found.expect("sparse graphs have non-adjacent pairs")
+            };
+            let event = engine.apply_topology(&[Mutation::AddEdge {
+                u: a,
+                v: b,
+                weight: 0,
+            }]);
+            assert!(matches!(event, PhaseEvent::TopologyApplied { .. }));
+            assert!(engine.run().legal);
+            assert!(
+                engine.tree().contains_edge(a, b),
+                "seed {seed}: weight-0 edge adopted"
+            );
+            assert_consistent(&engine, "edge insertion");
+            let _ = next_weight;
+        }
+    }
+
+    #[test]
+    fn topology_delta_right_after_tree_construction_is_safe() {
+        // A delta landing between TreeConstructed and the first labeling wave must
+        // not leave the engine in Improve with no labels (regression: it panicked on
+        // "MST maintains fragments").
+        let g = generators::workload(20, 0.3, 1);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(1));
+        assert!(matches!(engine.step(), PhaseEvent::TreeConstructed { .. }));
+        let (a, b) = {
+            let g = engine.graph();
+            let mut found = None;
+            'outer: for a in g.nodes() {
+                for b in g.nodes() {
+                    if a < b && g.edge_between(a, b).is_none() {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("sparse graphs have non-adjacent pairs")
+        };
+        let event = engine.apply_topology(&[Mutation::AddEdge {
+            u: a,
+            v: b,
+            weight: 0,
+        }]);
+        assert!(matches!(event, PhaseEvent::TopologyApplied { .. }));
+        assert!(engine.run().legal);
+        assert!(engine.tree().contains_edge(a, b));
+    }
+
+    #[test]
+    fn severing_deltas_are_reported_and_not_committed() {
+        // 0-1-2-3 path plus chord 0-2: edge {2, 3} is a bridge.
+        let g = Graph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 2, 4)]);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(1));
+        assert!(engine.run().legal);
+        let tree_before = engine.tree().clone();
+        let event = engine.apply_topology(&[Mutation::RemoveEdge {
+            u: NodeId(2),
+            v: NodeId(3),
+        }]);
+        assert_eq!(event, PhaseEvent::Partitioned { components: 2 });
+        // Nothing was committed: the edge is still there, the engine still silent.
+        assert!(engine.graph().edge_between(NodeId(2), NodeId(3)).is_some());
+        assert!(matches!(
+            engine.step(),
+            PhaseEvent::Stabilized { legal: true }
+        ));
+        assert_eq!(engine.tree(), &tree_before);
+    }
+
+    #[test]
+    fn node_churn_rebuilds_and_restabilizes() {
+        let g = generators::workload(16, 0.35, 5);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(5));
+        assert!(engine.run().legal);
+        // A node joins with two links.
+        let n = engine.graph().node_count();
+        let event = engine.apply_topology(&[
+            Mutation::AddNode { ident: 999 },
+            Mutation::AddEdge {
+                u: NodeId(n),
+                v: NodeId(0),
+                weight: 1_000,
+            },
+            Mutation::AddEdge {
+                u: NodeId(n),
+                v: NodeId(3),
+                weight: 1_001,
+            },
+        ]);
+        assert!(matches!(event, PhaseEvent::TopologyApplied { .. }));
+        assert!(engine.run().legal);
+        assert_eq!(engine.tree().node_count(), n + 1);
+        // An interior node leaves; its orphans are reconnected.
+        let victim = engine
+            .graph()
+            .nodes()
+            .find(|&v| {
+                let mut trial = engine.graph().clone();
+                trial.remove_node(v);
+                trial.is_connected()
+            })
+            .expect("some node is removable");
+        let event = engine.apply_topology(&[Mutation::RemoveNode { v: victim }]);
+        assert!(matches!(event, PhaseEvent::TopologyApplied { .. }));
+        assert!(engine.run().legal);
+        let g = engine.graph();
+        assert_eq!(
+            engine.tree().total_weight(g),
+            kruskal(g).unwrap().total_weight(g)
         );
     }
 

@@ -73,8 +73,8 @@ impl Edge {
 /// *per call*, so it is meant for small, hand-built test graphs only.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    ids: Vec<Ident>,
-    edges: Vec<Edge>,
+    pub(crate) ids: Vec<Ident>,
+    pub(crate) edges: Vec<Edge>,
     /// CSR offsets: node `v`'s neighbors live at `adj[offsets[v] .. offsets[v + 1]]`.
     offsets: Vec<u32>,
     /// Flat adjacency array, grouped by node, insertion order within each group.
@@ -134,7 +134,7 @@ impl Graph {
 
     /// Rebuilds the CSR arrays from `self.edges` in `O(n + m)`, preserving, for every
     /// node, the order in which its incident edges appear in the edge list.
-    fn rebuild_csr(&mut self) {
+    pub(crate) fn rebuild_csr(&mut self) {
         let n = self.node_count();
         self.offsets.clear();
         self.offsets.resize(n + 1, 0);
@@ -249,27 +249,17 @@ impl Graph {
 
     /// Adds an undirected edge and returns its [`EdgeId`].
     ///
-    /// Rebuilds the CSR adjacency, so each call costs `O(n + m)`; use
-    /// [`Graph::from_edges`] (or a generator) when building whole graphs.
+    /// Thin wrapper over the batched topology-delta path
+    /// ([`Graph::apply_mutations`]), so each call rebuilds the CSR and costs
+    /// `O(n + m)`; use [`Graph::from_edges`] (or a generator) when building whole
+    /// graphs, and batch mutations when applying churn.
     ///
     /// # Panics
     ///
     /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
-        assert!(u != v, "self-loops are not allowed");
-        assert!(
-            u.0 < self.node_count() && v.0 < self.node_count(),
-            "endpoint out of range"
-        );
-        assert!(
-            self.edge_between(u, v).is_none(),
-            "duplicate edge between {u:?} and {v:?}"
-        );
-        let (a, b) = if u < v { (u, v) } else { (v, u) };
-        let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { u: a, v: b, weight });
-        self.rebuild_csr();
-        id
+        self.apply_mutations(&[crate::mutation::Mutation::AddEdge { u, v, weight }]);
+        EdgeId(self.edges.len() - 1)
     }
 
     /// Neighbors of `v` with the connecting edge ids, in insertion order — a borrowed
@@ -332,6 +322,32 @@ impl Graph {
     pub fn has_unique_weights(&self) -> bool {
         let set: HashSet<Weight> = self.edges.iter().map(|e| e.weight).collect();
         set.len() == self.edges.len()
+    }
+
+    /// Number of connected components (0 for the empty graph). Used by the churn
+    /// layer to report how badly a topology delta severed the network.
+    pub fn component_count(&self) -> usize {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            stack.push(NodeId(start));
+            while let Some(v) = stack.pop() {
+                for &(w, _) in self.neighbors(v) {
+                    if !seen[w.0] {
+                        seen[w.0] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
     }
 
     /// `true` if the graph is connected (the paper only considers connected graphs).

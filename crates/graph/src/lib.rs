@@ -23,6 +23,7 @@ pub mod generators;
 pub mod graph;
 pub mod ids;
 pub mod mst;
+pub mod mutation;
 pub mod nca;
 pub mod properties;
 pub mod tree;
@@ -30,4 +31,5 @@ pub mod union_find;
 
 pub use graph::{EdgeId, Graph};
 pub use ids::{Ident, NodeId, Weight};
+pub use mutation::{Mutation, MutationOutcome};
 pub use tree::Tree;

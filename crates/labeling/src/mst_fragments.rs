@@ -372,8 +372,58 @@ impl FragmentState {
         let add_edge = graph.edge(add);
         let remove_edge = graph.edge(remove);
         let endpoints = [add_edge.u, add_edge.v, remove_edge.u, remove_edge.v];
-        let old_level_count = self.level_count();
+        // A swap changes only tree membership, never the graph's edge set, so the true
+        // minima of clean fragments are untouched.
+        self.repair_dirty_endpoints(graph, &endpoints, false)
+    }
 
+    /// Incrementally repairs the state after a **topology mutation** of the underlying
+    /// graph (edges added/removed/re-weighted, node set unchanged): `tree` is the
+    /// already-repaired spanning tree of the mutated graph and `dirty` the endpoint
+    /// set of every changed edge — graph-mutated edges, edges whose dense index was
+    /// recycled by a removal, and the tree edges swapped by the re-anchoring (see
+    /// `stst-graph::mutation`). Any fragment whose membership, chosen edge, or true
+    /// minimum outgoing edge can change necessarily contains one of these endpoints
+    /// (an edge incident to a fragment has an endpoint inside it), so repairing the
+    /// endpoint-dirty frontier — this time re-scanning true minima as well, because
+    /// the graph's edge set itself moved — leaves the state bit-identical to a
+    /// from-scratch rebuild on the mutated instance.
+    ///
+    /// Returns the per-node label entries rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node set changed (node churn requires a from-scratch rebuild: the
+    /// dense index space every label is keyed by was remapped).
+    pub fn apply_topology(&mut self, graph: &Graph, tree: &Tree, dirty: &[NodeId]) -> u64 {
+        assert_eq!(
+            self.labels.len(),
+            graph.node_count(),
+            "node churn remaps the index space: rebuild the fragment state from scratch"
+        );
+        // Edge ids may have been recycled by removals: rebuild tree membership from
+        // the repaired tree rather than patching indices.
+        self.is_tree_edge.clear();
+        self.is_tree_edge.resize(graph.edge_count(), false);
+        for e in tree.edge_ids_in(graph) {
+            self.is_tree_edge[e.index()] = true;
+        }
+        self.repair_dirty_endpoints(graph, dirty, true)
+    }
+
+    /// The shared dirty-frontier cascade of [`FragmentState::apply_swap`] and
+    /// [`FragmentState::apply_topology`]: walks the levels once, re-choosing fragments
+    /// that contain a dirty endpoint (re-scanning their true minima too when
+    /// `refresh_true_min` — i.e. when the graph's own edge set changed), merging and
+    /// rebuilding only the groups whose composition changed, and repairing `φ_x` for
+    /// exactly the affected nodes.
+    fn repair_dirty_endpoints(
+        &mut self,
+        graph: &Graph,
+        endpoints: &[NodeId],
+        refresh_true_min: bool,
+    ) -> u64 {
+        let old_level_count = self.level_count();
         let mut writes = 0u64;
         let mut phi_dirty: HashSet<NodeId> = HashSet::new();
         // Fragments of the current level whose member set was rebuilt by the merge step
@@ -391,14 +441,18 @@ impl FragmentState {
             // rebuilt fragments plus every fragment containing an endpoint of e or f
             // (the only fragments whose incident tree-edge set changed).
             let mut rechoose: BTreeSet<Ident> = membership_dirty.iter().copied().collect();
-            for &v in &endpoints {
+            for &v in endpoints {
                 rechoose.insert(self.labels[v.0].levels[level].fragment);
             }
             for id in rechoose {
                 let new_chosen = self.chosen_of(graph, level, id);
                 let rebuilt = membership_dirty.contains(&id);
                 let rec = self.levels[level].get_mut(&id).expect("fragment exists");
-                if rebuilt || new_chosen != rec.chosen {
+                // Under a topology mutation the stored `(ID, ID, w)` triple can go
+                // stale even when the chosen EdgeId is unchanged (weight drift), so
+                // the members' labels are re-derived unconditionally there; the inner
+                // loop still only counts entries whose text actually changed.
+                if rebuilt || refresh_true_min || new_chosen != rec.chosen {
                     rec.chosen = new_chosen;
                     let members = rec.members.clone();
                     let triple = new_chosen.map(|e| outgoing_triple(graph, e));
@@ -417,7 +471,7 @@ impl FragmentState {
                     // unchanged (φ reads the fragment's record, not the node's copy).
                     phi_dirty.extend(members);
                 }
-                if rebuilt {
+                if rebuilt || refresh_true_min {
                     let new_min = self.true_min_of(graph, level, id);
                     let old_min = self.true_min_out[level].get(&id).copied();
                     if new_min != old_min {
@@ -854,6 +908,74 @@ mod tests {
              from-scratch would write {} per swap",
             full
         );
+    }
+
+    #[test]
+    fn topology_repair_matches_from_scratch_rebuild() {
+        // Mutate the graph under a fixed spanning tree (edge removal with EdgeId
+        // recycling, weight drift on tree and non-tree edges, edge insertion) and
+        // assert after every delta that the endpoint-dirty repair leaves the state
+        // bit-identical to a from-scratch rebuild on the mutated instance.
+        for seed in 0..5 {
+            let mut g = generators::workload(24, 0.3, seed);
+            let t = bfs_tree(&g, g.min_ident_node());
+            let mut state = FragmentState::new(&g, &t);
+            let mut next_weight = g.edges().iter().map(|e| e.weight).max().unwrap() + 1;
+            let assert_matches = |state: &FragmentState, g: &Graph, t: &Tree, what: &str| {
+                let fresh = FragmentState::new(g, t);
+                assert_eq!(state.labels(), fresh.labels(), "seed {seed}: {what}");
+                assert_eq!(state.phi, fresh.phi, "seed {seed}: {what}");
+                assert_eq!(state.potential(), fresh.potential(), "seed {seed}: {what}");
+                assert_eq!(
+                    state.improving_swap(g, t),
+                    fresh.improving_swap(g, t),
+                    "seed {seed}: {what}"
+                );
+                for (a, b) in state.true_min_out.iter().zip(&fresh.true_min_out) {
+                    assert_eq!(a, b, "seed {seed}: {what}");
+                }
+            };
+            // Remove a non-tree edge (the tree stays valid).
+            let non_tree = g
+                .edge_ids()
+                .find(|&e| {
+                    let ed = g.edge(e);
+                    !t.contains_edge(ed.u, ed.v)
+                })
+                .expect("workload graphs have non-tree edges");
+            let (u, v) = (g.edge(non_tree).u, g.edge(non_tree).v);
+            let outcome = g.remove_edge(u, v);
+            state.apply_topology(&g, &t, &outcome.dirty);
+            assert_matches(&state, &g, &t, "non-tree edge removal");
+            // Drift the weight of a tree edge upward (may flip chosen edges anywhere
+            // along the fragment stack of its endpoints).
+            let te = t.edge_ids_in(&g)[1];
+            let (u, v) = (g.edge(te).u, g.edge(te).v);
+            let outcome = g.set_weight(u, v, next_weight);
+            next_weight += 1;
+            state.apply_topology(&g, &t, &outcome.dirty);
+            assert_matches(&state, &g, &t, "tree-edge weight drift");
+            // Insert a fresh edge between two non-adjacent nodes.
+            let (a, b) = {
+                let mut found = None;
+                'outer: for a in g.nodes() {
+                    for b in g.nodes() {
+                        if a < b && g.edge_between(a, b).is_none() {
+                            found = Some((a, b));
+                            break 'outer;
+                        }
+                    }
+                }
+                found.expect("sparse graphs have non-adjacent pairs")
+            };
+            let outcome = g.apply_mutations(&[stst_graph::Mutation::AddEdge {
+                u: a,
+                v: b,
+                weight: next_weight,
+            }]);
+            state.apply_topology(&g, &t, &outcome.dirty);
+            assert_matches(&state, &g, &t, "edge insertion");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use stst_graph::tree::TreeError;
-use stst_graph::{Graph, NodeId, Tree};
+use stst_graph::{Graph, MutationOutcome, NodeId, Tree};
 
 use crate::algorithm::{Algorithm, ParentPointer};
 use crate::par::ThreadPool;
@@ -350,6 +350,107 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         }
         self.refill_round_pending();
         nodes
+    }
+
+    /// Re-binds the executor to a **mutated** graph mid-run: the caller applied a
+    /// batch of [`stst_graph::Mutation`]s to a copy of the network and passes the
+    /// mutated graph together with the resulting [`MutationOutcome`]. This is the
+    /// guarded-rule layer's topology-churn hook — a link failing or a node leaving is
+    /// just another transient change for a self-stabilizing algorithm, so the
+    /// executor treats it exactly like the fault hooks:
+    ///
+    /// * registers survive (remapped through [`MutationOutcome::old_index`] under
+    ///   node churn; joining nodes start from an arbitrary state, like the initial
+    ///   configuration);
+    /// * the per-neighbor constant caches (identities, weights) are rebuilt against
+    ///   the new CSR;
+    /// * the enabled set is **re-seeded from exactly the dirty nodes**: a guard
+    ///   reads only its closed 1-hop neighborhood and every changed edge has both
+    ///   endpoints in [`MutationOutcome::dirty`], so no other cached pending
+    ///   transition can be stale (`O(Σ_{v dirty} deg(v))` guard evaluations, not
+    ///   `O(n·Δ)`; node churn remaps the whole index space and is the one inherently
+    ///   `O(n·Δ)` case);
+    /// * round accounting restarts at the now-enabled set (paper §II-A — a fresh
+    ///   round begins at the post-fault configuration).
+    ///
+    /// Both graphs must outlive the executor; keep the mutated graph alongside the
+    /// original (e.g. `let g1 = { let mut g = g0.clone(); g.apply_mutations(..); g };`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome.old_index` disagrees with the node count of `graph`.
+    pub fn apply_topology(&mut self, graph: &'g Graph, outcome: &MutationOutcome) {
+        let n = graph.node_count();
+        if outcome.node_set_changed {
+            assert_eq!(
+                outcome.old_index.len(),
+                n,
+                "outcome does not match the graph"
+            );
+            let old_states = std::mem::take(&mut self.states);
+            let old_peaks = std::mem::take(&mut self.peak_bits);
+            self.states = outcome
+                .old_index
+                .iter()
+                .enumerate()
+                .map(|(i, o)| match o {
+                    Some(o) => old_states[o.0].clone(),
+                    None => self.algo.arbitrary_state(graph, NodeId(i), &mut self.rng),
+                })
+                .collect();
+            self.peak_bits = outcome
+                .old_index
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let now = self.states[i].bit_size();
+                    match o {
+                        Some(o) => old_peaks[o.0].max(now),
+                        None => now,
+                    }
+                })
+                .collect();
+        }
+        self.graph = graph;
+        self.nbr_offsets.clear();
+        self.nbr_offsets.push(0);
+        self.nbr_info.clear();
+        for v in graph.nodes() {
+            for &(w, e) in graph.neighbors(v) {
+                self.nbr_info.push(NeighborInfo {
+                    node: w,
+                    ident: graph.ident(w),
+                    weight: graph.weight(e),
+                });
+            }
+            self.nbr_offsets.push(self.nbr_info.len() as u32);
+        }
+        if outcome.node_set_changed {
+            // The dense index space was remapped: rebuild the enabled bookkeeping
+            // wholesale.
+            self.scheduler.remap_nodes(&outcome.old_index);
+            self.pending.clear();
+            self.pending.resize_with(n, || None);
+            self.in_enabled.clear();
+            self.in_enabled.resize(n, false);
+            self.enabled_list.clear();
+            self.enabled_pos.clear();
+            self.enabled_pos.resize(n, usize::MAX);
+            self.round_words.clear();
+            self.round_words.resize(n.div_ceil(64), 0);
+            self.round_count = 0;
+            self.touched.clear();
+            self.touched.resize(n, 0);
+            self.stamp = 0;
+            self.bump_stamp();
+            self.rescan_all();
+        } else {
+            self.bump_stamp();
+            for &v in &outcome.dirty {
+                self.refresh_if_untouched(v);
+            }
+        }
+        self.refill_round_pending();
     }
 
     /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
@@ -1017,6 +1118,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn topology_churn_reseeds_exactly_the_dirty_neighborhoods() {
+        use stst_graph::Mutation;
+        let g0 = generators::random_connected(40, 0.1, 6);
+        // Zero initial states: flood-max is a plumbing test, not self-stabilizing
+        // from arbitrary garbage (see the other tests above).
+        let mut exec =
+            Executor::with_states(&g0, FloodMax, vec![0u64; 40], ExecutorConfig::seeded(6));
+        exec.run_to_quiescence(100_000).unwrap();
+        assert!(exec.is_quiescent());
+        // An edge appears and one disappears: the incremental enabled set must match
+        // the brute-force rescan oracle on the mutated graph.
+        let (a, b) = {
+            let mut found = None;
+            'outer: for a in g0.nodes() {
+                for b in g0.nodes() {
+                    if a < b && g0.edge_between(a, b).is_none() {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.unwrap()
+        };
+        let removable = g0
+            .edge_ids()
+            .find(|&e| {
+                let ed = *g0.edge(e);
+                let mut trial = g0.clone();
+                trial.remove_edge(ed.u, ed.v);
+                trial.is_connected()
+            })
+            .unwrap();
+        let (ru, rv) = (g0.edge(removable).u, g0.edge(removable).v);
+        let g1 = {
+            let mut g = g0.clone();
+            g.apply_mutations(&[
+                Mutation::AddEdge {
+                    u: a,
+                    v: b,
+                    weight: 1,
+                },
+                Mutation::RemoveEdge { u: ru, v: rv },
+            ]);
+            g
+        };
+        let outcome = {
+            let mut g = g0.clone();
+            g.apply_mutations(&[
+                Mutation::AddEdge {
+                    u: a,
+                    v: b,
+                    weight: 1,
+                },
+                Mutation::RemoveEdge { u: ru, v: rv },
+            ])
+        };
+        let guards_before = exec.guard_evaluations();
+        exec.apply_topology(&g1, &outcome);
+        // Only the dirty closed neighborhoods were re-evaluated...
+        assert!(exec.guard_evaluations() - guards_before <= outcome.dirty.len() as u64);
+        // ...yet the enabled set matches the from-scratch oracle, stepwise.
+        assert_eq!(exec.enabled_nodes(), exec.rescan_enabled_nodes());
+        for _ in 0..200 {
+            if exec.is_quiescent() {
+                break;
+            }
+            exec.step_once();
+            assert_eq!(exec.enabled_nodes(), exec.rescan_enabled_nodes());
+        }
+        let q = exec.run_to_quiescence(100_000).unwrap();
+        assert!(q.legal, "flood-max stays legal under edge churn");
+    }
+
+    #[test]
+    fn node_churn_remaps_registers_and_reconverges() {
+        use stst_graph::Mutation;
+        let g0 = generators::random_connected(20, 0.2, 9);
+        let mut exec =
+            Executor::with_states(&g0, FloodMax, vec![0u64; 20], ExecutorConfig::seeded(9));
+        exec.run_to_quiescence(100_000).unwrap();
+        // A node with a large identity joins: the new maximum must flood.
+        let mut g1 = g0.clone();
+        let outcome = g1.apply_mutations(&[
+            Mutation::AddNode { ident: 500 },
+            Mutation::AddEdge {
+                u: NodeId(20),
+                v: NodeId(0),
+                weight: 1,
+            },
+        ]);
+        exec.apply_topology(&g1, &outcome);
+        assert_eq!(exec.states().len(), 21);
+        assert_eq!(exec.enabled_nodes(), exec.rescan_enabled_nodes());
+        let q = exec.run_to_quiescence(100_000).unwrap();
+        assert!(q.legal, "the joining maximum floods the network");
+        assert!(exec.states().iter().all(|&s| s == 500));
     }
 
     #[test]

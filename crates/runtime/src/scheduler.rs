@@ -97,6 +97,22 @@ impl Scheduler {
         self.kind
     }
 
+    /// Remaps the daemon's per-node state after node churn: `old_index[i]` is the
+    /// pre-mutation index of the node now at `i` (`None` for a joiner, which starts
+    /// with zero activations). The RNG stream is untouched, so executions stay
+    /// deterministic across the remap.
+    pub fn remap_nodes(&mut self, old_index: &[Option<NodeId>]) {
+        let n = old_index.len();
+        let old = std::mem::take(&mut self.activations);
+        self.activations = old_index
+            .iter()
+            .map(|o| o.map_or(0, |o| old[o.0]))
+            .collect();
+        self.mask.clear();
+        self.mask.resize(n, false);
+        self.cursor %= n.max(1);
+    }
+
     /// Number of times `v` has been selected so far.
     pub fn activation_count(&self, v: NodeId) -> u64 {
         self.activations[v.0]

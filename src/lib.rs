@@ -14,6 +14,9 @@
 //!   FR-tree labels.
 //! * [`core`] — the paper's contribution: the PLS-guided local-search framework and the
 //!   silent self-stabilizing BFS, MST and MDST (FR-tree) constructions.
+//! * [`churn`] — live topology churn: the event model, seeded deterministic trace
+//!   generators (steady Poisson churn, link flapping, partition-and-heal, weight
+//!   drift), and the wave-boundary churn driver with measured per-event recovery.
 //! * [`baselines`] — comparator algorithms used by the experiment harness.
 //!
 //! ## Quickstart
@@ -56,6 +59,7 @@
 //! ```
 
 pub use stst_baselines as baselines;
+pub use stst_churn as churn;
 pub use stst_core as core;
 pub use stst_graph as graph;
 pub use stst_labeling as labeling;

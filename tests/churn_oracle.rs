@@ -1,0 +1,257 @@
+//! Differential oracle for live topology churn.
+//!
+//! After **every** injected topology event batch — across all five daemons, several
+//! seeds, and worker-thread counts {1, 2, 8} — the engine's incrementally repaired
+//! state must be *bit-identical* to a from-scratch rebuild on the mutated graph:
+//!
+//! * every label family equals its fresh prover on `(mutated graph, current tree)`;
+//! * the re-stabilized tree is the (unique, by distinct weights) minimum spanning
+//!   tree of the mutated graph — re-checked against Kruskal after every event and
+//!   against a brand-new engine run at the end;
+//! * for the MDST task, every recovery re-certifies an FR-tree (degree within +1 of
+//!   the optimum);
+//! * executions are bit-identical at every thread count (trees, label-write and
+//!   round counters, per-batch recovery reports);
+//! * severing batches are reported as `Partitioned` and leave nothing committed.
+
+use self_stabilizing_spanning_trees::churn::{trace, ChurnDriver, TopologyEvent};
+use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTask};
+use self_stabilizing_spanning_trees::core::{EngineConfig, Relabel};
+use self_stabilizing_spanning_trees::graph::mst::kruskal;
+use self_stabilizing_spanning_trees::graph::{fr, generators, NodeId};
+use self_stabilizing_spanning_trees::labeling::mst_fragments::assign_fragment_labels;
+use self_stabilizing_spanning_trees::labeling::nca::assign_nca_labels;
+use self_stabilizing_spanning_trees::labeling::redundant::RedundantScheme;
+use self_stabilizing_spanning_trees::labeling::scheme::ProofLabelingScheme;
+use self_stabilizing_spanning_trees::runtime::SchedulerKind;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Everything a churned run is compared on across thread counts.
+#[derive(Debug, PartialEq)]
+struct Signature {
+    parents: Vec<Option<NodeId>>,
+    labels_written: u64,
+    total_rounds: u64,
+    batch_reports: Vec<(bool, u64, u64, u64)>, // (applied, rounds, labels, switches)
+}
+
+fn assert_labels_match_fresh_provers(engine: &CompositionEngine<'_>, context: &str) {
+    let g = engine.graph();
+    let t = engine.tree();
+    assert!(t.is_spanning_tree_of(g), "{context}: tree spans the graph");
+    if let Some(fragments) = engine.fragment_labels() {
+        assert_eq!(
+            fragments,
+            assign_fragment_labels(g, t).as_slice(),
+            "{context}: fragment labels == fresh prover"
+        );
+    }
+    assert_eq!(
+        engine.nca_labels(),
+        assign_nca_labels(g, t).as_slice(),
+        "{context}: NCA labels == fresh prover"
+    );
+    assert_eq!(
+        engine.redundant_labels(),
+        RedundantScheme.prove(g, t).as_slice(),
+        "{context}: redundant labels == fresh prover"
+    );
+}
+
+#[test]
+fn mst_churn_is_bit_identical_to_from_scratch_rebuilds() {
+    for kind in SchedulerKind::all() {
+        for seed in [1u64, 2] {
+            let g = generators::workload(24, 0.3, seed);
+            // Mixed churn: single-edge events plus node joins and leaves.
+            let churn = trace::steady_poisson(&g, 6, 1.2, 0.25, seed);
+            let mut signatures: Vec<Signature> = Vec::new();
+            for &threads in &THREADS {
+                let config = EngineConfig::seeded(seed)
+                    .with_scheduler(kind)
+                    .with_threads(threads);
+                let engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+                let mut driver = ChurnDriver::new(engine);
+                driver.stabilize();
+                let mut batch_reports = Vec::new();
+                for (i, batch) in churn.batches.iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let report = driver.inject(batch);
+                    batch_reports.push((
+                        report.applied,
+                        report.recovery_rounds,
+                        report.labels_written,
+                        report.switches,
+                    ));
+                    if !report.applied {
+                        continue;
+                    }
+                    assert!(report.legal, "{kind}, seed {seed}, batch {i}: legal");
+                    let context = format!("{kind}, seed {seed}, threads {threads}, batch {i}");
+                    let engine = driver.engine();
+                    assert_labels_match_fresh_provers(engine, &context);
+                    // The repaired-and-resumed tree is the unique MST of the
+                    // mutated graph.
+                    let mutated = engine.graph();
+                    assert_eq!(
+                        engine.tree().total_weight(mutated),
+                        kruskal(mutated).unwrap().total_weight(mutated),
+                        "{context}: MST weight optimal"
+                    );
+                }
+                // Final cross-check against a brand-new engine on the churned graph:
+                // same root election, same unique MST, bit-identical parent vector.
+                let final_graph = driver.engine().graph().clone();
+                let mut fresh = CompositionEngine::new(
+                    &final_graph,
+                    EngineTask::Mst,
+                    EngineConfig::seeded(seed).with_scheduler(kind),
+                );
+                let rebuilt = fresh.run();
+                assert!(rebuilt.legal);
+                assert_eq!(
+                    fresh.tree(),
+                    driver.engine().tree(),
+                    "{kind}, seed {seed}, threads {threads}: churned tree == rebuilt tree"
+                );
+                let engine = driver.engine();
+                signatures.push(Signature {
+                    parents: engine.tree().parents().to_vec(),
+                    labels_written: engine.labels_written(),
+                    total_rounds: engine.total_rounds(),
+                    batch_reports,
+                });
+            }
+            for (i, sig) in signatures.iter().enumerate().skip(1) {
+                assert_eq!(
+                    sig, &signatures[0],
+                    "{kind}, seed {seed}: threads {} diverged from threads 1",
+                    THREADS[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_and_from_scratch_relabeling_agree_under_churn() {
+    // The retained reference mode (every family re-proved after every wave) must
+    // walk through the same trees while writing many more labels.
+    for seed in [3u64, 4] {
+        let g = generators::workload(20, 0.3, seed);
+        let churn = trace::steady_poisson(&g, 5, 1.0, 0.0, seed);
+        let run = |relabel: Relabel| {
+            let config = EngineConfig::seeded(seed).with_relabel(relabel);
+            let engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+            let mut driver = ChurnDriver::new(engine);
+            driver.stabilize();
+            let summary = driver.run_trace(&churn);
+            assert!(summary.all_legal, "seed {seed}, {relabel:?}");
+            let engine = driver.into_engine();
+            (engine.tree().clone(), engine.labels_written())
+        };
+        let (inc_tree, inc_labels) = run(Relabel::Incremental);
+        let (full_tree, full_labels) = run(Relabel::FromScratch);
+        assert_eq!(inc_tree, full_tree, "seed {seed}: same stabilized tree");
+        assert!(
+            inc_labels < full_labels,
+            "seed {seed}: incremental wrote {inc_labels} labels, from-scratch {full_labels}"
+        );
+    }
+}
+
+#[test]
+fn mdst_churn_recertifies_fr_trees_after_every_event() {
+    for kind in SchedulerKind::all() {
+        let seed = 5u64;
+        let g = generators::workload(14, 0.35, seed);
+        let churn = trace::steady_poisson(&g, 5, 1.0, 0.0, seed);
+        let config = EngineConfig::seeded(seed).with_scheduler(kind);
+        let engine = CompositionEngine::new(&g, EngineTask::Mdst, config);
+        let mut driver = ChurnDriver::new(engine);
+        driver.stabilize();
+        for (i, batch) in churn.batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let report = driver.inject(batch);
+            if !report.applied {
+                continue;
+            }
+            assert!(report.legal, "{kind}, batch {i}: FR-certified after churn");
+            let engine = driver.engine();
+            let (mutated, tree) = (engine.graph(), engine.tree());
+            assert!(fr::fr_certificate(mutated, tree).is_some());
+            // FR-degree optimality re-check: within +1 of the exact optimum.
+            let (opt, _) = fr::exact_min_degree_spanning_tree(mutated, 14);
+            assert!(
+                tree.max_degree() <= opt + 1,
+                "{kind}, batch {i}: degree {} vs OPT {opt}",
+                tree.max_degree()
+            );
+            assert_labels_match_fresh_provers(engine, &format!("MDST {kind}, batch {i}"));
+        }
+    }
+}
+
+#[test]
+fn severing_batches_are_reported_and_leave_nothing_committed() {
+    // 0-1-2-3 path plus chord 0-2: {2, 3} is a bridge.
+    let g = self_stabilizing_spanning_trees::graph::Graph::from_edges(
+        4,
+        &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 2, 4)],
+    );
+    let engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(9));
+    let mut driver = ChurnDriver::new(engine);
+    driver.stabilize();
+    let tree_before = driver.engine().tree().clone();
+    let report = driver.inject(&[TopologyEvent::EdgeRemove {
+        u: NodeId(2),
+        v: NodeId(3),
+    }]);
+    assert!(!report.applied);
+    assert_eq!(report.severed_components, 2);
+    assert_eq!(report.labels_written, 0);
+    let engine = driver.engine();
+    assert!(engine.graph().edge_between(NodeId(2), NodeId(3)).is_some());
+    assert_eq!(engine.tree(), &tree_before);
+    // The engine is still perfectly usable afterwards.
+    let report = driver.inject(&[TopologyEvent::WeightChange {
+        u: NodeId(0),
+        v: NodeId(1),
+        weight: 99,
+    }]);
+    assert!(report.applied && report.legal);
+}
+
+#[test]
+fn partition_and_heal_round_trips_under_all_daemons() {
+    for kind in SchedulerKind::all() {
+        let seed = 6u64;
+        let g = generators::workload(16, 0.2, seed);
+        let config = EngineConfig::seeded(seed).with_scheduler(kind);
+        let engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+        let mut driver = ChurnDriver::new(engine);
+        driver.stabilize();
+        let churn = trace::partition_and_heal(&g, seed);
+        let summary = driver.run_trace(&churn);
+        assert!(summary.severed >= 1, "{kind}: the cut severs at least once");
+        assert!(summary.all_legal, "{kind}");
+        let engine = driver.engine();
+        assert_eq!(
+            engine.graph().edge_count(),
+            g.edge_count(),
+            "{kind}: healed"
+        );
+        assert_eq!(
+            engine.tree().total_weight(engine.graph()),
+            kruskal(engine.graph())
+                .unwrap()
+                .total_weight(engine.graph()),
+            "{kind}: MST restored after healing"
+        );
+    }
+}

@@ -64,6 +64,11 @@ fn drive_with_oracle(
                 assert!(legal, "{label}: must stabilize legally");
                 break;
             }
+            event @ (PhaseEvent::TopologyApplied { .. } | PhaseEvent::Partitioned { .. }) => {
+                // This harness never mutates the topology (tests/churn_oracle.rs
+                // covers those paths).
+                unreachable!("{label}: unexpected topology event {event:?}");
+            }
         }
         assert!(waves < 2_000, "{label}: runaway composition");
     }
