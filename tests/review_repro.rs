@@ -1,0 +1,34 @@
+//! Review repro: two tree edges on one ancestor chain deleted in one batch.
+
+use stst::engine::{CompositionEngine, EngineTask, PhaseEvent};
+use stst::EngineConfig;
+use stst_graph::{Graph, Mutation, NodeId};
+
+#[test]
+fn batch_deleting_nested_tree_edges_keeps_tree_valid() {
+    // MST is the chain 0-1-2-3 (weights 1,2,3); replacements: 3-0 (10), 1-3 (20).
+    let g = Graph::from_edges(
+        4,
+        &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 10), (1, 3, 20)],
+    );
+    let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(1));
+    assert!(engine.run().legal);
+    // Tree should be the chain rooted at 0: parents 1->0, 2->1, 3->2.
+    let event = engine.apply_topology(&[
+        Mutation::RemoveEdge {
+            u: NodeId(0),
+            v: NodeId(1),
+        },
+        Mutation::RemoveEdge {
+            u: NodeId(1),
+            v: NodeId(2),
+        },
+    ]);
+    assert!(matches!(event, PhaseEvent::TopologyApplied { .. }), "{event:?}");
+    let report = engine.run();
+    assert!(report.legal);
+    assert!(
+        engine.tree().is_spanning_tree_of(engine.graph()),
+        "tree contains an edge deleted from the graph"
+    );
+}
