@@ -10,10 +10,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId};
-use stst_runtime::register::option_ident_bits;
-use stst_runtime::{Algorithm, ParentPointer, Register, View};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, View};
 
 /// Register: claimed root, parent pointer and distance only (no subtree size).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,9 +25,25 @@ pub struct DistanceOnlyState {
     pub dist: u64,
 }
 
-impl Register for DistanceOnlyState {
-    fn bit_size(&self) -> usize {
-        bits_for(self.root) + option_ident_bits(&self.parent) + bits_for(self.dist)
+impl Codec for DistanceOnlyState {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.root, ctx.ident_bits)
+            + CodecCtx::opt_uint_bits(&self.parent, ctx.ident_bits)
+            + CodecCtx::uint_bits(self.dist, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.root, ctx.ident_bits);
+        CodecCtx::write_opt_uint(w, &self.parent, ctx.ident_bits);
+        CodecCtx::write_uint(w, self.dist, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        DistanceOnlyState {
+            root: CodecCtx::read_uint(r, ctx.ident_bits),
+            parent: CodecCtx::read_opt_uint(r, ctx.ident_bits),
+            dist: CodecCtx::read_uint(r, ctx.count_bits),
+        }
     }
 }
 

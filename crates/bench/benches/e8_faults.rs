@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             let mut exec =
                 Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(17));
             exec.run_to_quiescence(10_000_000).unwrap();
-            let stable = exec.states().to_vec();
+            let stable = exec.states();
             b.iter(|| {
                 let mut exec = Executor::with_states(
                     &g,

@@ -40,7 +40,7 @@ fn converged_states(g: &Graph) -> (RootedBfs, Vec<BfsState>) {
         ExecutorConfig::with_scheduler(41, SchedulerKind::Synchronous),
     );
     exec.run_to_quiescence(1_000_000).expect("BFS converges");
-    (algo, exec.states().to_vec())
+    (algo, exec.states())
 }
 
 fn bench(c: &mut Criterion) {

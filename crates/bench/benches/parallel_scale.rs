@@ -42,7 +42,7 @@ fn run_sync_bfs(g: &Graph, threads: usize) -> (Vec<stst_core::bfs::BfsState>, u6
         ExecutorConfig::with_scheduler(SEED, SchedulerKind::Synchronous).with_threads(threads);
     let mut exec = Executor::from_arbitrary(g, RootedBfs::new(root), config);
     let q = exec.run_to_quiescence(10_000_000).expect("BFS converges");
-    (exec.states().to_vec(), q.rounds)
+    (exec.states(), q.rounds)
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,126 @@
+//! E11 at bench scale: the packed configuration store under large sync-BFS waves and
+//! the MST composition, swept over store mode × thread count.
+//!
+//! Before timing anything the bench asserts the packed store's two contracts:
+//!
+//! * **bit identity** — the packed execution (final states, quiescence counters,
+//!   guard evaluations) is identical to the struct-backed reference, at every thread
+//!   count in the grid;
+//! * **allocation budget** — the packed double buffer (snapshot + pending) costs at
+//!   most 4× the accounted register bits, while the struct reference costs several
+//!   times more (the E11 acceptance gate, here at bench scale).
+//!
+//! `-- --smoke` runs a reduced grid (small n, threads ∈ {1, 4}); CI uses it to keep
+//! the packed path from rotting.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_bench::sparse_workload;
+use stst_core::bfs::{BfsState, RootedBfs};
+use stst_graph::Graph;
+use stst_runtime::{Executor, ExecutorConfig, Quiescence, SchedulerKind, StoreMode};
+
+const SEED: u64 = 2015;
+
+struct BfsOutcome {
+    states: Vec<BfsState>,
+    quiescence: Quiescence,
+    guard_evals: u64,
+    measured_bytes: usize,
+    accounted_bits: u64,
+}
+
+fn run_bfs(g: &Graph, store: StoreMode, threads: usize) -> BfsOutcome {
+    let root_ident = g.ident(g.min_ident_node());
+    let config = ExecutorConfig::with_scheduler(SEED, SchedulerKind::Synchronous)
+        .with_threads(threads)
+        .with_store(store);
+    let mut exec = Executor::from_arbitrary(g, RootedBfs::new(root_ident), config);
+    let quiescence = exec.run_to_quiescence(20_000_000).expect("BFS converges");
+    let report = exec.store_report();
+    BfsOutcome {
+        states: exec.states(),
+        quiescence,
+        guard_evals: exec.guard_evaluations(),
+        measured_bytes: report.measured_bytes,
+        accounted_bits: report.accounted_bits,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, thread_counts): (&[usize], &[usize]) = if smoke {
+        (&[4_000], &[1, 4])
+    } else {
+        (&[50_000, 250_000], &[1, 2, 4, 8])
+    };
+
+    let mut group = c.benchmark_group("space_scale");
+    group
+        .sample_size(if smoke { 2 } else { 5 })
+        .measurement_time(Duration::from_secs(if smoke { 2 } else { 12 }))
+        .warm_up_time(Duration::from_millis(if smoke { 50 } else { 500 }));
+
+    for &n in sizes {
+        let g = sparse_workload(n, n / 2, SEED);
+        // Bit-identity gate (untimed): the packed store reproduces the struct-backed
+        // run exactly, at every thread count.
+        let reference = run_bfs(&g, StoreMode::Struct, 1);
+        assert!(
+            reference.quiescence.legal,
+            "BFS stabilizes legally at n={n}"
+        );
+        let mut packed_bytes = 0usize;
+        for &t in thread_counts {
+            let packed = run_bfs(&g, StoreMode::Packed, t);
+            assert!(
+                packed.states == reference.states
+                    && packed.quiescence == reference.quiescence
+                    && packed.guard_evals == reference.guard_evals,
+                "packed store diverged from the struct reference at n={n}, threads={t}"
+            );
+            assert_eq!(
+                packed.accounted_bits, reference.accounted_bits,
+                "accounting must not depend on the store"
+            );
+            // Allocation budget gate: packed ≤ 4x the accounted bits; the struct
+            // reference costs several times the packed store.
+            assert!(
+                (packed.measured_bytes as u64) * 8 <= 4 * packed.accounted_bits,
+                "n={n}: packed store allocated {} bytes for {} accounted bits",
+                packed.measured_bytes,
+                packed.accounted_bits
+            );
+            assert!(
+                packed.measured_bytes * 4 < reference.measured_bytes,
+                "n={n}: packed {}B should be at least 4x below struct {}B",
+                packed.measured_bytes,
+                reference.measured_bytes
+            );
+            packed_bytes = packed.measured_bytes;
+        }
+        println!(
+            "space_scale/{n}: packed {:.1} B/node vs struct {:.1} B/node \
+             ({:.1} accounted bits/node)",
+            packed_bytes as f64 / n as f64,
+            reference.measured_bytes as f64 / n as f64,
+            reference.accounted_bits as f64 / n as f64
+        );
+        for store in [StoreMode::Packed, StoreMode::Struct] {
+            for &t in thread_counts {
+                group.bench_with_input(
+                    BenchmarkId::new(&format!("sync_bfs/{n}/{store:?}"), format!("threads={t}")),
+                    &t,
+                    |b, &t| {
+                        b.iter(|| black_box(run_bfs(&g, store, t).quiescence));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke]`
+//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space]`
 //!
 //! * `--json` emits machine-readable output — a `{host, tables}` document whose
 //!   `host` block records the logical core count and thread grid, so recorded
 //!   `BENCH_*.json` baselines are self-describing;
 //! * `--smoke` runs the tiny-size grid (every experiment at toy sizes — the CI check
-//!   that keeps the harness runnable).
+//!   that keeps the harness runnable);
+//! * `--space` runs only the space tables (E5, E7 and the large-scale E11) at their
+//!   full sizes — what `BENCH_space.json` is recorded from.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,8 +19,19 @@ fn main() {
         .unwrap_or(2015);
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let space = args.iter().any(|a| a == "--space");
     let (tables, thread_grid) = if smoke {
         (stst_bench::smoke_report(seed), vec![2])
+    } else if space {
+        let threads = stst_bench::default_threads();
+        (
+            vec![
+                stst_bench::e5_mst_space(&[16, 32, 64, 128], seed),
+                stst_bench::e7_mdst_space(&[16, 32, 64], seed),
+                stst_bench::e11_space_scale(&[100_000, 1_000_000], &[100_000], seed, threads),
+            ],
+            vec![threads],
+        )
     } else {
         (
             stst_bench::full_report(seed),

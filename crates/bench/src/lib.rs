@@ -20,7 +20,7 @@ use stst_graph::{bfs, fr, generators, mst, Graph, NodeId};
 use stst_labeling::mst_fragments::fragment_guided_swap;
 use stst_labeling::redundant::RedundantScheme;
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
-use stst_runtime::{Executor, ExecutorConfig, Register, SchedulerKind};
+use stst_runtime::{Executor, ExecutorConfig, SchedulerKind, StoreMode};
 
 /// Renders a markdown table from a header and rows of strings.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -359,12 +359,18 @@ pub fn e4_mst(sizes: &[usize], seed: u64, threads: usize) -> ExperimentTable {
     }
 }
 
-/// E5 — MST space and silence comparison against the cited baselines.
+/// E5 — MST space and silence comparison against the cited baselines. The
+/// `measured B/node` column is an *allocation measurement*: the engine's stabilized
+/// label families packed into the runtime's [`stst_runtime::ConfigStore`]
+/// ([`CompositionEngine::packed_space`]), recorded next to the accounted bits so the
+/// two can never silently diverge.
 pub fn e5_mst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
         let g = generators::workload(n, 0.15, seed);
-        let ours = construct_mst(&g, &EngineConfig::seeded(seed));
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+        let ours = engine.run();
+        let space = engine.packed_space();
         let kkm = compact_mst::run(&g, CompactVariant::KormanKuttenMasuzawa);
         let bgrt = compact_mst::run(&g, CompactVariant::BlinGradinariuRovedakisTixeuil);
         let mut distance_only =
@@ -373,23 +379,28 @@ pub fn e5_mst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
         rows.push(vec![
             n.to_string(),
             format!("{} (silent)", ours.max_register_bits),
+            f(space.bytes_per_node),
+            f(space.accounted_bits_per_node),
             format!("{} (not silent)", kkm.max_register_bits),
             format!("{} (not silent)", bgrt.max_register_bits),
             format!(
                 "{} (silent, ST only)",
-                distance_only
-                    .states()
-                    .iter()
-                    .map(Register::bit_size)
-                    .max()
-                    .unwrap_or(0)
+                distance_only.space_report().max_bits
             ),
         ]);
     }
     ExperimentTable {
         id: "E5".into(),
         claim: "MST space: ours (silent, Θ(log² n)) vs non-silent compact MST (Θ(log n)) vs distance-only ST".into(),
-        headers: vec!["n".into(), "this work [bits]".into(), "KKM'11 model [bits]".into(), "BGRT'09 model [bits]".into(), "distance-only ST [bits]".into()],
+        headers: vec![
+            "n".into(),
+            "this work [bits]".into(),
+            "measured B/node (packed)".into(),
+            "accounted bits/node".into(),
+            "KKM'11 model [bits]".into(),
+            "BGRT'09 model [bits]".into(),
+            "distance-only ST [bits]".into(),
+        ],
         rows,
     }
 }
@@ -435,16 +446,22 @@ pub fn e6_mdst(sizes: &[usize], seed: u64) -> ExperimentTable {
     }
 }
 
-/// E7 — MDST memory comparison against the prior-art model ([16], Ω(n log n) bits).
+/// E7 — MDST memory comparison against the prior-art model ([16], Ω(n log n) bits),
+/// with the measured packed-store allocation recorded next to the accounted bits
+/// (see [`e5_mst_space`]).
 pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
     let mut rows = Vec::new();
     for &n in sizes {
         let g = generators::workload(n, 0.2, seed);
-        let ours = construct_mdst(&g, &EngineConfig::seeded(seed));
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mdst, EngineConfig::seeded(seed));
+        let ours = engine.run();
+        let space = engine.packed_space();
         let prior = prior_mdst::run(&g);
         rows.push(vec![
             n.to_string(),
             format!("{} (silent)", ours.max_register_bits),
+            f(space.bytes_per_node),
+            f(space.accounted_bits_per_node),
             format!("{} (not silent)", prior.max_register_bits),
             f(prior.max_register_bits as f64 / ours.max_register_bits.max(1) as f64),
         ]);
@@ -455,6 +472,8 @@ pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
         headers: vec![
             "n".into(),
             "this work [bits]".into(),
+            "measured B/node (packed)".into(),
+            "accounted bits/node".into(),
             "BGR'11 model [bits]".into(),
             "ratio".into(),
         ],
@@ -733,6 +752,99 @@ pub fn e10_churn(
     }
 }
 
+/// The large-scale workload of E11: a connected sparse graph built in `O(n + m)`
+/// (random spanning tree plus `extra` chords — the quadratic `workload` generator
+/// cannot reach 10⁶ nodes), with shuffled identities and distinct random weights.
+pub fn sparse_workload(n: usize, extra: usize, seed: u64) -> Graph {
+    let g = generators::random_sparse(n, extra, seed);
+    let g = generators::shuffle_idents(&g, seed.wrapping_add(1));
+    generators::randomize_weights(&g, seed.wrapping_add(2))
+}
+
+/// E11 — large-scale packed configuration store: the workload the packed store was
+/// built for. Sync-BFS stabilizes from an arbitrary configuration at up to
+/// n = 1,000,000 with the registers living in the bit-packed [`stst_runtime::ConfigStore`];
+/// the struct-backed reference runs the identical execution (same quiescence, bit for
+/// bit) so the `measured B/node` column shows allocation, not algorithm, differences.
+/// The full MST composition runs at n ≥ 100,000 with its `O(log² n)`-bit label
+/// families packed the same way. `measured×8 / accounted` is the allocated-bits over
+/// accounted-bits ratio the acceptance gate bounds (≤ 4 for the packed store).
+pub fn e11_space_scale(
+    bfs_sizes: &[usize],
+    mst_sizes: &[usize],
+    seed: u64,
+    threads: usize,
+) -> ExperimentTable {
+    let mut rows = Vec::new();
+    for &n in bfs_sizes {
+        let g = sparse_workload(n, n / 2, seed);
+        let root_ident = g.ident(g.min_ident_node());
+        for store in [StoreMode::Packed, StoreMode::Struct] {
+            let config = ExecutorConfig::with_scheduler(seed, SchedulerKind::Synchronous)
+                .with_threads(threads)
+                .with_store(store);
+            let mut exec = Executor::from_arbitrary(&g, RootedBfs::new(root_ident), config);
+            let q = exec
+                .run_to_quiescence(50_000_000)
+                .expect("sync-BFS converges");
+            let report = exec.store_report();
+            rows.push(vec![
+                format!("sync-BFS ({store:?})"),
+                n.to_string(),
+                threads.to_string(),
+                q.rounds.to_string(),
+                f(report.accounted_bits_per_node),
+                f(report.bytes_per_node),
+                f(report.bytes_per_node * 8.0 / report.accounted_bits_per_node.max(1.0)),
+                q.legal.to_string(),
+            ]);
+        }
+    }
+    for &n in mst_sizes {
+        let g = sparse_workload(n, n / 2, seed);
+        // The synchronous daemon keeps the guarded-rule build phase to O(rounds)
+        // steps (the central daemon's one-activation-per-step bookkeeping would need
+        // tens of millions of steps at this scale before the composition even
+        // starts); the composition's output is legality-checked either way.
+        let mut engine = CompositionEngine::new(
+            &g,
+            EngineTask::Mst,
+            EngineConfig::seeded(seed)
+                .with_scheduler(SchedulerKind::Synchronous)
+                .with_max_steps(100_000_000)
+                .with_threads(threads),
+        );
+        let report = engine.run();
+        assert!(report.legal, "E11 MST composition must stabilize on an MST");
+        let space = engine.packed_space();
+        rows.push(vec![
+            "MST composition (Packed labels)".to_string(),
+            n.to_string(),
+            threads.to_string(),
+            report.total_rounds.to_string(),
+            f(space.accounted_bits_per_node),
+            f(space.bytes_per_node),
+            f(space.bytes_per_node * 8.0 / space.accounted_bits_per_node.max(1.0)),
+            report.legal.to_string(),
+        ]);
+    }
+    ExperimentTable {
+        id: "E11".into(),
+        claim: "large-scale packed store: accounted O(log² n) bits are the allocated bits (measured×8/accounted ≤ 4 packed vs 10–50 struct)".into(),
+        headers: vec![
+            "workload".into(),
+            "n".into(),
+            "threads".into(),
+            "rounds".into(),
+            "accounted bits/node".into(),
+            "measured B/node".into(),
+            "measured×8 / accounted".into(),
+            "legal".into(),
+        ],
+        rows,
+    }
+}
+
 /// Worker threads the full report measures with: the host's available parallelism,
 /// capped at 8 (the widest point of the `parallel_scale` sweep). Results are
 /// bit-identical at any value — this only affects wall clock and the recorded
@@ -759,6 +871,7 @@ pub fn full_report(seed: u64) -> Vec<ExperimentTable> {
         e8_label_faults(64, &[1, 4, 16], seed),
         e9_sched_ablation(24, seed),
         e10_churn(&[64, 1000], &[0.5, 2.0], 8, seed, threads),
+        e11_space_scale(&[100_000, 1_000_000], &[100_000], seed, threads),
     ]
 }
 
@@ -779,6 +892,7 @@ pub fn smoke_report(seed: u64) -> Vec<ExperimentTable> {
         e8_label_faults(16, &[2], seed),
         e9_sched_ablation(12, seed),
         e10_churn(&[16], &[1.5], 4, seed, 2),
+        e11_space_scale(&[2_000], &[400], seed, 2),
     ]
 }
 
@@ -878,11 +992,41 @@ mod tests {
     #[test]
     fn smoke_grid_covers_every_experiment() {
         let tables = smoke_report(5);
-        assert_eq!(tables.len(), 11);
+        assert_eq!(tables.len(), 12);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
         }
-        assert_eq!(tables.last().unwrap().id, "E10");
+        assert_eq!(tables.last().unwrap().id, "E11");
+    }
+
+    #[test]
+    fn e11_packed_store_meets_the_allocation_budget() {
+        let table = e11_space_scale(&[1_500], &[300], 7, 2);
+        assert_eq!(table.rows.len(), 3);
+        let ratio_col = table
+            .headers
+            .iter()
+            .position(|h| h.contains("measured×8"))
+            .unwrap();
+        let packed_bfs: f64 = table.rows[0][ratio_col].parse().unwrap();
+        let struct_bfs: f64 = table.rows[1][ratio_col].parse().unwrap();
+        let packed_mst: f64 = table.rows[2][ratio_col].parse().unwrap();
+        assert!(
+            packed_bfs <= 4.0,
+            "packed BFS store blew the 4x budget: {packed_bfs}"
+        );
+        assert!(
+            packed_mst <= 4.0,
+            "packed MST label store blew the 4x budget: {packed_mst}"
+        );
+        assert!(
+            struct_bfs >= 2.0 * packed_bfs,
+            "struct reference should cost several times the packed store \
+             (packed {packed_bfs}, struct {struct_bfs})"
+        );
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "true", "row {row:?} must be legal");
+        }
     }
 
     #[test]

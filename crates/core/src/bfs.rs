@@ -11,10 +11,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId};
-use stst_runtime::register::option_ident_bits;
-use stst_runtime::{Algorithm, ParentPointer, Register, View};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, View};
 
 /// Register of the rooted BFS construction: parent pointer plus distance, `O(log n)` bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,9 +24,22 @@ pub struct BfsState {
     pub dist: u64,
 }
 
-impl Register for BfsState {
-    fn bit_size(&self) -> usize {
-        option_ident_bits(&self.parent) + bits_for(self.dist)
+impl Codec for BfsState {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::opt_uint_bits(&self.parent, ctx.ident_bits)
+            + CodecCtx::uint_bits(self.dist, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_opt_uint(w, &self.parent, ctx.ident_bits);
+        CodecCtx::write_uint(w, self.dist, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        BfsState {
+            parent: CodecCtx::read_opt_uint(r, ctx.ident_bits),
+            dist: CodecCtx::read_uint(r, ctx.count_bits),
+        }
     }
 }
 
@@ -179,6 +191,36 @@ mod tests {
             previous = previous.max(q.rounds);
         }
         assert!(previous > 0);
+    }
+
+    #[test]
+    fn codec_round_trips_across_the_reachable_and_garbage_state_space() {
+        use rand::SeedableRng;
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let g = generators::workload(30, 0.15, 2);
+        let ctx = stst_runtime::CodecCtx::for_graph(&g);
+        let algo = RootedBfs::new(g.ident(g.min_ident_node()));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for v in g.nodes() {
+            assert_codec_roundtrip(&ctx, &algo.arbitrary_state(&g, v, &mut rng));
+        }
+        // Boundary shapes: the ⊥ parent, distance 0, and out-of-width fault garbage.
+        for state in [
+            BfsState {
+                parent: None,
+                dist: 0,
+            },
+            BfsState {
+                parent: Some(0),
+                dist: 0,
+            },
+            BfsState {
+                parent: Some(u64::MAX),
+                dist: u64::MAX,
+            },
+        ] {
+            assert_codec_roundtrip(&ctx, &state);
+        }
     }
 
     #[test]

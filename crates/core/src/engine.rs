@@ -44,7 +44,8 @@ use stst_labeling::nca::{assign_nca_labels, repair_nca_labels, NcaLabel, NcaSche
 use stst_labeling::redundant::{repair_redundant_labels, RedundantLabel, RedundantScheme};
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
 use stst_runtime::par::ThreadPool;
-use stst_runtime::{Executor, ExecutorConfig};
+use stst_runtime::store::{ConfigStore, StoreMode};
+use stst_runtime::{Codec, CodecCtx, Executor, ExecutorConfig, StoreReport};
 
 /// Minimum network size before the engine's per-node verification waves go through
 /// the pool (below this, spawn overhead dominates). Results are unaffected.
@@ -304,6 +305,9 @@ pub struct CompositionEngine<'g> {
     /// ([`CompositionEngine::apply_topology`] clones on first write) — static-topology
     /// runs keep the zero-copy behavior of the previous `&'g Graph` field.
     graph: Cow<'g, Graph>,
+    /// Codec field widths of the current instance (refreshed whenever a topology
+    /// delta commits — identity and weight ranges can grow).
+    ctx: CodecCtx,
     task: EngineTask,
     config: EngineConfig,
     phase: Phase,
@@ -333,6 +337,7 @@ impl<'g> CompositionEngine<'g> {
     pub fn new(graph: &'g Graph, task: EngineTask, config: EngineConfig) -> Self {
         CompositionEngine {
             graph: Cow::Borrowed(graph),
+            ctx: CodecCtx::for_graph(graph),
             task,
             config,
             phase: Phase::Build,
@@ -497,6 +502,7 @@ impl<'g> CompositionEngine<'g> {
             // Nothing constructed yet: the guarded-rule build phase simply starts
             // from the mutated network.
             self.graph = Cow::Owned(next);
+            self.ctx = CodecCtx::for_graph(&self.graph);
             return PhaseEvent::TopologyApplied {
                 dirty_nodes: outcome.dirty.len(),
                 reanchored: 0,
@@ -506,29 +512,38 @@ impl<'g> CompositionEngine<'g> {
         }
         if outcome.node_set_changed {
             self.graph = Cow::Owned(next);
+            self.ctx = CodecCtx::for_graph(&self.graph);
             return self.rebuild_after_node_churn(&outcome);
         }
-        // Edge-level delta: identify the tree edges the batch deleted, then commit.
-        let severed: Vec<NodeId> = {
-            let state = self.state.as_ref().expect("tree built");
-            state
-                .tree
-                .edges()
-                .into_iter()
-                .filter(|&(v, p)| next.edge_between(v, p).is_none())
-                .map(|(v, _)| v)
-                .collect()
-        };
+        // Edge-level delta: commit, then re-anchor orphaned subtrees until no parent
+        // pointer crosses a deleted edge. A batch can delete several tree edges on one
+        // ancestor chain, and a re-anchoring reversal may then re-use a *sibling*
+        // deleted edge in the flipped orientation — so stale pointers are re-discovered
+        // after every repair instead of collected once (each repair eliminates the
+        // picked stale pointer and flips at most the others, so the count strictly
+        // decreases and the loop terminates; pinned by `tests/review_repro.rs`).
         self.graph = Cow::Owned(next);
+        self.ctx = CodecCtx::for_graph(&self.graph);
         let mut frag_dirty: Vec<NodeId> = outcome.dirty.clone();
         let mut rounds = 1u64; // the delta-detection wave
-        let reanchored = severed.len();
+        let mut reanchored = 0usize;
         let mut structurally: Vec<NodeId> = Vec::new();
         let mut depth_dirty: Vec<NodeId> = Vec::new();
         let mut size_dirty: Vec<NodeId> = Vec::new();
         let mut path_len = 0u64;
         let mut dirty_height = 0u64;
-        for child_side in severed {
+        loop {
+            let child_side = {
+                let state = self.state.as_ref().expect("tree built");
+                state
+                    .tree
+                    .edges()
+                    .into_iter()
+                    .find(|&(v, p)| self.graph.edge_between(v, p).is_none())
+                    .map(|(v, _)| v)
+            };
+            let Some(child_side) = child_side else { break };
+            reanchored += 1;
             let state = self.state.as_mut().expect("tree built");
             let (anchor, changes) = reanchor_changes(&self.graph, state, child_side)
                 .expect("a connected graph always offers a replacement edge");
@@ -735,7 +750,15 @@ impl<'g> CompositionEngine<'g> {
         } else {
             self.build_labels_from_scratch();
         }
-        self.account_register_bits();
+        // Register accounting walks every label of every family (`O(n log n)` work at
+        // MST scale), so incremental repair waves sample it: the from-scratch waves
+        // (where labels are largest — the freshly proven families on the least-optimal
+        // tree), every 32nd repair wave, and the stabilized configuration (see
+        // `improve_mst`/`improve_mdst`) are always accounted, which pins the peak
+        // without paying an `O(n log n)` scan per switch.
+        if !incremental || self.improvements.is_multiple_of(32) {
+            self.account_register_bits();
+        }
         self.phase = Phase::Improve;
         PhaseEvent::LabelsReady {
             labels_written: self.labels_written - written_before,
@@ -811,8 +834,12 @@ impl<'g> CompositionEngine<'g> {
     }
 
     /// Per-phase register accounting: the sum of the per-family maxima, peaked over the
-    /// whole run (dominated by the `O(log² n)`-bit fragment labels for MST).
+    /// whole run (dominated by the `O(log² n)`-bit fragment labels for MST). Sizes are
+    /// codec-derived ([`Codec::encoded_bits`] under the instance's [`CodecCtx`]), i.e.
+    /// exactly what the packed label store allocates — see
+    /// [`CompositionEngine::packed_space`].
     fn account_register_bits(&mut self) {
+        let ctx = &self.ctx;
         let task_bits = match self.task {
             EngineTask::Mst => self
                 .fragments
@@ -820,7 +847,7 @@ impl<'g> CompositionEngine<'g> {
                 .expect("MST maintains fragments")
                 .labels()
                 .iter()
-                .map(FragmentLabel::bit_size)
+                .map(|l| l.encoded_bits(ctx))
                 .max()
                 .unwrap_or(0),
             EngineTask::Mdst => {
@@ -830,24 +857,69 @@ impl<'g> CompositionEngine<'g> {
                     let labels = scheme.prove(&self.graph, tree);
                     labels
                         .iter()
-                        .map(|l| scheme.label_bits(l))
+                        .map(|l| scheme.label_bits(ctx, l))
                         .max()
                         .unwrap_or(0)
                 } else {
                     // While not yet an FR-tree the nodes carry the same fields (degree,
-                    // mark, fragment pointer); account for the same size.
-                    2 * 8 + 2 + 2 * 8
+                    // mark, fragment pointer): two counters, two flags, one identity
+                    // and one more counter at the instance's field widths.
+                    2 * (1 + ctx.count_bits as usize)
+                        + 2
+                        + (1 + ctx.ident_bits as usize)
+                        + (1 + ctx.count_bits as usize)
                 }
             }
         };
-        let nca_bits = self.nca.iter().map(NcaLabel::bit_size).max().unwrap_or(0);
+        let nca_bits = self
+            .nca
+            .iter()
+            .map(|l| l.encoded_bits(ctx))
+            .max()
+            .unwrap_or(0);
         let red_bits = self
             .redundant
             .iter()
-            .map(|l| RedundantScheme.label_bits(l))
+            .map(|l| RedundantScheme.label_bits(ctx, l))
             .max()
             .unwrap_or(0);
         self.max_register_bits = self.max_register_bits.max(task_bits + nca_bits + red_bits);
+    }
+
+    /// Packs every maintained label family into a fresh [`ConfigStore`] and reports the
+    /// measured allocation against the accounted bits — the `measured B/node` column of
+    /// the E5/E7/E11 space tables. The engine repairs its families on decoded working
+    /// sets between waves; this materializes the silent configuration the way the
+    /// runtime's packed executor stores registers, so the number is an *allocation
+    /// measurement*, not a formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first labeling wave.
+    pub fn packed_space(&self) -> StoreReport {
+        let ctx = &self.ctx;
+        let n = self.graph.node_count().max(1);
+        let mut measured_bytes = 0usize;
+        let mut accounted_bits = 0u64;
+        if let Some(fragments) = self.fragments.as_ref() {
+            let store = ConfigStore::packed_from_slice(fragments.labels(), ctx);
+            measured_bytes += store.measured().bytes;
+            accounted_bits += store.accounted_bits(ctx);
+        }
+        assert!(!self.nca.is_empty(), "packed_space needs a labeled engine");
+        let store = ConfigStore::packed_from_slice(&self.nca, ctx);
+        measured_bytes += store.measured().bytes;
+        accounted_bits += store.accounted_bits(ctx);
+        let store = ConfigStore::packed_from_slice(&self.redundant, ctx);
+        measured_bytes += store.measured().bytes;
+        accounted_bits += store.accounted_bits(ctx);
+        StoreReport {
+            mode: StoreMode::Packed,
+            measured_bytes,
+            accounted_bits,
+            bytes_per_node: measured_bytes as f64 / n as f64,
+            accounted_bits_per_node: accounted_bits as f64 / n as f64,
+        }
     }
 
     fn improve(&mut self) -> PhaseEvent {
@@ -862,6 +934,7 @@ impl<'g> CompositionEngine<'g> {
         let tree = &self.state.as_ref().expect("tree built").tree;
         let Some((add, remove)) = fragments.improving_swap(&self.graph, tree) else {
             self.legal = stst_graph::mst::is_mst(&self.graph, tree);
+            self.account_register_bits();
             self.phase = Phase::Done;
             return PhaseEvent::Stabilized { legal: self.legal };
         };
@@ -958,6 +1031,7 @@ impl<'g> CompositionEngine<'g> {
         let state = self.state.as_mut().expect("tree built");
         let Some(next) = improve_once(&self.graph, &state.tree) else {
             self.legal = fr_certificate(&self.graph, &state.tree).is_some();
+            self.account_register_bits();
             self.phase = Phase::Done;
             return PhaseEvent::Stabilized { legal: self.legal };
         };

@@ -19,7 +19,7 @@
 //! labels, which is optimal for silent MST by the Korman–Kutten lower bound).
 
 use stst_graph::Graph;
-use stst_runtime::{Executor, ExecutorConfig, Register};
+use stst_runtime::{Executor, ExecutorConfig};
 
 use crate::engine::{CompositionEngine, EngineTask};
 use crate::framework::{ConstructionReport, EngineConfig};
@@ -53,11 +53,7 @@ pub fn spanning_phase_register_bits(graph: &Graph, seed: u64) -> usize {
     let mut exec = Executor::from_arbitrary(graph, MinIdSpanningTree, ExecutorConfig::seeded(seed));
     exec.run_to_quiescence(5_000_000)
         .expect("spanning phase converges");
-    exec.states()
-        .iter()
-        .map(Register::bit_size)
-        .max()
-        .unwrap_or(0)
+    exec.space_report().max_bits
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use stst_graph::{Graph, Tree};
 use stst_labeling::nca::{assign_nca_labels, NcaLabel, NcaScheme};
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::waves;
 
@@ -34,7 +35,12 @@ pub fn build_nca_labels(graph: &Graph, tree: &Tree) -> NcaBuildOutcome {
     let certified = scheme
         .verify_all(&Instance::from_tree(graph, tree), &labels)
         .accepted();
-    let max_label_bits = labels.iter().map(NcaLabel::bit_size).max().unwrap_or(0);
+    let ctx = CodecCtx::for_graph(graph);
+    let max_label_bits = labels
+        .iter()
+        .map(|l| l.encoded_bits(&ctx))
+        .max()
+        .unwrap_or(0);
     NcaBuildOutcome {
         labels,
         rounds: waves::nca_labeling_rounds(tree),

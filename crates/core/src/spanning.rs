@@ -16,10 +16,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId};
-use stst_runtime::register::option_ident_bits;
-use stst_runtime::{Algorithm, ParentPointer, Register, View};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, View};
 
 /// Register of the spanning-tree construction: `O(log n)` bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,12 +33,28 @@ pub struct SpanningState {
     pub size: u64,
 }
 
-impl Register for SpanningState {
-    fn bit_size(&self) -> usize {
-        bits_for(self.root)
-            + option_ident_bits(&self.parent)
-            + bits_for(self.dist)
-            + bits_for(self.size)
+impl Codec for SpanningState {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.root, ctx.ident_bits)
+            + CodecCtx::opt_uint_bits(&self.parent, ctx.ident_bits)
+            + CodecCtx::uint_bits(self.dist, ctx.count_bits)
+            + CodecCtx::uint_bits(self.size, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.root, ctx.ident_bits);
+        CodecCtx::write_opt_uint(w, &self.parent, ctx.ident_bits);
+        CodecCtx::write_uint(w, self.dist, ctx.count_bits);
+        CodecCtx::write_uint(w, self.size, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        SpanningState {
+            root: CodecCtx::read_uint(r, ctx.ident_bits),
+            parent: CodecCtx::read_opt_uint(r, ctx.ident_bits),
+            dist: CodecCtx::read_uint(r, ctx.count_bits),
+            size: CodecCtx::read_uint(r, ctx.count_bits),
+        }
     }
 }
 
@@ -199,6 +214,34 @@ mod tests {
                 "n = {n}: took {} rounds, expected O(n)",
                 q.rounds
             );
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_across_the_reachable_and_garbage_state_space() {
+        use rand::SeedableRng;
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let g = generators::workload(28, 0.2, 4);
+        let ctx = stst_runtime::CodecCtx::for_graph(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for v in g.nodes() {
+            assert_codec_roundtrip(&ctx, &MinIdSpanningTree.arbitrary_state(&g, v, &mut rng));
+        }
+        for state in [
+            SpanningState {
+                root: 0,
+                parent: None,
+                dist: 0,
+                size: 0,
+            },
+            SpanningState {
+                root: u64::MAX,
+                parent: Some(u64::MAX),
+                dist: u64::MAX,
+                size: u64::MAX,
+            },
+        ] {
+            assert_codec_roundtrip(&ctx, &state);
         }
     }
 

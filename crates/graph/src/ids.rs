@@ -99,4 +99,18 @@ mod tests {
         assert_eq!(bits_for(u64::MAX), 64);
         assert_eq!(bits_for(1 << 33), 34);
     }
+
+    #[test]
+    fn bits_for_is_exact_at_every_power_of_two_boundary() {
+        // The codec layer derives every fixed field width from `bits_for`, so the
+        // boundary behavior (2^k − 1 fits in k bits, 2^k needs k + 1) is pinned here
+        // for the whole width range — including the bits_for(0) = 1 convention the
+        // escape-coded integer fields rely on.
+        assert_eq!(bits_for(0), 1);
+        for k in 1..64u32 {
+            assert_eq!(bits_for((1u64 << k) - 1), k as usize, "2^{k} - 1");
+            assert_eq!(bits_for(1u64 << k), k as usize + 1, "2^{k}");
+        }
+        assert_eq!(bits_for((1u64 << 63) | 1), 64);
+    }
 }

@@ -5,8 +5,9 @@
 //! the root identity is shared with all neighbors and that `d(v) = d(p(v)) + 1`
 //! (`d = 0` at the root, whose identity must match `ID`).
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId, Tree};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -17,6 +18,25 @@ pub struct DistanceLabel {
     pub root: Ident,
     /// Claimed hop distance to the root in the tree.
     pub dist: u64,
+}
+
+impl Codec for DistanceLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.root, ctx.ident_bits)
+            + CodecCtx::uint_bits(self.dist, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.root, ctx.ident_bits);
+        CodecCtx::write_uint(w, self.dist, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        DistanceLabel {
+            root: CodecCtx::read_uint(r, ctx.ident_bits),
+            dist: CodecCtx::read_uint(r, ctx.count_bits),
+        }
+    }
 }
 
 /// The distance-based proof-labeling scheme for the family of all spanning trees.
@@ -63,10 +83,6 @@ impl ProofLabelingScheme for DistanceScheme {
                 own.dist == labels[p.0].dist + 1
             }
         }
-    }
-
-    fn label_bits(&self, label: &DistanceLabel) -> usize {
-        bits_for(label.root) + bits_for(label.dist)
     }
 }
 
@@ -147,12 +163,33 @@ mod tests {
     #[test]
     fn label_sizes_are_logarithmic() {
         let g = generators::workload(200, 0.05, 1);
+        let ctx = CodecCtx::for_graph(&g);
         let t = bfs_tree(&g, g.min_ident_node());
         let labels = DistanceScheme.prove(&g, &t);
-        let max_bits = DistanceScheme.max_label_bits(&labels);
+        let max_bits = DistanceScheme.max_label_bits(&ctx, &labels);
         assert!(
-            max_bits <= 2 * 8 + 2,
+            max_bits <= 2 * 10 + 2,
             "distance labels should be O(log n), got {max_bits} bits"
         );
+    }
+
+    #[test]
+    fn codec_round_trips_at_boundary_values() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let g = generators::workload(40, 0.1, 3);
+        let ctx = CodecCtx::for_graph(&g);
+        let t = bfs_tree(&g, g.min_ident_node());
+        for label in DistanceScheme.prove(&g, &t) {
+            assert_codec_roundtrip(&ctx, &label);
+        }
+        for label in [
+            DistanceLabel { root: 0, dist: 0 },
+            DistanceLabel {
+                root: u64::MAX,
+                dist: u64::MAX,
+            },
+        ] {
+            assert_codec_roundtrip(&ctx, &label);
+        }
     }
 }

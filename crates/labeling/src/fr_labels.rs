@@ -13,8 +13,9 @@
 //! An extra `subtree_max_degree` field, aggregated bottom-up along the (separately
 //! certified) spanning tree, prevents overstating `k`.
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId, Tree};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -31,6 +32,50 @@ pub struct FrLabel {
     /// For good nodes: the identity of the fragment head (the smallest identity in the
     /// fragment) and the distance to it within the fragment. `None` for bad nodes.
     pub fragment: Option<(Ident, u64)>,
+}
+
+impl Codec for FrLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.tree_degree, ctx.count_bits)
+            + CodecCtx::uint_bits(self.subtree_max_degree, ctx.count_bits)
+            + 1
+            + 1
+            + self.fragment.map_or(0, |(head, dist)| {
+                CodecCtx::uint_bits(head, ctx.ident_bits)
+                    + CodecCtx::uint_bits(dist, ctx.count_bits)
+            })
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.tree_degree, ctx.count_bits);
+        CodecCtx::write_uint(w, self.subtree_max_degree, ctx.count_bits);
+        w.write(u64::from(self.good), 1);
+        match self.fragment {
+            None => w.write(0, 1),
+            Some((head, dist)) => {
+                w.write(1, 1);
+                CodecCtx::write_uint(w, head, ctx.ident_bits);
+                CodecCtx::write_uint(w, dist, ctx.count_bits);
+            }
+        }
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        let tree_degree = CodecCtx::read_uint(r, ctx.count_bits);
+        let subtree_max_degree = CodecCtx::read_uint(r, ctx.count_bits);
+        let good = r.read(1) == 1;
+        let fragment = (r.read(1) == 1).then(|| {
+            let head = CodecCtx::read_uint(r, ctx.ident_bits);
+            let dist = CodecCtx::read_uint(r, ctx.count_bits);
+            (head, dist)
+        });
+        FrLabel {
+            tree_degree,
+            subtree_max_degree,
+            good,
+            fragment,
+        }
+    }
 }
 
 /// The FR-tree proof-labeling scheme.
@@ -211,16 +256,6 @@ impl ProofLabelingScheme for FrScheme {
         }
         true
     }
-
-    fn label_bits(&self, label: &FrLabel) -> usize {
-        bits_for(label.tree_degree)
-            + bits_for(label.subtree_max_degree)
-            + 1
-            + 1
-            + label
-                .fragment
-                .map_or(0, |(head, dist)| bits_for(head) + bits_for(dist))
-    }
 }
 
 /// The MDST potential of §VIII: `φ(T) = (n·∆_T + N_T) · (1 − 1_FR(T))`, where `∆_T` is
@@ -260,11 +295,40 @@ mod tests {
     #[test]
     fn labels_are_logarithmic() {
         let (g, t) = setup(120, 1);
+        let ctx = CodecCtx::for_graph(&g);
         let labels = FrScheme.prove(&g, &t);
-        let max_bits = FrScheme.max_label_bits(&labels);
+        let max_bits = FrScheme.max_label_bits(&ctx, &labels);
         assert!(
-            max_bits <= 4 * 8 + 4,
+            max_bits <= 4 * 10 + 6,
             "FR labels should be O(log n) bits, got {max_bits}"
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_good_bad_and_garbage_labels() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let (g, t) = setup(24, 5);
+        let ctx = CodecCtx::for_graph(&g);
+        for label in FrScheme.prove(&g, &t) {
+            assert_codec_roundtrip(&ctx, &label);
+        }
+        assert_codec_roundtrip(
+            &ctx,
+            &FrLabel {
+                tree_degree: 0,
+                subtree_max_degree: 0,
+                good: false,
+                fragment: None,
+            },
+        );
+        assert_codec_roundtrip(
+            &ctx,
+            &FrLabel {
+                tree_degree: u64::MAX,
+                subtree_max_degree: u64::MAX,
+                good: true,
+                fragment: Some((u64::MAX, u64::MAX)),
+            },
         );
     }
 

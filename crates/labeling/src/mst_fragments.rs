@@ -12,10 +12,11 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use stst_graph::ids::bits_for;
 use stst_graph::mst::{boruvka_on_tree, BoruvkaRun};
 use stst_graph::{EdgeId, Graph, Ident, NodeId, Tree, Weight};
+use stst_runtime::bits::{BitReader, BitWriter};
 use stst_runtime::par::ThreadPool;
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -39,20 +40,55 @@ pub struct FragmentLabel {
     pub levels: Vec<FragmentLevel>,
 }
 
-impl FragmentLabel {
-    /// Number of bits of the label.
-    pub fn bit_size(&self) -> usize {
-        bits_for(self.levels.len() as u64)
+impl Codec for FragmentLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.levels.len() as u64, ctx.len_bits)
             + self
                 .levels
                 .iter()
                 .map(|l| {
-                    bits_for(l.fragment)
+                    CodecCtx::uint_bits(l.fragment, ctx.ident_bits)
                         + 1
-                        + l.outgoing
-                            .map_or(0, |(a, b, w)| bits_for(a) + bits_for(b) + bits_for(w))
+                        + l.outgoing.map_or(0, |(a, b, w)| {
+                            CodecCtx::uint_bits(a, ctx.ident_bits)
+                                + CodecCtx::uint_bits(b, ctx.ident_bits)
+                                + CodecCtx::uint_bits(w, ctx.weight_bits)
+                        })
                 })
                 .sum::<usize>()
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.levels.len() as u64, ctx.len_bits);
+        for level in &self.levels {
+            CodecCtx::write_uint(w, level.fragment, ctx.ident_bits);
+            match level.outgoing {
+                None => w.write(0, 1),
+                Some((a, b, weight)) => {
+                    w.write(1, 1);
+                    CodecCtx::write_uint(w, a, ctx.ident_bits);
+                    CodecCtx::write_uint(w, b, ctx.ident_bits);
+                    CodecCtx::write_uint(w, weight, ctx.weight_bits);
+                }
+            }
+        }
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        let len = CodecCtx::read_uint(r, ctx.len_bits) as usize;
+        let levels = (0..len)
+            .map(|_| {
+                let fragment = CodecCtx::read_uint(r, ctx.ident_bits);
+                let outgoing = (r.read(1) == 1).then(|| {
+                    let a = CodecCtx::read_uint(r, ctx.ident_bits);
+                    let b = CodecCtx::read_uint(r, ctx.ident_bits);
+                    let weight = CodecCtx::read_uint(r, ctx.weight_bits);
+                    (a, b, weight)
+                });
+                FragmentLevel { fragment, outgoing }
+            })
+            .collect();
+        FragmentLabel { levels }
     }
 }
 
@@ -106,13 +142,17 @@ pub fn fragment_guided_swap(graph: &Graph, tree: &Tree) -> Option<(EdgeId, EdgeI
 }
 
 /// One Borůvka fragment of one level, as maintained incrementally: its member nodes,
-/// the minimum-weight outgoing **tree** edge it recorded, and the identity of the
-/// level-above fragment it merged into (its own identity at the final level).
+/// the minimum-weight outgoing **tree** edge it recorded, the identity of the
+/// level-above fragment it merged into (its own identity at the final level), and the
+/// identities of the level-below fragments it is composed of (empty at level 0). The
+/// constituent lists are the reverse index that lets a repair regroup only the merge
+/// components actually touched by a swap instead of re-deriving the whole level.
 #[derive(Clone, Debug)]
 struct FragRecord {
     members: Vec<NodeId>,
     chosen: Option<EdgeId>,
     parent: Ident,
+    constituents: Vec<Ident>,
 }
 
 /// Persistent Borůvka-trace state for one spanning tree, supporting *incremental* label
@@ -184,8 +224,25 @@ impl FragmentState {
                         } else {
                             trace.fragment[i]
                         },
+                        constituents: Vec::new(),
                     });
                 rec.members.push(v);
+            }
+        }
+        // Reverse index: every fragment registers with its parent one level up, in
+        // ascending identity order (deterministic across builds).
+        for i in 0..k.saturating_sub(1) {
+            let mut links: Vec<(Ident, Ident)> = levels[i]
+                .iter()
+                .map(|(&id, rec)| (id, rec.parent))
+                .collect();
+            links.sort_unstable();
+            for (id, parent) in links {
+                levels[i + 1]
+                    .get_mut(&parent)
+                    .expect("parents exist one level up")
+                    .constituents
+                    .push(id);
             }
         }
         let mut is_tree_edge = vec![false; graph.edge_count()];
@@ -373,8 +430,9 @@ impl FragmentState {
         let remove_edge = graph.edge(remove);
         let endpoints = [add_edge.u, add_edge.v, remove_edge.u, remove_edge.v];
         // A swap changes only tree membership, never the graph's edge set, so the true
-        // minima of clean fragments are untouched.
-        self.repair_dirty_endpoints(graph, &endpoints, false)
+        // minima of clean fragments are untouched — and the chosen edges of
+        // membership-clean fragments can be patched from `{+add, −remove}` alone.
+        self.repair_dirty_endpoints(graph, &endpoints, false, Some((add, remove)))
     }
 
     /// Incrementally repairs the state after a **topology mutation** of the underlying
@@ -408,7 +466,7 @@ impl FragmentState {
         for e in tree.edge_ids_in(graph) {
             self.is_tree_edge[e.index()] = true;
         }
-        self.repair_dirty_endpoints(graph, dirty, true)
+        self.repair_dirty_endpoints(graph, dirty, true, None)
     }
 
     /// The shared dirty-frontier cascade of [`FragmentState::apply_swap`] and
@@ -422,6 +480,7 @@ impl FragmentState {
         graph: &Graph,
         endpoints: &[NodeId],
         refresh_true_min: bool,
+        swap: Option<(EdgeId, EdgeId)>,
     ) -> u64 {
         let old_level_count = self.level_count();
         let mut writes = 0u64;
@@ -433,10 +492,30 @@ impl FragmentState {
         let mut stale: Vec<Ident> = Vec::new();
         let mut level = 0usize;
         loop {
+            // The merge step below can only produce a different grouping if one of its
+            // inputs changed at this level: the fragment *set* (stale removals or
+            // rebuilt groups) or some fragment's chosen edge. Tracked so that clean
+            // levels skip the grouping pass entirely — this is what makes a repair
+            // cost `O(dirty region)` per level instead of `O(#fragments)` (at
+            // n = 10⁵, the difference between a milliseconds-per-swap cascade and an
+            // `O(n)` rebuild per swap).
+            // Old parents of the fragments dissolved at this level: their groups lost a
+            // constituent, so the merge below must re-derive them (closure seeds).
+            let mut stale_parents: Vec<Ident> = Vec::new();
             for id in stale.drain(..) {
-                self.levels[level].remove(&id);
+                if let Some(rec) = self.levels[level].remove(&id) {
+                    stale_parents.push(rec.parent);
+                }
                 self.true_min_out[level].remove(&id);
             }
+            // Fragments whose merge-relevant state changes at this level: rebuilt
+            // membership now, or a changed chosen edge (recorded below). The merge
+            // pass regroups only the link-closure of these seeds — clean groups
+            // elsewhere on the level are never touched, which is what makes a repair
+            // cost `O(dirty region)` instead of `O(#fragments)` per level (at
+            // n = 10⁵, the difference between a milliseconds-per-swap cascade and an
+            // `O(n)` regrouping per swap).
+            let mut merge_seeds: BTreeSet<Ident> = membership_dirty.iter().copied().collect();
             // (A) Recompute chosen edges (and true minima) on the dirty frontier: the
             // rebuilt fragments plus every fragment containing an endpoint of e or f
             // (the only fragments whose incident tree-edge set changed).
@@ -445,14 +524,47 @@ impl FragmentState {
                 rechoose.insert(self.labels[v.0].levels[level].fragment);
             }
             for id in rechoose {
-                let new_chosen = self.chosen_of(graph, level, id);
                 let rebuilt = membership_dirty.contains(&id);
-                let rec = self.levels[level].get_mut(&id).expect("fragment exists");
+                let old_chosen = self.levels[level][&id].chosen;
+                let old_min = self.true_min_out[level].get(&id).copied();
+                // A membership-clean fragment under a pure swap changes its outgoing
+                // **tree**-edge set by exactly `{+add, −remove}`, so its minimum can
+                // be patched in O(1): a full member scan (`chosen_of`, O(Σ deg) over
+                // the fragment — O(n) for the top-level fragments!) is only needed
+                // when the removed edge *was* the recorded minimum. This is what
+                // keeps a swap's repair proportional to its dirty region.
+                let new_chosen = match swap {
+                    Some((add, remove)) if !rebuilt && !refresh_true_min => {
+                        if old_chosen == Some(remove) {
+                            self.chosen_of(graph, level, id)
+                        } else {
+                            let ae = graph.edge(add);
+                            let fu = self.labels[ae.u.0].levels[level].fragment;
+                            let fv = self.labels[ae.v.0].levels[level].fragment;
+                            let add_outgoing = (fu == id) != (fv == id);
+                            match (old_chosen, add_outgoing) {
+                                (Some(o), true)
+                                    if (graph.weight(add), add.index())
+                                        < (graph.weight(o), o.index()) =>
+                                {
+                                    Some(add)
+                                }
+                                (None, true) => Some(add),
+                                (other, _) => other,
+                            }
+                        }
+                    }
+                    _ => self.chosen_of(graph, level, id),
+                };
+                if new_chosen != old_chosen {
+                    merge_seeds.insert(id);
+                }
                 // Under a topology mutation the stored `(ID, ID, w)` triple can go
                 // stale even when the chosen EdgeId is unchanged (weight drift), so
                 // the members' labels are re-derived unconditionally there; the inner
                 // loop still only counts entries whose text actually changed.
-                if rebuilt || refresh_true_min || new_chosen != rec.chosen {
+                if rebuilt || refresh_true_min || new_chosen != old_chosen {
+                    let rec = self.levels[level].get_mut(&id).expect("fragment exists");
                     rec.chosen = new_chosen;
                     let members = rec.members.clone();
                     let triple = new_chosen.map(|e| outgoing_triple(graph, e));
@@ -467,17 +579,9 @@ impl FragmentState {
                             phi_dirty.insert(m);
                         }
                     }
-                    // A changed record can flip φ even for members whose label text is
-                    // unchanged (φ reads the fragment's record, not the node's copy).
-                    phi_dirty.extend(members);
                 }
-                if rebuilt || refresh_true_min {
+                let new_min = if rebuilt || refresh_true_min {
                     let new_min = self.true_min_of(graph, level, id);
-                    let old_min = self.true_min_out[level].get(&id).copied();
-                    if new_min != old_min {
-                        let members = self.levels[level][&id].members.clone();
-                        phi_dirty.extend(members);
-                    }
                     match new_min {
                         Some(e) => {
                             self.true_min_out[level].insert(id, e);
@@ -486,6 +590,20 @@ impl FragmentState {
                             self.true_min_out[level].remove(&id);
                         }
                     }
+                    new_min
+                } else {
+                    old_min
+                };
+                // φ reads only the per-fragment (recorded, true-min) *agreement*, so
+                // the members' potentials need repair exactly when that agreement
+                // flips (or the membership itself was rebuilt) — not on every record
+                // rewrite. This keeps the φ repair off the O(n)-member fragments for
+                // the vast majority of swaps.
+                let old_agree = old_chosen == old_min;
+                let new_agree = new_chosen == new_min;
+                if rebuilt || old_agree != new_agree {
+                    let members = self.levels[level][&id].members.clone();
+                    phi_dirty.extend(members);
                 }
             }
             // (B) Termination: a single fragment spans the tree at this level.
@@ -493,23 +611,33 @@ impl FragmentState {
                 writes += self.finalize_levels(level + 1, old_level_count, &mut phi_dirty);
                 break;
             }
-            // (C) Merge into level + 1: group the fragments along their chosen edges
-            // (cheap per-fragment bookkeeping, no per-node work), then rebuild only the
-            // groups whose composition actually changed.
-            let next_dirty = self.merge_level(
-                graph,
-                level,
-                &membership_dirty,
-                &mut stale,
-                &mut writes,
-                &mut phi_dirty,
-            );
+            // (C) Merge into level + 1: group the seeds' link-closure along the chosen
+            // edges (cheap per-fragment bookkeeping, no per-node work), then rebuild
+            // only the groups whose composition actually changed. When no merge input
+            // changed at this level — the fragment set and every chosen edge are
+            // exactly what they were before the repair — the grouping is unchanged by
+            // definition and the pass is skipped outright (bit-identity to a full
+            // regrouping is pinned by the from-scratch differential tests).
+            let next_dirty = if !merge_seeds.is_empty() || !stale_parents.is_empty() {
+                self.merge_level(
+                    graph,
+                    level,
+                    &membership_dirty,
+                    &merge_seeds,
+                    &stale_parents,
+                    &mut stale,
+                    &mut writes,
+                    &mut phi_dirty,
+                )
+            } else {
+                HashSet::new()
+            };
             membership_dirty = next_dirty;
             level += 1;
         }
 
-        // (D) Repair the per-node potentials of every node whose fragment stack,
-        // recorded edge or true minimum changed.
+        // (D) Repair the per-node potentials of every node whose fragment stack or
+        // fragment agreement changed.
         if self.level_count() != old_level_count {
             phi_dirty.extend(graph.nodes());
         }
@@ -523,21 +651,81 @@ impl FragmentState {
         writes
     }
 
-    /// The merge step of one repair level: groups the level's fragments along their
-    /// chosen edges with a fragment-granularity union-find, keeps every group whose
-    /// composition is provably unchanged, and rebuilds the rest. Returns the identities
-    /// of the rebuilt level-`level + 1` fragments.
+    /// The merge step of one repair level: groups fragments along their chosen edges
+    /// with a fragment-granularity union-find, keeps every group whose composition is
+    /// provably unchanged, and rebuilds the rest. Returns the identities of the rebuilt
+    /// level-`level + 1` fragments.
+    ///
+    /// The union-find runs over the **link-closure scope** of the seeds, not the whole
+    /// level: the full old groups (via the stored constituent lists) of every
+    /// chosen-changed, rebuilt or dissolved fragment, extended transitively wherever a
+    /// scoped fragment's new link targets a fragment outside the scope. Groups fully
+    /// outside the scope keep their recorded grouping verbatim, which is sound because
+    /// (a) their own links are unchanged, and (b) a link *into* the scope from an
+    /// unchanged fragment implies it already shared an old group with its target
+    /// (links pre-existed ⇒ same component), so the closure pulled it in. When the
+    /// level count grows there is no recorded grouping to reuse, so the scope falls
+    /// back to the whole level.
+    #[allow(clippy::too_many_arguments)]
     fn merge_level(
         &mut self,
         graph: &Graph,
         level: usize,
         membership_dirty: &HashSet<Ident>,
+        merge_seeds: &BTreeSet<Ident>,
+        stale_parents: &[Ident],
         stale: &mut Vec<Ident>,
         writes: &mut u64,
         phi_dirty: &mut HashSet<NodeId>,
     ) -> HashSet<Ident> {
-        let mut ids: Vec<Ident> = self.levels[level].keys().copied().collect();
-        ids.sort_unstable();
+        let ids: Vec<Ident> = if level + 1 >= self.levels.len() {
+            let mut ids: Vec<Ident> = self.levels[level].keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        } else {
+            let lower = &self.levels[level];
+            let upper = &self.levels[level + 1];
+            let mut in_scope: BTreeSet<Ident> = BTreeSet::new();
+            let mut expanded: BTreeSet<Ident> = BTreeSet::new();
+            let mut parent_queue: Vec<Ident> = stale_parents.to_vec();
+            let mut frontier: Vec<Ident> = Vec::new();
+            for &f in merge_seeds {
+                if lower.contains_key(&f) && in_scope.insert(f) {
+                    frontier.push(f);
+                    parent_queue.push(lower[&f].parent);
+                }
+            }
+            loop {
+                while let Some(p) = parent_queue.pop() {
+                    if expanded.insert(p) {
+                        if let Some(rec) = upper.get(&p) {
+                            for &c in &rec.constituents {
+                                // Constituent lists can name fragments this repair
+                                // already dissolved; only live ones are grouped.
+                                if lower.contains_key(&c) && in_scope.insert(c) {
+                                    frontier.push(c);
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some(f) = frontier.pop() else { break };
+                let e = lower[&f]
+                    .chosen
+                    .expect("a non-final fragment of a spanning tree has an outgoing tree edge");
+                let ed = graph.edge(e);
+                let fu = self.labels[ed.u.0].levels[level].fragment;
+                let fv = self.labels[ed.v.0].levels[level].fragment;
+                let other = if fu == f { fv } else { fu };
+                if in_scope.insert(other) {
+                    frontier.push(other);
+                    if let Some(rec) = lower.get(&other) {
+                        parent_queue.push(rec.parent);
+                    }
+                }
+            }
+            in_scope.into_iter().collect()
+        };
         let index: HashMap<Ident, usize> = ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut dsu: Vec<usize> = (0..ids.len()).collect();
         fn find(dsu: &mut [usize], mut x: usize) -> usize {
@@ -570,8 +758,8 @@ impl FragmentState {
             self.true_min_out.push(HashMap::new());
         }
         let mut next_dirty: HashSet<Ident> = HashSet::new();
-        let mut rebuilt: Vec<(Ident, Vec<NodeId>)> = Vec::new();
-        for constituents in components.into_values() {
+        let mut rebuilt: Vec<(Ident, Vec<NodeId>, Vec<Ident>)> = Vec::new();
+        for mut constituents in components.into_values() {
             // A group is unchanged iff every constituent kept its membership, they all
             // merged into the same old parent, and together they cover all of it.
             let clean =
@@ -591,7 +779,8 @@ impl FragmentState {
             if clean {
                 continue;
             }
-            let new_ident = *constituents.iter().min().expect("non-empty group");
+            constituents.sort_unstable();
+            let new_ident = constituents[0];
             let mut members: Vec<NodeId> = Vec::new();
             for id in &constituents {
                 let rec = self.levels[level].get_mut(id).expect("constituent exists");
@@ -602,18 +791,20 @@ impl FragmentState {
             // The group recomposed out of different constituents but to exactly its old
             // member set (the common case one level above a local swap: the two sides of
             // the fundamental cycle re-merge): everything above this level is unchanged,
-            // so the upward dirty cascade stops here.
-            if !growing
-                && self.levels[level + 1]
-                    .get(&new_ident)
-                    .is_some_and(|old| old.members == members)
-            {
-                continue;
+            // so the upward dirty cascade stops here — only the reverse index needs the
+            // new composition.
+            if !growing {
+                if let Some(old) = self.levels[level + 1].get_mut(&new_ident) {
+                    if old.members == members {
+                        old.constituents = constituents;
+                        continue;
+                    }
+                }
             }
-            rebuilt.push((new_ident, members));
+            rebuilt.push((new_ident, members, constituents));
         }
-        let new_idents: Vec<Ident> = rebuilt.iter().map(|(id, _)| *id).collect();
-        for (new_ident, members) in rebuilt {
+        let new_idents: Vec<Ident> = rebuilt.iter().map(|(id, _, _)| *id).collect();
+        for (new_ident, members, constituents) in rebuilt {
             for &m in &members {
                 let label = &mut self.labels[m.0];
                 if level + 1 < label.levels.len() {
@@ -637,12 +828,20 @@ impl FragmentState {
                     phi_dirty.insert(m);
                 }
             }
+            // A reused identity keeps its old record's parent: the next level's merge
+            // seeds its closure from it to locate the (possibly recomposing) old
+            // group. Brand-new identities have no old group; their dissolved
+            // predecessors are tracked through `stale_parents` instead.
+            let parent = self.levels[level + 1]
+                .get(&new_ident)
+                .map_or(new_ident, |old| old.parent);
             self.levels[level + 1].insert(
                 new_ident,
                 FragRecord {
                     members,
                     chosen: None,
-                    parent: new_ident,
+                    parent,
+                    constituents,
                 },
             );
             next_dirty.insert(new_ident);
@@ -762,10 +961,6 @@ impl ProofLabelingScheme for FragmentScheme {
         }
         true
     }
-
-    fn label_bits(&self, label: &FragmentLabel) -> usize {
-        label.bit_size()
-    }
 }
 
 #[cfg(test)]
@@ -824,15 +1019,44 @@ mod tests {
     #[test]
     fn labels_have_logarithmically_many_levels_and_quadratic_log_bits() {
         let (g, t) = setup(64, 2);
+        let ctx = CodecCtx::for_graph(&g);
         let labels = assign_fragment_labels(&g, &t);
         let levels = labels[0].levels.len();
         assert!(
             levels <= 8,
             "64 nodes: at most 7 Borůvka levels, got {levels}"
         );
-        let max_bits = labels.iter().map(|l| l.bit_size()).max().unwrap();
+        let max_bits = labels.iter().map(|l| l.encoded_bits(&ctx)).max().unwrap();
         // O(log² n): generous constant, but far below the O(n log n) of explicit lists.
         assert!(max_bits <= 60 * 8, "labels too large: {max_bits} bits");
+    }
+
+    #[test]
+    fn codec_round_trips_traces_including_empty_and_garbage_shapes() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let (g, t) = setup(40, 6);
+        let ctx = CodecCtx::for_graph(&g);
+        for label in assign_fragment_labels(&g, &t) {
+            assert_codec_roundtrip(&ctx, &label);
+        }
+        // The empty trace (a corrupt shape the verifier rejects) and a level whose
+        // recorded edge escaped the instance's weight range both round-trip exactly.
+        assert_codec_roundtrip(&ctx, &FragmentLabel::default());
+        assert_codec_roundtrip(
+            &ctx,
+            &FragmentLabel {
+                levels: vec![
+                    FragmentLevel {
+                        fragment: u64::MAX,
+                        outgoing: Some((u64::MAX, 0, u64::MAX)),
+                    },
+                    FragmentLevel {
+                        fragment: 1,
+                        outgoing: None,
+                    },
+                ],
+            },
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use std::collections::HashMap;
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId, Tree};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -39,18 +40,40 @@ pub struct NcaLabel {
     pub segments: Vec<Segment>,
 }
 
-impl NcaLabel {
-    /// Number of bits of the label (length prefix plus per-segment head and depth).
-    pub fn bit_size(&self) -> usize {
-        let len_bits = bits_for(self.segments.len() as u64);
-        len_bits
+impl Codec for NcaLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.segments.len() as u64, ctx.len_bits)
             + self
                 .segments
                 .iter()
-                .map(|s| bits_for(s.head) + bits_for(s.depth))
+                .map(|s| {
+                    CodecCtx::uint_bits(s.head, ctx.ident_bits)
+                        + CodecCtx::uint_bits(s.depth, ctx.count_bits)
+                })
                 .sum::<usize>()
     }
 
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.segments.len() as u64, ctx.len_bits);
+        for s in &self.segments {
+            CodecCtx::write_uint(w, s.head, ctx.ident_bits);
+            CodecCtx::write_uint(w, s.depth, ctx.count_bits);
+        }
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        let len = CodecCtx::read_uint(r, ctx.len_bits) as usize;
+        let segments = (0..len)
+            .map(|_| Segment {
+                head: CodecCtx::read_uint(r, ctx.ident_bits),
+                depth: CodecCtx::read_uint(r, ctx.count_bits),
+            })
+            .collect();
+        NcaLabel { segments }
+    }
+}
+
+impl NcaLabel {
     /// `true` if `self` labels an ancestor of the node labelled by `other`
     /// (every node is an ancestor of itself).
     pub fn is_ancestor_of(&self, other: &NcaLabel) -> bool {
@@ -288,10 +311,6 @@ impl ProofLabelingScheme for NcaScheme {
             }
         }
     }
-
-    fn label_bits(&self, label: &NcaLabel) -> usize {
-        label.bit_size()
-    }
 }
 
 /// Convenience: a map from label to node, used by tests and by the simulator-side
@@ -382,13 +401,36 @@ mod tests {
     #[test]
     fn label_sizes_stay_small() {
         // Number of segments is bounded by the number of light edges + 1 ≤ log₂ n + 1.
-        let (_, _, labels) = setup(256, 3);
+        let (g, _, labels) = setup(256, 3);
+        let ctx = CodecCtx::for_graph(&g);
         let max_segments = labels.iter().map(|l| l.segments.len()).max().unwrap();
         assert!(max_segments <= 9, "got {max_segments} segments for n = 256");
-        let max_bits = labels.iter().map(|l| l.bit_size()).max().unwrap();
+        let max_bits = labels.iter().map(|l| l.encoded_bits(&ctx)).max().unwrap();
         assert!(
-            max_bits <= 9 * (9 + 9) + 4,
+            max_bits <= 9 * (11 + 10) + 8,
             "labels too large: {max_bits} bits"
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_labels_including_the_empty_one() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let (g, _, labels) = setup(48, 2);
+        let ctx = CodecCtx::for_graph(&g);
+        for label in &labels {
+            assert_codec_roundtrip(&ctx, label);
+        }
+        // The empty label (a corrupt shape the verifier rejects) and out-of-width
+        // garbage still round-trip exactly.
+        assert_codec_roundtrip(&ctx, &NcaLabel::default());
+        assert_codec_roundtrip(
+            &ctx,
+            &NcaLabel {
+                segments: vec![Segment {
+                    head: u64::MAX,
+                    depth: u64::MAX,
+                }],
+            },
         );
     }
 

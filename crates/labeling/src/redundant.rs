@@ -6,8 +6,9 @@
 //! (one of the two components replaced by `⊥`) in a way that keeps every verifier
 //! accepting, so the switch never raises an alarm and the algorithm stays loop-free.
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId, Tree};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -46,6 +47,28 @@ impl RedundantLabel {
     /// `true` if neither component has been pruned.
     pub fn is_full(&self) -> bool {
         self.dist.is_some() && self.size.is_some()
+    }
+}
+
+impl Codec for RedundantLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.root, ctx.ident_bits)
+            + CodecCtx::opt_uint_bits(&self.dist, ctx.count_bits)
+            + CodecCtx::opt_uint_bits(&self.size, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.root, ctx.ident_bits);
+        CodecCtx::write_opt_uint(w, &self.dist, ctx.count_bits);
+        CodecCtx::write_opt_uint(w, &self.size, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        RedundantLabel {
+            root: CodecCtx::read_uint(r, ctx.ident_bits),
+            dist: CodecCtx::read_opt_uint(r, ctx.count_bits),
+            size: CodecCtx::read_opt_uint(r, ctx.count_bits),
+        }
     }
 }
 
@@ -154,14 +177,6 @@ impl ProofLabelingScheme for RedundantScheme {
                 }
             }
         }
-    }
-
-    fn label_bits(&self, label: &RedundantLabel) -> usize {
-        bits_for(label.root)
-            + 1
-            + label.dist.map_or(0, bits_for)
-            + 1
-            + label.size.map_or(0, bits_for)
     }
 }
 
@@ -342,9 +357,42 @@ mod tests {
 
     #[test]
     fn label_bits_account_for_pruning() {
+        let (g, _, _) = setup(4);
+        let ctx = CodecCtx::for_graph(&g);
         let full = RedundantLabel::full(5, 3, 9);
-        let bits_full = RedundantScheme.label_bits(&full);
-        let bits_pruned = RedundantScheme.label_bits(&full.pruned_to_distance());
+        let bits_full = RedundantScheme.label_bits(&ctx, &full);
+        let bits_pruned = RedundantScheme.label_bits(&ctx, &full.pruned_to_distance());
         assert!(bits_pruned < bits_full);
+    }
+
+    #[test]
+    fn codec_round_trips_full_pruned_and_garbage_labels() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let (g, t, labels) = setup(5);
+        let ctx = CodecCtx::for_graph(&g);
+        for label in &labels {
+            assert_codec_roundtrip(&ctx, label);
+            assert_codec_roundtrip(&ctx, &label.pruned_to_distance());
+            assert_codec_roundtrip(&ctx, &label.pruned_to_size());
+        }
+        let _ = t;
+        // The illegal (⊥, ⊥) shape and out-of-width garbage still round-trip exactly
+        // (a fault can produce them; the verifier — not the codec — rejects them).
+        assert_codec_roundtrip(
+            &ctx,
+            &RedundantLabel {
+                root: u64::MAX,
+                dist: None,
+                size: None,
+            },
+        );
+        assert_codec_roundtrip(
+            &ctx,
+            &RedundantLabel {
+                root: 0,
+                dist: Some(u64::MAX),
+                size: Some(0),
+            },
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The generic prover–verifier interface shared by all proof-labeling schemes.
 
 use stst_graph::{Graph, NodeId, Tree};
+use stst_runtime::{Codec, CodecCtx};
 
 /// A candidate configuration to verify: the network plus the parent pointers every node
 /// exposes in its register (possibly corrupted — they need not encode a tree).
@@ -48,9 +49,14 @@ impl VerificationOutcome {
 
 /// A proof-labeling scheme: a prover assigning labels to legal configurations and a
 /// 1-hop verifier run at every node.
+///
+/// Labels are [`Codec`]-able, so every scheme's label can live in the packed
+/// configuration store and its size accounting (`label_bits`) is *derived* from the
+/// codec — the bits reported are exactly the bits the store allocates, with no
+/// per-scheme hand-written size arithmetic to drift out of sync.
 pub trait ProofLabelingScheme {
     /// The per-node label.
-    type Label: Clone + std::fmt::Debug + PartialEq;
+    type Label: Clone + std::fmt::Debug + PartialEq + Codec;
 
     /// Scheme name (for reports).
     fn name(&self) -> &str;
@@ -62,8 +68,11 @@ pub trait ProofLabelingScheme {
     /// `v`'s neighbors only. Returns `true` to accept.
     fn verify_at(&self, instance: &Instance<'_>, labels: &[Self::Label], v: NodeId) -> bool;
 
-    /// Number of bits of a label.
-    fn label_bits(&self, label: &Self::Label) -> usize;
+    /// Number of bits of a label under the instance's codec widths — by definition the
+    /// bits the packed store writes for it ([`Codec::encoded_bits`]).
+    fn label_bits(&self, ctx: &CodecCtx, label: &Self::Label) -> usize {
+        label.encoded_bits(ctx)
+    }
 
     /// Runs the verifier at every node.
     fn verify_all(&self, instance: &Instance<'_>, labels: &[Self::Label]) -> VerificationOutcome {
@@ -76,8 +85,12 @@ pub trait ProofLabelingScheme {
     }
 
     /// Maximum label size over an assignment, in bits.
-    fn max_label_bits(&self, labels: &[Self::Label]) -> usize {
-        labels.iter().map(|l| self.label_bits(l)).max().unwrap_or(0)
+    fn max_label_bits(&self, ctx: &CodecCtx, labels: &[Self::Label]) -> usize {
+        labels
+            .iter()
+            .map(|l| self.label_bits(ctx, l))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Completeness check helper: prove a legal tree and verify that every node accepts.

@@ -5,8 +5,9 @@
 //! `s(v) = 1 + Σ_{u ∈ children(v)} s(u)` and root-identity agreement. Together with the
 //! distance-based scheme this forms the *redundant* scheme of §IV.
 
-use stst_graph::ids::bits_for;
 use stst_graph::{Graph, Ident, NodeId, Tree};
+use stst_runtime::bits::{BitReader, BitWriter};
+use stst_runtime::{Codec, CodecCtx};
 
 use crate::scheme::{Instance, ProofLabelingScheme};
 
@@ -17,6 +18,25 @@ pub struct SizeLabel {
     pub root: Ident,
     /// Claimed number of nodes in the subtree rooted at the node.
     pub size: u64,
+}
+
+impl Codec for SizeLabel {
+    fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+        CodecCtx::uint_bits(self.root, ctx.ident_bits)
+            + CodecCtx::uint_bits(self.size, ctx.count_bits)
+    }
+
+    fn encode_into(&self, ctx: &CodecCtx, w: &mut BitWriter<'_>) {
+        CodecCtx::write_uint(w, self.root, ctx.ident_bits);
+        CodecCtx::write_uint(w, self.size, ctx.count_bits);
+    }
+
+    fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
+        SizeLabel {
+            root: CodecCtx::read_uint(r, ctx.ident_bits),
+            size: CodecCtx::read_uint(r, ctx.count_bits),
+        }
+    }
 }
 
 /// The size-based proof-labeling scheme for the family of all spanning trees.
@@ -58,10 +78,6 @@ impl ProofLabelingScheme for SizeScheme {
             None => graph.ident(v) == own.root,
             Some(p) => graph.edge_between(v, p).is_some(),
         }
-    }
-
-    fn label_bits(&self, label: &SizeLabel) -> usize {
-        bits_for(label.root) + bits_for(label.size)
     }
 }
 
@@ -117,6 +133,25 @@ mod tests {
         assert!(!SizeScheme
             .verify_all(&Instance::from_tree(&g, &t), &labels)
             .accepted());
+    }
+
+    #[test]
+    fn codec_round_trips_prover_labels_and_boundaries() {
+        use stst_runtime::codec::assert_codec_roundtrip;
+        let g = generators::workload(30, 0.15, 2);
+        let ctx = CodecCtx::for_graph(&g);
+        let t = bfs_tree(&g, g.min_ident_node());
+        for label in SizeScheme.prove(&g, &t) {
+            assert_codec_roundtrip(&ctx, &label);
+        }
+        assert_codec_roundtrip(&ctx, &SizeLabel { root: 0, size: 0 });
+        assert_codec_roundtrip(
+            &ctx,
+            &SizeLabel {
+                root: u64::MAX,
+                size: u64::MAX,
+            },
+        );
     }
 
     #[test]

@@ -56,7 +56,6 @@ pub trait ParentPointer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::register::Register;
     use crate::view::View;
     use rand::Rng;
 
@@ -109,6 +108,5 @@ mod tests {
         }];
         let view_ahead = View::new(NodeId(1), 2, 2, &back, &states);
         assert_eq!(algo.step(&view_ahead), None);
-        assert_eq!(9u64.bit_size(), 4);
     }
 }

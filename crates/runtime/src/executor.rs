@@ -40,6 +40,19 @@
 //! across daemons, seeds and fault injection). Small frontiers (under
 //! [`PAR_MIN_ITEMS`] guards) skip the pool entirely, so `threads > 1` never slows the
 //! central-daemon steady state and `threads = 1` is the sequential executor verbatim.
+//!
+//! # Packed configuration storage
+//!
+//! The pre-round configuration and the pending-transition cache are double-buffered in
+//! a [`ConfigStore`]: under the default [`StoreMode::Packed`] every register occupies a
+//! fixed-width bit slot sized by its codec ([`crate::codec::Codec`]), so the bits the
+//! space reports account are the bits actually allocated (see `crates/runtime/src/store.rs`
+//! and DESIGN.md §2.9). Guard evaluations decode the closed neighborhood into a reused
+//! scratch buffer and run over a locally indexed [`View`] — algorithms observe the
+//! identical API, and because `decode(encode(x)) == x` exactly (the codec contract),
+//! packed executions are **bit-identical** to the retained [`StoreMode::Struct`]
+//! reference (asserted by `tests/packed_store_oracle.rs` across daemons, seeds,
+//! thread counts, fault injection and topology churn).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,9 +62,10 @@ use stst_graph::tree::TreeError;
 use stst_graph::{Graph, MutationOutcome, NodeId, Tree};
 
 use crate::algorithm::{Algorithm, ParentPointer};
+use crate::codec::{Codec, CodecCtx};
 use crate::par::ThreadPool;
-use crate::register::Register;
 use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::store::{ConfigStore, StoreMode};
 use crate::view::{NeighborInfo, View};
 
 /// Minimum number of guard evaluations in one wave before the executor hands the work
@@ -72,7 +86,8 @@ pub enum ExecMode {
 }
 
 /// Executor configuration: a seed (for the arbitrary initial configuration, the daemon's
-/// random choices, and fault injection), the daemon kind, and the enabled-set mode.
+/// random choices, and fault injection), the daemon kind, the enabled-set mode and the
+/// register-store representation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecutorConfig {
     /// Seed for every random choice made by the executor.
@@ -84,6 +99,9 @@ pub struct ExecutorConfig {
     /// Worker threads for parallel wave evaluation (1 = fully sequential). Results are
     /// bit-identical at any value; only wall clock changes.
     pub threads: usize,
+    /// Register-store representation (bit-packed unless benchmarking the struct-backed
+    /// reference). Results are bit-identical in either mode; only memory changes.
+    pub store: StoreMode,
 }
 
 impl ExecutorConfig {
@@ -94,16 +112,15 @@ impl ExecutorConfig {
             scheduler: SchedulerKind::Central,
             mode: ExecMode::Incremental,
             threads: 1,
+            store: StoreMode::Packed,
         }
     }
 
     /// The given daemon with the given seed.
     pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         ExecutorConfig {
-            seed,
             scheduler,
-            mode: ExecMode::Incremental,
-            threads: 1,
+            ..ExecutorConfig::seeded(seed)
         }
     }
 
@@ -116,6 +133,12 @@ impl ExecutorConfig {
     /// The same configuration with the given worker-thread count (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// The same configuration with the given register-store representation.
+    pub fn with_store(mut self, store: StoreMode) -> Self {
+        self.store = store;
         self
     }
 }
@@ -177,12 +200,52 @@ pub struct SpaceReport {
     pub total_bits: usize,
 }
 
+/// Measured memory of the executor's configuration storage (snapshot **and** pending
+/// buffers — the double-buffered state both store modes keep), set against the
+/// codec-accounted register bits. This is the allocated-vs-accounted comparison the
+/// E5/E7/E11 space tables record: for the packed store the ratio is a small constant
+/// (slot stride + presence bit over the accounted bits); for the struct-backed
+/// reference it is the 10–50× a `Vec` of decoded structs pays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoreReport {
+    /// The store representation measured.
+    pub mode: StoreMode,
+    /// Bytes allocated for the snapshot + pending configuration buffers.
+    pub measured_bytes: usize,
+    /// Codec-accounted bits of the current configuration (sum over nodes).
+    pub accounted_bits: u64,
+    /// `measured_bytes / n`.
+    pub bytes_per_node: f64,
+    /// `accounted_bits / n`.
+    pub accounted_bits_per_node: f64,
+}
+
+/// The executor's double-buffered register storage: the pre-round snapshot plus the
+/// pending-transition cache, in matching representations. The struct variant is kept
+/// verbatim from the seed (dense `Vec`s, zero-copy global-indexed views) as the
+/// reference mode; the packed variant holds both buffers bit-packed.
+#[derive(Clone, Debug)]
+enum StateBackend<S: Codec + Clone> {
+    Struct {
+        states: Vec<S>,
+        pending: Vec<Option<S>>,
+    },
+    Packed {
+        states: ConfigStore<S>,
+        pending: ConfigStore<S>,
+    },
+}
+
 /// Runs an [`Algorithm`] on a [`Graph`] under a [`Scheduler`].
 #[derive(Clone, Debug)]
 pub struct Executor<'g, A: Algorithm> {
     graph: &'g Graph,
     algo: A,
-    states: Vec<A::State>,
+    /// Snapshot + pending configuration buffers (packed or struct-backed).
+    backend: StateBackend<A::State>,
+    /// Fixed codec field widths of the current instance (re-derived on topology
+    /// mutations, which can grow the identity/weight ranges).
+    ctx: CodecCtx,
     scheduler: Scheduler,
     rng: StdRng,
     mode: ExecMode,
@@ -197,8 +260,6 @@ pub struct Executor<'g, A: Algorithm> {
     /// weights never change, so views borrow these slices allocation-free.
     nbr_offsets: Vec<u32>,
     nbr_info: Vec<NeighborInfo>,
-    /// Cached pending transition per node: `Some(next)` iff the node is enabled.
-    pending: Vec<Option<A::State>>,
     /// Indexed enabled set: membership flags, dense list, and list positions.
     in_enabled: Vec<bool>,
     enabled_list: Vec<NodeId>,
@@ -223,6 +284,9 @@ pub struct Executor<'g, A: Algorithm> {
     /// Scratch buffer for the parallel wave's guard results, index-aligned with
     /// `refresh_buf`.
     eval_buf: Vec<Option<A::State>>,
+    /// Scratch buffer the packed store decodes closed neighborhoods into (sequential
+    /// path; parallel waves hold one such buffer per worker).
+    decode_buf: Vec<A::State>,
 }
 
 impl<'g, A: Algorithm> Executor<'g, A> {
@@ -239,7 +303,18 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     ) -> Self {
         let n = graph.node_count();
         assert_eq!(states.len(), n, "one register per node");
-        let peak_bits = states.iter().map(Register::bit_size).collect();
+        let ctx = CodecCtx::for_graph(graph);
+        let peak_bits = states.iter().map(|s| s.encoded_bits(&ctx)).collect();
+        let backend = match config.store {
+            StoreMode::Struct => StateBackend::Struct {
+                states,
+                pending: vec![None; n],
+            },
+            StoreMode::Packed => StateBackend::Packed {
+                states: ConfigStore::from_states(StoreMode::Packed, states, &ctx),
+                pending: ConfigStore::empty(StoreMode::Packed, n),
+            },
+        };
         let mut nbr_offsets = Vec::with_capacity(n + 1);
         nbr_offsets.push(0u32);
         let mut nbr_info = Vec::with_capacity(2 * graph.edge_count());
@@ -256,7 +331,8 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         let mut exec = Executor {
             graph,
             algo,
-            states,
+            backend,
+            ctx,
             scheduler: Scheduler::new(config.scheduler, n, config.seed),
             rng: StdRng::seed_from_u64(config.seed ^ 0xfa_0717),
             mode: config.mode,
@@ -266,7 +342,6 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             guard_evals: 0,
             nbr_offsets,
             nbr_info,
-            pending: vec![None; n],
             in_enabled: vec![false; n],
             enabled_list: Vec::new(),
             enabled_pos: vec![usize::MAX; n],
@@ -279,6 +354,7 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             chosen_buf: Vec::new(),
             refresh_buf: Vec::new(),
             eval_buf: Vec::new(),
+            decode_buf: Vec::new(),
         };
         exec.initial_scan();
         exec.refill_round_pending();
@@ -312,22 +388,50 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.mode
     }
 
-    /// The current configuration (one register per node, indexed densely).
-    pub fn states(&self) -> &[A::State] {
-        &self.states
+    /// The register-store representation.
+    pub fn store_mode(&self) -> StoreMode {
+        match &self.backend {
+            StateBackend::Struct { .. } => StoreMode::Struct,
+            StateBackend::Packed { .. } => StoreMode::Packed,
+        }
     }
 
-    /// The register of node `v`.
-    pub fn state(&self, v: NodeId) -> &A::State {
-        &self.states[v.0]
+    /// The codec field widths of the current instance (what the packed store encodes
+    /// with and the space reports account in).
+    pub fn codec_ctx(&self) -> &CodecCtx {
+        &self.ctx
+    }
+
+    /// The current configuration, decoded (one register per node, indexed densely).
+    pub fn states(&self) -> Vec<A::State> {
+        match &self.backend {
+            StateBackend::Struct { states, .. } => states.clone(),
+            StateBackend::Packed { states, .. } => states.decode_all(&self.ctx),
+        }
+    }
+
+    /// The register of node `v`, decoded.
+    pub fn state(&self, v: NodeId) -> A::State {
+        match &self.backend {
+            StateBackend::Struct { states, .. } => states[v.0].clone(),
+            StateBackend::Packed { states, .. } => states.get(v, &self.ctx),
+        }
+    }
+
+    /// Writes `state` into the snapshot buffer of `v`.
+    fn write_snapshot(&mut self, v: NodeId, state: A::State) {
+        match &mut self.backend {
+            StateBackend::Struct { states, .. } => states[v.0] = state,
+            StateBackend::Packed { states, .. } => states.set(v, &state, &self.ctx),
+        }
     }
 
     /// Overwrites the register of `v` (models a transient fault targeting `v`).
     /// Re-evaluates the guards of `v`'s closed neighborhood and restarts the round
     /// accounting from the now-enabled set.
     pub fn corrupt_node(&mut self, v: NodeId, state: A::State) {
-        self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
-        self.states[v.0] = state;
+        self.peak_bits[v.0] = self.peak_bits[v.0].max(state.encoded_bits(&self.ctx));
+        self.write_snapshot(v, state);
         self.bump_stamp();
         self.refresh_closed_neighborhood(v);
         self.refill_round_pending();
@@ -341,8 +445,8 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         nodes.truncate(k.min(self.graph.node_count()));
         for &v in &nodes {
             let state = self.algo.arbitrary_state(self.graph, v, &mut self.rng);
-            self.peak_bits[v.0] = self.peak_bits[v.0].max(state.bit_size());
-            self.states[v.0] = state;
+            self.peak_bits[v.0] = self.peak_bits[v.0].max(state.encoded_bits(&self.ctx));
+            self.write_snapshot(v, state);
         }
         self.bump_stamp();
         for i in 0..nodes.len() {
@@ -381,15 +485,32 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     /// Panics if `outcome.old_index` disagrees with the node count of `graph`.
     pub fn apply_topology(&mut self, graph: &'g Graph, outcome: &MutationOutcome) {
         let n = graph.node_count();
+        let old_ctx = self.ctx;
+        let new_ctx = CodecCtx::for_graph(graph);
+        // Decode both configuration buffers out of the store before touching anything:
+        // the codec field widths follow the instance (weight drift and joining
+        // identities can grow them), so every surviving register — snapshot and cached
+        // pending transition alike — is re-encoded under the new context.
+        let mut states: Vec<A::State> = match &self.backend {
+            StateBackend::Struct { states, .. } => states.clone(),
+            StateBackend::Packed { states, .. } => states.decode_all(&old_ctx),
+        };
+        let mut pending: Vec<Option<A::State>> = vec![None; states.len()];
+        match &self.backend {
+            StateBackend::Struct { pending: p, .. } => pending.clone_from_slice(p),
+            StateBackend::Packed { pending: p, .. } => {
+                p.decode_present_into(&old_ctx, &mut pending)
+            }
+        }
         if outcome.node_set_changed {
             assert_eq!(
                 outcome.old_index.len(),
                 n,
                 "outcome does not match the graph"
             );
-            let old_states = std::mem::take(&mut self.states);
+            let old_states = states;
             let old_peaks = std::mem::take(&mut self.peak_bits);
-            self.states = outcome
+            states = outcome
                 .old_index
                 .iter()
                 .enumerate()
@@ -403,14 +524,24 @@ impl<'g, A: Algorithm> Executor<'g, A> {
                 .iter()
                 .enumerate()
                 .map(|(i, o)| {
-                    let now = self.states[i].bit_size();
+                    let now = states[i].encoded_bits(&new_ctx);
                     match o {
                         Some(o) => old_peaks[o.0].max(now),
                         None => now,
                     }
                 })
                 .collect();
+            pending = vec![None; n];
         }
+        self.ctx = new_ctx;
+        let mode = self.store_mode();
+        self.backend = match mode {
+            StoreMode::Struct => StateBackend::Struct { states, pending },
+            StoreMode::Packed => StateBackend::Packed {
+                states: ConfigStore::from_states(StoreMode::Packed, states, &new_ctx),
+                pending: ConfigStore::packed_from_slots(&pending, &new_ctx),
+            },
+        };
         self.graph = graph;
         self.nbr_offsets.clear();
         self.nbr_offsets.push(0);
@@ -429,8 +560,6 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             // The dense index space was remapped: rebuild the enabled bookkeeping
             // wholesale.
             self.scheduler.remap_nodes(&outcome.old_index);
-            self.pending.clear();
-            self.pending.resize_with(n, || None);
             self.in_enabled.clear();
             self.in_enabled.resize(n, false);
             self.enabled_list.clear();
@@ -455,20 +584,47 @@ impl<'g, A: Algorithm> Executor<'g, A> {
 
     /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
     /// enabled, `None` otherwise. Pure read — does not touch the executor's caches,
-    /// which is what lets the parallel wave run it from worker threads.
-    fn eval_guard(&self, v: NodeId) -> Option<A::State> {
+    /// which is what lets the parallel wave run it from worker threads (each worker
+    /// brings its own decode scratch). The struct-backed store evaluates over the dense
+    /// slice zero-copy; the packed store decodes the closed neighborhood into `scratch`
+    /// and evaluates over the locally indexed view — identical guards either way.
+    fn eval_guard(&self, v: NodeId, scratch: &mut Vec<A::State>) -> Option<A::State> {
         let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
-        let view = View::with_weight_order(
-            v,
-            self.graph.ident(v),
-            self.graph.node_count(),
-            &self.nbr_info[range],
-            self.graph.neighbor_order_by_weight(v),
-            &self.states,
-        );
-        match self.algo.step(&view) {
-            Some(next) if next != self.states[v.0] => Some(next),
-            _ => None,
+        let infos = &self.nbr_info[range];
+        match &self.backend {
+            StateBackend::Struct { states, .. } => {
+                let view = View::with_weight_order(
+                    v,
+                    self.graph.ident(v),
+                    self.graph.node_count(),
+                    infos,
+                    self.graph.neighbor_order_by_weight(v),
+                    states,
+                );
+                match self.algo.step(&view) {
+                    Some(next) if next != states[v.0] => Some(next),
+                    _ => None,
+                }
+            }
+            StateBackend::Packed { states, .. } => {
+                scratch.clear();
+                for info in infos {
+                    scratch.push(states.get(info.node, &self.ctx));
+                }
+                scratch.push(states.get(v, &self.ctx));
+                let view = View::over_decoded(
+                    v,
+                    self.graph.ident(v),
+                    self.graph.node_count(),
+                    infos,
+                    Some(self.graph.neighbor_order_by_weight(v)),
+                    scratch,
+                );
+                match self.algo.step(&view) {
+                    Some(next) if next != scratch[infos.len()] => Some(next),
+                    _ => None,
+                }
+            }
         }
     }
 
@@ -476,7 +632,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     /// and (on an enabled → disabled transition) the round bitset.
     fn refresh(&mut self, v: NodeId) {
         self.guard_evals += 1;
-        let next = self.eval_guard(v);
+        let mut scratch = std::mem::take(&mut self.decode_buf);
+        let next = self.eval_guard(v, &mut scratch);
+        self.decode_buf = scratch;
         self.apply_refresh(v, next);
     }
 
@@ -488,7 +646,13 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     fn apply_refresh(&mut self, v: NodeId, next: Option<A::State>) {
         let now = next.is_some();
         let was = self.in_enabled[v.0];
-        self.pending[v.0] = next;
+        match &mut self.backend {
+            StateBackend::Struct { pending, .. } => pending[v.0] = next,
+            StateBackend::Packed { pending, .. } => match &next {
+                Some(s) => pending.set(v, s, &self.ctx),
+                None => pending.clear(v),
+            },
+        }
         if now && !was {
             self.enabled_pos[v.0] = self.enabled_list.len();
             self.enabled_list.push(v);
@@ -525,7 +689,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         results.clear();
         results.resize(n, None);
         self.pool
-            .fill_with(&mut results, |i| self.eval_guard(NodeId(i)));
+            .fill_with_init(&mut results, Vec::new, |scratch, i| {
+                self.eval_guard(NodeId(i), scratch)
+            });
         self.guard_evals += n as u64;
         for (i, slot) in results.iter_mut().enumerate() {
             let next = slot.take();
@@ -612,9 +778,10 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     /// scratch, bypassing all caches. The differential tests assert that this always
     /// equals [`Executor::enabled_nodes`].
     pub fn rescan_enabled_nodes(&self) -> Vec<NodeId> {
+        let mut scratch = Vec::new();
         self.graph
             .nodes()
-            .filter(|&v| self.eval_guard(v).is_some())
+            .filter(|&v| self.eval_guard(v, &mut scratch).is_some())
             .collect()
     }
 
@@ -663,9 +830,13 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         // concurrent): the cached pending transitions were all computed against it, so
         // applying them in sequence is exactly the simultaneous write.
         for &v in &chosen {
-            if let Some(next) = self.pending[v.0].take() {
-                self.peak_bits[v.0] = self.peak_bits[v.0].max(next.bit_size());
-                self.states[v.0] = next;
+            let taken = match &mut self.backend {
+                StateBackend::Struct { pending, .. } => pending[v.0].take(),
+                StateBackend::Packed { pending, .. } => pending.take(v, &self.ctx),
+            };
+            if let Some(next) = taken {
+                self.peak_bits[v.0] = self.peak_bits[v.0].max(next.encoded_bits(&self.ctx));
+                self.write_snapshot(v, next);
                 self.moves += 1;
             }
         }
@@ -717,17 +888,21 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             results.clear();
             results.resize(frontier.len(), None);
             self.pool
-                .fill_with(&mut results, |i| self.eval_guard(frontier[i]));
+                .fill_with_init(&mut results, Vec::new, |scratch, i| {
+                    self.eval_guard(frontier[i], scratch)
+                });
             for (i, slot) in results.iter_mut().enumerate() {
                 let next = slot.take();
                 self.apply_refresh(frontier[i], next);
             }
             self.eval_buf = results;
         } else {
+            let mut scratch = std::mem::take(&mut self.decode_buf);
             for &v in &frontier {
-                let next = self.eval_guard(v);
+                let next = self.eval_guard(v, &mut scratch);
                 self.apply_refresh(v, next);
             }
+            self.decode_buf = scratch;
         }
         self.refresh_buf = frontier;
     }
@@ -756,18 +931,27 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     }
 
     fn quiescence(&self) -> Quiescence {
+        let snapshot = self.states();
         Quiescence {
             silent: true,
             rounds: self.rounds,
             moves: self.moves,
             steps: self.steps,
-            legal: self.algo.is_legal(self.graph, &self.states),
+            legal: self.algo.is_legal(self.graph, &snapshot),
         }
     }
 
-    /// Space usage of the *current* configuration.
+    /// Space usage of the *current* configuration, in codec-accounted bits (which,
+    /// under the packed store, are the bits actually allocated per slot payload).
     pub fn space_report(&self) -> SpaceReport {
-        let sizes: Vec<usize> = self.states.iter().map(Register::bit_size).collect();
+        let sizes: Vec<usize> = match &self.backend {
+            StateBackend::Struct { states, .. } => {
+                states.iter().map(|s| s.encoded_bits(&self.ctx)).collect()
+            }
+            StateBackend::Packed { states, .. } => (0..states.len())
+                .map(|i| states.get(NodeId(i), &self.ctx).encoded_bits(&self.ctx))
+                .collect(),
+        };
         let total: usize = sizes.iter().sum();
         SpaceReport {
             max_bits: sizes.iter().copied().max().unwrap_or(0),
@@ -777,6 +961,36 @@ impl<'g, A: Algorithm> Executor<'g, A> {
                 total as f64 / sizes.len() as f64
             },
             total_bits: total,
+        }
+    }
+
+    /// Measured memory of the configuration storage (snapshot + pending buffers)
+    /// against the accounted register bits — the allocated-vs-accounted comparison of
+    /// the E5/E7/E11 space tables.
+    pub fn store_report(&self) -> StoreReport {
+        let n = self.graph.node_count().max(1);
+        let (mode, measured_bytes, accounted_bits) = match &self.backend {
+            StateBackend::Struct { states, pending } => (
+                StoreMode::Struct,
+                states.capacity() * std::mem::size_of::<A::State>()
+                    + pending.capacity() * std::mem::size_of::<Option<A::State>>(),
+                states
+                    .iter()
+                    .map(|s| s.encoded_bits(&self.ctx) as u64)
+                    .sum(),
+            ),
+            StateBackend::Packed { states, pending } => (
+                StoreMode::Packed,
+                states.measured().bytes + pending.measured().bytes,
+                states.accounted_bits(&self.ctx),
+            ),
+        };
+        StoreReport {
+            mode,
+            measured_bytes,
+            accounted_bits,
+            bytes_per_node: measured_bytes as f64 / n as f64,
+            accounted_bits_per_node: accounted_bits as f64 / n as f64,
         }
     }
 
@@ -817,7 +1031,7 @@ where
     /// the graph (e.g. a parent identity that is not a neighbor, several roots, or a
     /// cycle).
     pub fn extract_tree(&self) -> Result<Tree, TreeError> {
-        parent_pointer_tree(self.graph, &self.states)
+        parent_pointer_tree(self.graph, &self.states())
     }
 }
 
@@ -897,9 +1111,17 @@ mod tests {
     #[derive(Clone, Debug, PartialEq, Eq)]
     struct Ptr(Option<Ident>);
 
-    impl Register for Ptr {
-        fn bit_size(&self) -> usize {
-            crate::register::option_ident_bits(&self.0)
+    impl Codec for Ptr {
+        fn encoded_bits(&self, ctx: &CodecCtx) -> usize {
+            CodecCtx::opt_uint_bits(&self.0, ctx.ident_bits)
+        }
+
+        fn encode_into(&self, ctx: &CodecCtx, w: &mut crate::bits::BitWriter<'_>) {
+            CodecCtx::write_opt_uint(w, &self.0, ctx.ident_bits);
+        }
+
+        fn decode_from(ctx: &CodecCtx, r: &mut crate::bits::BitReader<'_>) -> Self {
+            Ptr(CodecCtx::read_opt_uint(r, ctx.ident_bits))
         }
     }
 
@@ -988,15 +1210,47 @@ mod tests {
         let g = generators::path(3);
         let mut exec =
             Executor::with_states(&g, FloodMax, vec![0u64, 1023, 0], ExecutorConfig::seeded(2));
+        // path(3) grants identities a (1 escape + 5)-bit field (covers the 0..=2n
+        // garbage range with headroom); 1023 blows the field and escapes to 1 + 64.
+        let ident_field = 1 + exec.codec_ctx().ident_bits as usize;
         let now = exec.space_report();
-        assert_eq!(now.max_bits, 10);
-        assert_eq!(now.total_bits, 12);
+        assert_eq!(now.max_bits, 65);
+        assert_eq!(now.total_bits, 65 + 2 * ident_field);
         exec.run_to_quiescence(1_000).unwrap();
         // After convergence every register holds 1023 (the corrupted maximum), so the
         // peak equals the current size.
         let peak = exec.peak_space_report();
-        assert_eq!(peak.max_bits, 10);
+        assert_eq!(peak.max_bits, 65);
         assert!(peak.avg_bits >= exec.space_report().avg_bits - f64::EPSILON);
+    }
+
+    #[test]
+    fn packed_store_memory_tracks_the_accounted_bits() {
+        let g = generators::random_connected(200, 0.03, 1);
+        let mut packed = Executor::from_arbitrary(&g, FloodMax, ExecutorConfig::seeded(4));
+        let mut structs = Executor::from_arbitrary(
+            &g,
+            FloodMax,
+            ExecutorConfig::seeded(4).with_store(StoreMode::Struct),
+        );
+        assert_eq!(packed.store_mode(), StoreMode::Packed);
+        assert_eq!(structs.store_mode(), StoreMode::Struct);
+        let qp = packed.run_to_quiescence(1_000_000).unwrap();
+        let qs = structs.run_to_quiescence(1_000_000).unwrap();
+        assert_eq!(qp, qs, "stores must not change the execution");
+        assert_eq!(packed.states(), structs.states());
+        let pr = packed.store_report();
+        let sr = structs.store_report();
+        assert_eq!(pr.accounted_bits, sr.accounted_bits);
+        // The packed double buffer stays within 4x of the accounted bits; the struct
+        // reference pays an order of magnitude more.
+        assert!(
+            (pr.measured_bytes as u64) * 8 <= 4 * pr.accounted_bits,
+            "packed store: {} bytes for {} accounted bits",
+            pr.measured_bytes,
+            pr.accounted_bits
+        );
+        assert!(pr.measured_bytes * 4 < sr.measured_bytes);
     }
 
     #[test]
@@ -1099,7 +1353,7 @@ mod tests {
                 let config = ExecutorConfig::with_scheduler(4, kind);
                 let mut exec = Executor::from_arbitrary(&g, FloodMax, config);
                 let q = exec.run_to_quiescence(500_000).unwrap();
-                (exec.states().to_vec(), q, exec.guard_evaluations())
+                (exec.states(), q, exec.guard_evaluations())
             };
             for threads in [2usize, 8] {
                 let config = ExecutorConfig::with_scheduler(4, kind).with_threads(threads);

@@ -9,9 +9,13 @@
 //!
 //! This crate provides:
 //!
-//! * [`Register`] — register contents with exact bit-size accounting, so the
-//!   space-complexity claims of the paper (`O(log n)`, `O(log² n)` bits per node) can be
-//!   measured rather than asserted;
+//! * [`Register`] / [`Codec`] — register contents with exact, codec-derived bit
+//!   accounting, so the space-complexity claims of the paper (`O(log n)`, `O(log² n)`
+//!   bits per node) can be measured rather than asserted;
+//! * [`store::ConfigStore`] — the packed configuration store: registers allocated at
+//!   their accounted bit widths (fixed-stride bit slots in a shared word heap, with a
+//!   struct-backed reference mode for differential testing), so the accounted space
+//!   *is* the allocated space;
 //! * [`Algorithm`] — a guarded-rule transition function over the closed 1-hop
 //!   neighborhood [`View`];
 //! * [`Scheduler`] — central, synchronous, round-robin, uniformly random and
@@ -32,15 +36,22 @@
 //!   heavy from-scratch phases.
 
 pub mod algorithm;
+pub mod bits;
+pub mod codec;
 pub mod executor;
 pub mod par;
 pub mod register;
 pub mod scheduler;
+pub mod store;
 pub mod view;
 
 pub use algorithm::{Algorithm, ParentPointer};
-pub use executor::{ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport};
+pub use codec::{Codec, CodecCtx};
+pub use executor::{
+    ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport, StoreReport,
+};
 pub use par::ThreadPool;
 pub use register::Register;
 pub use scheduler::{Scheduler, SchedulerKind};
+pub use store::{ConfigStore, StoreMode};
 pub use view::{NeighborInfo, NeighborView, View};

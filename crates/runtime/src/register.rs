@@ -1,96 +1,84 @@
-//! Register contents with exact bit-size accounting.
+//! Register contents: bit-packable values with codec-derived size accounting.
 //!
 //! Space complexity is a first-class measurement in the paper (it is what
-//! "space-optimal" refers to), so every register type must be able to report the number
-//! of bits its current content occupies. The helpers here make the common cases
-//! (bounded integers, optional identities, small vectors of sub-records) one-liners.
+//! "space-optimal" refers to). The seed release *accounted* register sizes with
+//! hand-written `bit_size()` sums while state actually lived in fat Rust structs; since
+//! the packed configuration store ([`crate::store::ConfigStore`]) landed, a register's
+//! size is **derived from its codec**: the accounted bits of a register are exactly the
+//! bits [`crate::codec::Codec::encode_into`] writes into the store, so the accounting
+//! and the allocation can never disagree (the drift the old hand-written bodies
+//! allowed is ruled out by construction).
+//!
+//! [`Register`] is therefore a marker: any [`Codec`]-able plain-data type qualifies.
+//! Registers are `Send + Sync` plain data because the parallel wave executor evaluates
+//! guards over the immutable pre-round configuration from worker threads
+//! (`stst-runtime::par`).
 
-use stst_graph::ids::bits_for;
-use stst_graph::{Ident, Weight};
+use crate::codec::Codec;
 
 /// Contents of a node's single-writer multiple-reader register.
 ///
-/// Implementors must report the number of bits their *current* value needs; the
-/// executor aggregates those into per-node and per-configuration space reports.
-///
-/// Registers are `Send + Sync` plain data: the parallel wave executor evaluates
-/// guards over the immutable pre-round configuration from worker threads
-/// (`stst-runtime::par`), so register contents must be shareable across them.
-pub trait Register: Clone + std::fmt::Debug + PartialEq + Send + Sync {
-    /// Number of bits needed to store the current register content.
-    fn bit_size(&self) -> usize;
-}
+/// Blanket-implemented for every codec-able plain-data type: implement
+/// [`Codec`] (plus the usual `Clone + Debug + PartialEq + Send + Sync` bounds) and the
+/// executor can store the type packed, report its exact bit usage, and round-trip it
+/// bit-identically across the packed and struct-backed stores.
+pub trait Register: Codec + Clone + std::fmt::Debug + PartialEq + Send + Sync {}
 
-/// Bits needed for an optional identity: one flag bit plus the identity when present.
-pub fn option_ident_bits(value: &Option<Ident>) -> usize {
-    1 + value.map_or(0, bits_for)
-}
-
-/// Bits needed for an optional weight: one flag bit plus the weight when present.
-pub fn option_weight_bits(value: &Option<Weight>) -> usize {
-    1 + value.map_or(0, bits_for)
-}
-
-/// Bits needed for an unsigned counter value.
-pub fn counter_bits(value: u64) -> usize {
-    bits_for(value)
-}
-
-/// Bits needed for an optional `(ident, ident, weight)` edge descriptor — the encoding
-/// `f_i(x) = (ID(a), ID(b), w(a,b))` the paper uses inside MST fragment labels (§VI).
-pub fn option_edge_descriptor_bits(value: &Option<(Ident, Ident, Weight)>) -> usize {
-    1 + value.map_or(0, |(a, b, w)| bits_for(a) + bits_for(b) + bits_for(w))
-}
+impl<T: Codec + Clone + std::fmt::Debug + PartialEq + Send + Sync> Register for T {}
 
 /// The trivial register holding nothing; useful for algorithms whose whole state is a
 /// handful of flags assembled in tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UnitRegister;
 
-impl Register for UnitRegister {
-    fn bit_size(&self) -> usize {
+impl Codec for UnitRegister {
+    fn encoded_bits(&self, _ctx: &crate::codec::CodecCtx) -> usize {
         0
     }
-}
 
-impl Register for u64 {
-    fn bit_size(&self) -> usize {
-        bits_for(*self)
-    }
-}
+    fn encode_into(&self, _ctx: &crate::codec::CodecCtx, _w: &mut crate::bits::BitWriter<'_>) {}
 
-impl Register for bool {
-    fn bit_size(&self) -> usize {
-        1
-    }
-}
-
-impl<A: Register, B: Register> Register for (A, B) {
-    fn bit_size(&self) -> usize {
-        self.0.bit_size() + self.1.bit_size()
+    fn decode_from(_ctx: &crate::codec::CodecCtx, _r: &mut crate::bits::BitReader<'_>) -> Self {
+        UnitRegister
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{assert_codec_roundtrip, CodecCtx};
 
-    #[test]
-    fn primitive_registers_report_sizes() {
-        assert_eq!(UnitRegister.bit_size(), 0);
-        assert_eq!(0u64.bit_size(), 1);
-        assert_eq!(255u64.bit_size(), 8);
-        assert_eq!(true.bit_size(), 1);
-        assert_eq!((7u64, false).bit_size(), 4);
+    fn ctx() -> CodecCtx {
+        CodecCtx {
+            ident_bits: 5,
+            weight_bits: 4,
+            count_bits: 4,
+            len_bits: 7,
+        }
     }
 
     #[test]
-    fn option_helpers() {
-        assert_eq!(option_ident_bits(&None), 1);
-        assert_eq!(option_ident_bits(&Some(15)), 5);
-        assert_eq!(option_weight_bits(&Some(1)), 2);
-        assert_eq!(option_edge_descriptor_bits(&None), 1);
-        assert_eq!(option_edge_descriptor_bits(&Some((3, 4, 5))), 1 + 2 + 3 + 3);
-        assert_eq!(counter_bits(1024), 11);
+    fn primitive_registers_report_codec_derived_sizes() {
+        let ctx = ctx();
+        // One escape bit + the fixed 5-bit identity field, regardless of the value —
+        // the register is a fixed-width word, exactly the paper's model.
+        assert_eq!(UnitRegister.encoded_bits(&ctx), 0);
+        assert_eq!(0u64.encoded_bits(&ctx), 6);
+        assert_eq!(31u64.encoded_bits(&ctx), 6);
+        assert_eq!(true.encoded_bits(&ctx), 1);
+        assert_eq!((7u64, false).encoded_bits(&ctx), 7);
+        // Out-of-width garbage (a fault can leave any word) escapes to 1 + 64 bits.
+        assert_eq!(255u64.encoded_bits(&ctx), 65);
+    }
+
+    #[test]
+    fn primitive_registers_round_trip_including_boundaries() {
+        let ctx = ctx();
+        for v in [0u64, 1, 15, 16, 31, 32, u64::MAX] {
+            assert_codec_roundtrip(&ctx, &v);
+        }
+        assert_codec_roundtrip(&ctx, &UnitRegister);
+        assert_codec_roundtrip(&ctx, &(0u64, true));
+        assert_codec_roundtrip(&ctx, &((31u64, false), (u64::MAX, true)));
     }
 }

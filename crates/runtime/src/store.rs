@@ -1,0 +1,477 @@
+//! The packed configuration store: registers allocated at their accounted bit widths.
+//!
+//! A self-stabilizing algorithm's state is a *configuration* — one register per node.
+//! The seed kept configurations as `Vec<State>` of fat Rust structs (dozens of machine
+//! words per node for `O(log² n)`-bit registers). [`ConfigStore`] makes the accounted
+//! space the allocated space: in [`StoreMode::Packed`] every register occupies one
+//! fixed-width **bit slot** inside a shared `u64` word heap, exactly the register model
+//! of the paper (a register *is* a `⌈max encoded size⌉`-bit word). Slots share a single
+//! stride so addressing is one multiply — no per-node offset tables eating the savings
+//! back — and the stride grows (with a full repack) the first time a register outgrows
+//! it, which is rare and monotone: encoded sizes are bounded by the [`CodecCtx`] field
+//! widths.
+//!
+//! A presence bitmap turns the same layout into the executor's *pending* buffer (the
+//! cached next-state per enabled node), so both halves of the double-buffered
+//! configuration — pre-round snapshot and pending writes — live in packed form.
+//!
+//! [`StoreMode::Struct`] retains the plain `Vec<Option<State>>` layout as the reference
+//! mode (analogous to the executor's retained `FullRescan` mode): the differential
+//! oracle (`tests/packed_store_oracle.rs`) asserts that executions over the two stores
+//! are bit-identical, and the space benches measure the struct mode's memory as the
+//! baseline the packed mode is compared against.
+
+use std::marker::PhantomData;
+
+use stst_graph::NodeId;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::codec::{Codec, CodecCtx};
+
+/// Which representation a [`ConfigStore`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// Bit-packed fixed-stride slots: the accounted bits are the allocated bits.
+    #[default]
+    Packed,
+    /// Plain `Vec` of decoded structs. Reference mode for differential testing and the
+    /// memory baseline of the space benches.
+    Struct,
+}
+
+/// Measured memory of a store, compared against the accounted register bits in the
+/// E5/E7/E11 space tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoreBytes {
+    /// Bytes actually allocated for the slots (heap words or struct vector, plus the
+    /// presence bitmap).
+    pub bytes: usize,
+    /// Number of slots.
+    pub slots: usize,
+}
+
+/// One configuration buffer: `n` optional registers, packed or struct-backed.
+#[derive(Clone, Debug)]
+pub struct ConfigStore<S> {
+    repr: Repr<S>,
+}
+
+#[derive(Clone, Debug)]
+enum Repr<S> {
+    Struct(Vec<Option<S>>),
+    Packed(PackedBuf<S>),
+}
+
+#[derive(Clone, Debug)]
+struct PackedBuf<S> {
+    /// Bit width of one slot (the maximum encoded size seen so far).
+    stride: u32,
+    /// Slot `v` occupies bits `v * stride .. (v + 1) * stride` of this heap.
+    heap: Vec<u64>,
+    /// Presence bitmap (all-ones for a snapshot store, sparse for a pending store).
+    present: Vec<u64>,
+    len: usize,
+    _marker: PhantomData<S>,
+}
+
+impl<S: Codec + Clone> ConfigStore<S> {
+    /// An empty store of `n` absent slots.
+    pub fn empty(mode: StoreMode, n: usize) -> Self {
+        let repr = match mode {
+            StoreMode::Struct => Repr::Struct(vec![None; n]),
+            StoreMode::Packed => Repr::Packed(PackedBuf {
+                stride: 0,
+                heap: Vec::new(),
+                present: vec![0; n.div_ceil(64)],
+                len: n,
+                _marker: PhantomData,
+            }),
+        };
+        ConfigStore { repr }
+    }
+
+    /// A store holding one register per node, encoded from `states`.
+    pub fn from_states(mode: StoreMode, states: Vec<S>, ctx: &CodecCtx) -> Self {
+        match mode {
+            StoreMode::Struct => ConfigStore {
+                repr: Repr::Struct(states.into_iter().map(Some).collect()),
+            },
+            StoreMode::Packed => ConfigStore::packed_from_slice(&states, ctx),
+        }
+    }
+
+    /// A packed store encoded from borrowed registers — no clones of the (possibly
+    /// heap-holding) decoded values. The stride is pre-computed from the maximum
+    /// encoded size, so the heap is allocated exactly once.
+    pub fn packed_from_slice(states: &[S], ctx: &CodecCtx) -> Self {
+        let stride = states
+            .iter()
+            .map(|s| s.encoded_bits(ctx))
+            .max()
+            .unwrap_or(0) as u32;
+        let n = states.len();
+        let mut buf = PackedBuf {
+            stride,
+            heap: vec![0; (stride as u64 * n as u64).div_ceil(64) as usize],
+            present: vec![u64::MAX; n.div_ceil(64)],
+            len: n,
+            _marker: PhantomData,
+        };
+        if let Some(last) = buf.present.last_mut() {
+            let used = n % 64;
+            if used != 0 {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        for (i, s) in states.iter().enumerate() {
+            buf.encode_slot(i, s, ctx);
+        }
+        ConfigStore {
+            repr: Repr::Packed(buf),
+        }
+    }
+
+    /// A packed store of optional slots with the stride pre-computed over every
+    /// present register (one heap allocation, no incremental repacks).
+    pub fn packed_from_slots(slots: &[Option<S>], ctx: &CodecCtx) -> Self {
+        let stride = slots
+            .iter()
+            .flatten()
+            .map(|s| s.encoded_bits(ctx))
+            .max()
+            .unwrap_or(0) as u32;
+        let n = slots.len();
+        let mut buf = PackedBuf {
+            stride,
+            heap: vec![0; (stride as u64 * n as u64).div_ceil(64) as usize],
+            present: vec![0; n.div_ceil(64)],
+            len: n,
+            _marker: PhantomData,
+        };
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(s) = slot {
+                buf.encode_slot(i, s, ctx);
+                buf.mark_present(i);
+            }
+        }
+        ConfigStore {
+            repr: Repr::Packed(buf),
+        }
+    }
+
+    /// The store's representation mode.
+    pub fn mode(&self) -> StoreMode {
+        match &self.repr {
+            Repr::Struct(_) => StoreMode::Struct,
+            Repr::Packed(_) => StoreMode::Packed,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Struct(v) => v.len(),
+            Repr::Packed(b) => b.len,
+        }
+    }
+
+    /// `true` if the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if slot `v` holds a register.
+    #[inline]
+    pub fn is_present(&self, v: NodeId) -> bool {
+        match &self.repr {
+            Repr::Struct(s) => s[v.0].is_some(),
+            Repr::Packed(b) => b.is_present(v.0),
+        }
+    }
+
+    /// Decodes the register of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is absent.
+    #[inline]
+    pub fn get(&self, v: NodeId, ctx: &CodecCtx) -> S {
+        match &self.repr {
+            Repr::Struct(s) => s[v.0].clone().expect("slot is present"),
+            Repr::Packed(b) => {
+                debug_assert!(b.is_present(v.0), "slot {v} is present");
+                b.decode_slot(v.0, ctx)
+            }
+        }
+    }
+
+    /// Decodes the register of `v` if present.
+    #[inline]
+    pub fn try_get(&self, v: NodeId, ctx: &CodecCtx) -> Option<S> {
+        self.is_present(v).then(|| self.get(v, ctx))
+    }
+
+    /// Writes the register of `v` (marking the slot present).
+    pub fn set(&mut self, v: NodeId, state: &S, ctx: &CodecCtx) {
+        match &mut self.repr {
+            Repr::Struct(s) => s[v.0] = Some(state.clone()),
+            Repr::Packed(b) => {
+                let bits = state.encoded_bits(ctx) as u32;
+                if bits > b.stride {
+                    b.grow_stride(bits, ctx);
+                }
+                b.encode_slot(v.0, state, ctx);
+                b.mark_present(v.0);
+            }
+        }
+    }
+
+    /// Takes the register of `v` out of the store (clearing the slot).
+    pub fn take(&mut self, v: NodeId, ctx: &CodecCtx) -> Option<S> {
+        match &mut self.repr {
+            Repr::Struct(s) => s[v.0].take(),
+            Repr::Packed(b) => {
+                if !b.is_present(v.0) {
+                    return None;
+                }
+                let state = b.decode_slot(v.0, ctx);
+                b.clear_present(v.0);
+                Some(state)
+            }
+        }
+    }
+
+    /// Clears slot `v`.
+    pub fn clear(&mut self, v: NodeId) {
+        match &mut self.repr {
+            Repr::Struct(s) => s[v.0] = None,
+            Repr::Packed(b) => b.clear_present(v.0),
+        }
+    }
+
+    /// Decodes every present slot into `out[i]` (absent slots are skipped; `out` must
+    /// already have one element per slot). Used for full-snapshot reads (legality
+    /// checks, tree extraction, `Executor::states`).
+    pub fn decode_present_into(&self, ctx: &CodecCtx, out: &mut [Option<S>]) {
+        assert_eq!(out.len(), self.len());
+        match &self.repr {
+            Repr::Struct(s) => out.clone_from_slice(s),
+            Repr::Packed(b) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = b.is_present(i).then(|| b.decode_slot(i, ctx));
+                }
+            }
+        }
+    }
+
+    /// Decodes a fully populated store into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some slot is absent.
+    pub fn decode_all(&self, ctx: &CodecCtx) -> Vec<S> {
+        match &self.repr {
+            Repr::Struct(s) => s
+                .iter()
+                .map(|x| x.clone().expect("snapshot stores are fully populated"))
+                .collect(),
+            Repr::Packed(b) => (0..b.len)
+                .map(|i| {
+                    assert!(b.is_present(i), "snapshot stores are fully populated");
+                    b.decode_slot(i, ctx)
+                })
+                .collect(),
+        }
+    }
+
+    /// Sum of the accounted bits of every present register (recomputed by decoding —
+    /// the store keeps no per-slot length metadata, that is part of what it saves).
+    pub fn accounted_bits(&self, ctx: &CodecCtx) -> u64 {
+        match &self.repr {
+            Repr::Struct(s) => s.iter().flatten().map(|x| x.encoded_bits(ctx) as u64).sum(),
+            Repr::Packed(b) => (0..b.len)
+                .filter(|&i| b.is_present(i))
+                .map(|i| b.decode_slot(i, ctx).encoded_bits(ctx) as u64)
+                .sum(),
+        }
+    }
+
+    /// Bytes actually allocated for this store's slots and presence bitmap. For the
+    /// struct mode this is the `Vec<Option<S>>` backing allocation — the memory a
+    /// system without the packed store pays.
+    pub fn measured(&self) -> StoreBytes {
+        match &self.repr {
+            Repr::Struct(s) => StoreBytes {
+                bytes: s.capacity() * std::mem::size_of::<Option<S>>(),
+                slots: s.len(),
+            },
+            Repr::Packed(b) => StoreBytes {
+                bytes: (b.heap.capacity() + b.present.capacity()) * 8 + std::mem::size_of::<u32>(),
+                slots: b.len,
+            },
+        }
+    }
+
+    /// The slot stride in bits (packed mode only): the width of the fixed-size register
+    /// word every node gets, i.e. the maximum encoded size seen so far.
+    pub fn stride_bits(&self) -> Option<u32> {
+        match &self.repr {
+            Repr::Struct(_) => None,
+            Repr::Packed(b) => Some(b.stride),
+        }
+    }
+}
+
+impl<S: Codec + Clone> PackedBuf<S> {
+    #[inline]
+    fn is_present(&self, i: usize) -> bool {
+        self.present[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    #[inline]
+    fn mark_present(&mut self, i: usize) {
+        self.present[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn clear_present(&mut self, i: usize) {
+        self.present[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    fn decode_slot(&self, i: usize, ctx: &CodecCtx) -> S {
+        let mut r = BitReader::new(&self.heap, i as u64 * self.stride as u64);
+        S::decode_from(ctx, &mut r)
+    }
+
+    fn encode_slot(&mut self, i: usize, state: &S, ctx: &CodecCtx) {
+        let start = i as u64 * self.stride as u64;
+        let mut w = BitWriter::new(&mut self.heap, start);
+        state.encode_into(ctx, &mut w);
+        // Zero the slot's tail so stale bits of a previous (longer) register can never
+        // be misread by a future decode after a rewrite.
+        let written = w.position() - start;
+        let tail = self.stride as u64 - written;
+        let mut remaining = tail;
+        while remaining > 0 {
+            let chunk = remaining.min(64) as usize;
+            w.write(0, chunk);
+            remaining -= chunk as u64;
+        }
+    }
+
+    /// Repacks every present slot at a wider stride. Monotone and rare: encoded sizes
+    /// are bounded by the ctx field widths, so the stride settles after the first few
+    /// writes of a run.
+    fn grow_stride(&mut self, bits: u32, ctx: &CodecCtx) {
+        let old: Vec<Option<S>> = (0..self.len)
+            .map(|i| self.is_present(i).then(|| self.decode_slot(i, ctx)))
+            .collect();
+        self.stride = bits;
+        // Fresh exact-sized allocation (not `resize`): slot addresses never run past
+        // it, so the heap's capacity — what `measured()` reports — stays exactly
+        // `⌈stride · n / 64⌉` words with no amortized-growth slack.
+        self.heap = vec![0; (bits as u64 * self.len as u64).div_ceil(64) as usize];
+        for (i, slot) in old.iter().enumerate() {
+            if let Some(s) = slot {
+                self.encode_slot(i, s, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CodecCtx {
+        CodecCtx {
+            ident_bits: 8,
+            weight_bits: 8,
+            count_bits: 8,
+            len_bits: 7,
+        }
+    }
+
+    #[test]
+    fn packed_snapshot_round_trips_every_slot() {
+        let ctx = ctx();
+        let states: Vec<u64> = (0..100).map(|i| (i * 37) % 251).collect();
+        let store = ConfigStore::from_states(StoreMode::Packed, states.clone(), &ctx);
+        assert_eq!(store.decode_all(&ctx), states);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(store.get(NodeId(i), &ctx), *s);
+        }
+        assert_eq!(store.stride_bits(), Some(9)); // escape bit + 8-bit field
+    }
+
+    #[test]
+    fn set_and_take_maintain_presence() {
+        let ctx = ctx();
+        let mut store: ConfigStore<u64> = ConfigStore::empty(StoreMode::Packed, 70);
+        assert!(!store.is_present(NodeId(65)));
+        store.set(NodeId(65), &42, &ctx);
+        assert!(store.is_present(NodeId(65)));
+        assert_eq!(store.try_get(NodeId(65), &ctx), Some(42));
+        assert_eq!(store.take(NodeId(65), &ctx), Some(42));
+        assert_eq!(store.take(NodeId(65), &ctx), None);
+        assert!(!store.is_present(NodeId(65)));
+    }
+
+    #[test]
+    fn stride_growth_repacks_without_losing_registers() {
+        let ctx = ctx();
+        let mut store: ConfigStore<u64> = ConfigStore::empty(StoreMode::Packed, 10);
+        for i in 0..10 {
+            store.set(NodeId(i), &(i as u64), &ctx);
+        }
+        // A value that escapes the 8-bit field forces a wider stride.
+        store.set(NodeId(3), &u64::MAX, &ctx);
+        assert_eq!(store.stride_bits(), Some(65));
+        for i in 0..10 {
+            let expected = if i == 3 { u64::MAX } else { i as u64 };
+            assert_eq!(store.get(NodeId(i), &ctx), expected);
+        }
+    }
+
+    #[test]
+    fn rewriting_with_a_shorter_register_zeroes_the_tail() {
+        let ctx = ctx();
+        let mut store: ConfigStore<(u64, bool)> = ConfigStore::empty(StoreMode::Packed, 4);
+        store.set(NodeId(1), &(u64::MAX, true), &ctx); // 65 + 1 bits
+        store.set(NodeId(1), &(1, false), &ctx); // 9 + 1 bits, same (wide) stride
+        assert_eq!(store.get(NodeId(1), &ctx), (1, false));
+    }
+
+    #[test]
+    fn struct_mode_matches_packed_behavior() {
+        let ctx = ctx();
+        for mode in [StoreMode::Struct, StoreMode::Packed] {
+            let mut store: ConfigStore<u64> = ConfigStore::empty(mode, 8);
+            store.set(NodeId(2), &9, &ctx);
+            store.set(NodeId(5), &200, &ctx);
+            store.clear(NodeId(2));
+            let mut out = vec![None; 8];
+            store.decode_present_into(&ctx, &mut out);
+            assert_eq!(out[2], None, "{mode:?}");
+            assert_eq!(out[5], Some(200), "{mode:?}");
+            assert_eq!(store.accounted_bits(&ctx), 9, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn packed_memory_is_far_below_struct_memory() {
+        let ctx = ctx();
+        let states: Vec<(u64, bool)> = (0..1000).map(|i| (i % 250, i % 2 == 0)).collect();
+        let packed = ConfigStore::from_states(StoreMode::Packed, states.clone(), &ctx);
+        let structs = ConfigStore::from_states(StoreMode::Struct, states, &ctx);
+        let pb = packed.measured().bytes;
+        let sb = structs.measured().bytes;
+        assert!(
+            pb * 4 < sb,
+            "packed {pb} bytes should be at least 4x below struct {sb} bytes"
+        );
+        // The packed allocation is within a word-rounding of stride × slots.
+        let stride = packed.stride_bits().unwrap() as usize;
+        assert!(pb * 8 <= stride * 1000 + 1000 / 64 * 64 + 256);
+    }
+}

@@ -7,9 +7,20 @@
 //!
 //! A view is **zero-allocation**: it borrows a CSR slice of per-neighbor constants
 //! ([`NeighborInfo`], precomputed once per executor since identities and weights never
-//! change) and the dense register array. [`View::neighbors`] is a lazy iterator over
-//! that slice — building and consuming a view performs no heap allocation, which is
-//! what makes guard evaluation cheap enough to run millions of times per second.
+//! change) and a register slice. [`View::neighbors`] is a lazy iterator over that
+//! slice — building and consuming a view performs no heap allocation, which is what
+//! makes guard evaluation cheap enough to run millions of times per second.
+//!
+//! Register access comes in two indexings:
+//!
+//! * **global** ([`View::new`], [`View::with_weight_order`]) — the view borrows the
+//!   whole dense configuration and dereferences `states[neighbor.node]`; this is the
+//!   struct-backed store's zero-copy path;
+//! * **local** ([`View::over_decoded`]) — the view borrows a scratch slice holding the
+//!   closed neighborhood's registers *decoded from the packed configuration store*
+//!   (`states[i]` is the register of `neighbors[i]`, the node's own register is last).
+//!   Algorithms observe exactly the same API, so the packed and struct paths evaluate
+//!   identical guards — the property the packed-vs-struct differential oracle pins.
 
 use stst_graph::{Ident, NodeId, Weight};
 
@@ -74,10 +85,13 @@ pub struct View<'a, S> {
     /// order can be computed once at graph build time; with it,
     /// [`View::neighbors_by_weight`] neither allocates nor sorts.
     weight_order: Option<&'a [u32]>,
-    /// The dense register array of the whole configuration (neighbors are read through
-    /// it lazily; locality is preserved because the iterator only dereferences the
-    /// indices listed in `neighbors`).
+    /// The register slice (neighbors are read through it lazily; locality is preserved
+    /// because the iterator only dereferences the listed neighbors). Globally indexed
+    /// by dense node id, or — for views decoded out of the packed store — locally
+    /// indexed in port order with the node's own register last.
     states: &'a [S],
+    /// `true` when `states` is the locally indexed decoded scratch slice.
+    local: bool,
 }
 
 impl<'a, S> View<'a, S> {
@@ -102,6 +116,7 @@ impl<'a, S> View<'a, S> {
             neighbors,
             weight_order: None,
             states,
+            local: false,
         }
     }
 
@@ -136,6 +151,45 @@ impl<'a, S> View<'a, S> {
             neighbors,
             weight_order: Some(weight_order),
             states,
+            local: false,
+        }
+    }
+
+    /// Builds the view of `node` over a **locally indexed decoded scratch slice**: the
+    /// packed-store executor decodes the closed neighborhood once per guard evaluation
+    /// into a reused buffer where `decoded[i]` is the register of `neighbors[i]` and
+    /// `decoded[neighbors.len()]` is the node's own register. The view borrows that
+    /// scratch — algorithms see the identical API at zero extra allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `decoded` is not exactly one register per neighbor plus
+    /// the node's own, or if a provided weight order's length does not match.
+    pub fn over_decoded(
+        node: NodeId,
+        ident: Ident,
+        n: usize,
+        neighbors: &'a [NeighborInfo],
+        weight_order: Option<&'a [u32]>,
+        decoded: &'a [S],
+    ) -> Self {
+        debug_assert_eq!(
+            decoded.len(),
+            neighbors.len() + 1,
+            "one register per neighbor plus the node's own"
+        );
+        if let Some(order) = weight_order {
+            debug_assert_eq!(order.len(), neighbors.len(), "one order entry per neighbor");
+        }
+        View {
+            node,
+            ident,
+            n,
+            state: &decoded[neighbors.len()],
+            neighbors,
+            weight_order,
+            states: decoded,
+            local: true,
         }
     }
 
@@ -148,8 +202,11 @@ impl<'a, S> View<'a, S> {
     /// register of each).
     pub fn neighbors(&self) -> Neighbors<'a, S> {
         Neighbors {
-            info: self.neighbors.iter(),
+            neighbors: self.neighbors,
             states: self.states,
+            local: self.local,
+            front: 0,
+            back: self.neighbors.len(),
         }
     }
 
@@ -184,6 +241,7 @@ impl<'a, S> View<'a, S> {
                 order: order.iter(),
                 neighbors: self.neighbors,
                 states: self.states,
+                local: self.local,
             },
             None => {
                 let mut v: Vec<NeighborView<'a, S>> = self.neighbors().collect();
@@ -208,6 +266,7 @@ enum ByWeightInner<'a, S> {
         order: std::slice::Iter<'a, u32>,
         neighbors: &'a [NeighborInfo],
         states: &'a [S],
+        local: bool,
     },
     Sorted(std::vec::IntoIter<NeighborView<'a, S>>),
 }
@@ -221,13 +280,20 @@ impl<'a, S> Iterator for NeighborsByWeight<'a, S> {
                 order,
                 neighbors,
                 states,
+                local,
             } => {
-                let info = &neighbors[*order.next()? as usize];
+                let port = *order.next()? as usize;
+                let info = &neighbors[port];
+                let state = if *local {
+                    &states[port]
+                } else {
+                    &states[info.node.0]
+                };
                 Some(NeighborView {
                     node: info.node,
                     ident: info.ident,
                     weight: info.weight,
-                    state: &states[info.node.0],
+                    state,
                 })
             }
             ByWeightInner::Sorted(items) => items.next(),
@@ -247,25 +313,46 @@ impl<S> ExactSizeIterator for NeighborsByWeight<'_, S> {}
 /// Lazy, allocation-free iterator over a [`View`]'s neighbors.
 #[derive(Clone, Debug)]
 pub struct Neighbors<'a, S> {
-    info: std::slice::Iter<'a, NeighborInfo>,
+    neighbors: &'a [NeighborInfo],
     states: &'a [S],
+    local: bool,
+    front: usize,
+    back: usize,
+}
+
+impl<'a, S> Neighbors<'a, S> {
+    #[inline]
+    fn at(&self, port: usize) -> NeighborView<'a, S> {
+        let info = &self.neighbors[port];
+        let state = if self.local {
+            &self.states[port]
+        } else {
+            &self.states[info.node.0]
+        };
+        NeighborView {
+            node: info.node,
+            ident: info.ident,
+            weight: info.weight,
+            state,
+        }
+    }
 }
 
 impl<'a, S> Iterator for Neighbors<'a, S> {
     type Item = NeighborView<'a, S>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let info = self.info.next()?;
-        Some(NeighborView {
-            node: info.node,
-            ident: info.ident,
-            weight: info.weight,
-            state: &self.states[info.node.0],
-        })
+        if self.front >= self.back {
+            return None;
+        }
+        let item = self.at(self.front);
+        self.front += 1;
+        Some(item)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.info.size_hint()
+        let remaining = self.back - self.front;
+        (remaining, Some(remaining))
     }
 }
 
@@ -273,13 +360,11 @@ impl<S> ExactSizeIterator for Neighbors<'_, S> {}
 
 impl<S> DoubleEndedIterator for Neighbors<'_, S> {
     fn next_back(&mut self) -> Option<Self::Item> {
-        let info = self.info.next_back()?;
-        Some(NeighborView {
-            node: info.node,
-            ident: info.ident,
-            weight: info.weight,
-            state: &self.states[info.node.0],
-        })
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.at(self.back))
     }
 }
 
@@ -361,5 +446,32 @@ mod tests {
         // The plain port-order iterator is unaffected by the weight order.
         let ports: Vec<Ident> = view.neighbors().map(|nb| nb.ident).collect();
         assert_eq!(ports, vec![9, 2, 7]);
+    }
+
+    #[test]
+    fn locally_indexed_decoded_views_match_the_global_indexing() {
+        // Global: states indexed by dense node id. Local: the same registers laid out
+        // in port order with the node's own register last (what the packed-store
+        // executor decodes into scratch).
+        let states = [5u64, 11, 22, 33];
+        let global = sample_view(&states);
+        let decoded = [11u64, 22, 33, 5]; // ports n1, n2, n3, then own (n0)
+        let order = [1u32, 2, 0];
+        let local = View::over_decoded(NodeId(0), 5, 4, &INFO, Some(&order), &decoded);
+        assert_eq!(*local.state, *global.state);
+        assert_eq!(local.degree(), global.degree());
+        let read = |v: &View<'_, u64>| -> Vec<(Ident, u64)> {
+            v.neighbors().map(|nb| (nb.ident, *nb.state)).collect()
+        };
+        assert_eq!(read(&local), read(&global));
+        let back: Vec<u64> = local.neighbors().rev().map(|nb| *nb.state).collect();
+        assert_eq!(back, vec![33, 22, 11]);
+        let by_weight: Vec<(Ident, u64)> = local
+            .neighbors_by_weight()
+            .map(|nb| (nb.ident, *nb.state))
+            .collect();
+        assert_eq!(by_weight, vec![(2, 22), (7, 33), (9, 11)]);
+        assert_eq!(local.neighbor_with_ident(7).map(|nb| *nb.state), Some(33));
+        assert_eq!(local.min_ident_in_closed_neighborhood(), 2);
     }
 }

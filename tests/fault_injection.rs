@@ -34,7 +34,7 @@ fn recovery_from_a_single_fault_is_cheaper_than_from_scratch() {
     let moves_before = exec.moves();
     let damaged = SpanningState {
         size: exec.state(NodeId(7)).size + 5,
-        ..*exec.state(NodeId(7))
+        ..exec.state(NodeId(7))
     };
     exec.corrupt_node(NodeId(7), damaged);
     let q = exec.run_to_quiescence(5_000_000).unwrap();

@@ -117,7 +117,7 @@ fn rooted_bfs_enabled_set_matches_oracle_with_targeted_corruption() {
         exec.run_to_quiescence(2_000_000).expect("BFS converges");
         // Targeted single-register faults, including "helpful-looking" ones.
         for (i, v) in [0usize, 5, 11, 17, 23].into_iter().enumerate() {
-            let mut state = *exec.state(NodeId(v));
+            let mut state = exec.state(NodeId(v));
             state.dist = if i % 2 == 0 { 0 } else { state.dist + 7 };
             exec.corrupt_node(NodeId(v), state);
             drive_with_oracle(&mut exec, 200, None, &format!("targeted fault {i}/{kind}"));

@@ -1,0 +1,239 @@
+//! Differential oracle for the packed configuration store.
+//!
+//! The packed store ([`stst_runtime::store::ConfigStore`]) keeps every register as a
+//! fixed-width bit slot; the struct-backed mode is the retained reference (analogous
+//! to the executor's `FullRescan` mode). Because every codec round-trips exactly
+//! (`decode(encode(x)) == x`, including fault garbage), executions over the two
+//! stores must be **bit-identical**: same states after every step, same move/round/
+//! guard-evaluation counters, same recovery behavior under register corruption and
+//! the same re-seeding under topology churn. These tests pin that across both
+//! guarded-rule layers, all 5 daemons, several seeds and thread counts {1, 2, 8}.
+
+use self_stabilizing_spanning_trees::baselines::naive_reset::DistanceOnlySpanningTree;
+use self_stabilizing_spanning_trees::core::bfs::RootedBfs;
+use self_stabilizing_spanning_trees::core::spanning::MinIdSpanningTree;
+use self_stabilizing_spanning_trees::graph::{generators, Graph, Mutation, NodeId};
+use self_stabilizing_spanning_trees::runtime::{
+    Algorithm, Executor, ExecutorConfig, SchedulerKind, StoreMode,
+};
+
+/// Runs packed and struct-backed executors in lockstep: identical chosen nodes,
+/// identical states after every step, identical counters — with a register-corruption
+/// fault injected every `perturb_every` steps (the RNG draws are part of the lockstep:
+/// both executors must consume them identically).
+fn drive_lockstep<A: Algorithm + Clone>(
+    g: &Graph,
+    algo: A,
+    config: ExecutorConfig,
+    max_steps: usize,
+    perturb_every: Option<usize>,
+    label: &str,
+) {
+    let mut packed = Executor::from_arbitrary(g, algo.clone(), config);
+    let mut structs = Executor::from_arbitrary(g, algo, config.with_store(StoreMode::Struct));
+    assert_eq!(packed.states(), structs.states(), "{label}: initial");
+    for step in 0..max_steps {
+        if packed.is_quiescent() {
+            assert!(structs.is_quiescent(), "{label}: quiescence at step {step}");
+            match perturb_every {
+                Some(_) if step + 40 < max_steps => {}
+                _ => break,
+            }
+        }
+        if let Some(every) = perturb_every {
+            if step % every == every - 1 {
+                let a = packed.corrupt_random_nodes(3);
+                let b = structs.corrupt_random_nodes(3);
+                assert_eq!(a, b, "{label}: fault targets at step {step}");
+            }
+        }
+        let a = packed.step_once().to_vec();
+        let b = structs.step_once().to_vec();
+        assert_eq!(a, b, "{label}: chosen nodes at step {step}");
+        assert_eq!(
+            packed.states(),
+            structs.states(),
+            "{label}: states at step {step}"
+        );
+        assert_eq!(
+            (packed.moves(), packed.rounds(), packed.guard_evaluations()),
+            (
+                structs.moves(),
+                structs.rounds(),
+                structs.guard_evaluations()
+            ),
+            "{label}: counters at step {step}"
+        );
+    }
+}
+
+#[test]
+fn packed_and_struct_stores_run_bit_identically_under_all_daemons() {
+    let g = generators::workload(22, 0.2, 8);
+    for kind in SchedulerKind::all() {
+        for seed in [3u64, 19] {
+            let config = ExecutorConfig::with_scheduler(seed, kind);
+            drive_lockstep(
+                &g,
+                MinIdSpanningTree,
+                config,
+                400,
+                None,
+                &format!("spanning/{kind}/seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_and_struct_stores_agree_under_fault_injection() {
+    let g = generators::workload(20, 0.2, 5);
+    let root_ident = g.ident(g.min_ident_node());
+    for kind in SchedulerKind::all() {
+        drive_lockstep(
+            &g,
+            RootedBfs::new(root_ident),
+            ExecutorConfig::with_scheduler(7, kind),
+            300,
+            Some(13),
+            &format!("bfs faults/{kind}"),
+        );
+        drive_lockstep(
+            &g,
+            DistanceOnlySpanningTree,
+            ExecutorConfig::with_scheduler(11, kind),
+            300,
+            Some(17),
+            &format!("distance-only faults/{kind}"),
+        );
+    }
+}
+
+#[test]
+fn packed_runs_are_bit_identical_at_every_thread_count() {
+    // Large enough that the parallel wave path genuinely runs (PAR_MIN_ITEMS).
+    let g = generators::workload(400, 0.01, 2);
+    let reference = {
+        let config = ExecutorConfig::with_scheduler(4, SchedulerKind::Synchronous);
+        let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
+        let q = exec.run_to_quiescence(1_000_000).unwrap();
+        (exec.states(), q, exec.guard_evaluations())
+    };
+    for store in [StoreMode::Packed, StoreMode::Struct] {
+        for threads in [1usize, 2, 8] {
+            let config = ExecutorConfig::with_scheduler(4, SchedulerKind::Synchronous)
+                .with_threads(threads)
+                .with_store(store);
+            let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
+            let q = exec.run_to_quiescence(1_000_000).unwrap();
+            assert_eq!(exec.states(), reference.0, "{store:?}, {threads} threads");
+            assert_eq!(q, reference.1, "{store:?}, {threads} threads");
+            assert_eq!(
+                exec.guard_evaluations(),
+                reference.2,
+                "{store:?}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_store_survives_topology_churn_like_the_struct_store() {
+    // Edge churn and node churn re-seed the executor; the packed store re-encodes the
+    // surviving registers under the refreshed codec widths and must land in exactly
+    // the struct store's configuration — including the weight-drift case that grows
+    // the weight field.
+    let g0 = generators::workload(30, 0.15, 6);
+    for kind in [SchedulerKind::Central, SchedulerKind::Synchronous] {
+        let config = ExecutorConfig::with_scheduler(9, kind);
+        let mut packed = Executor::from_arbitrary(&g0, MinIdSpanningTree, config);
+        let mut structs =
+            Executor::from_arbitrary(&g0, MinIdSpanningTree, config.with_store(StoreMode::Struct));
+        packed.run_to_quiescence(2_000_000).unwrap();
+        structs.run_to_quiescence(2_000_000).unwrap();
+        assert_eq!(packed.states(), structs.states(), "{kind}: stabilized");
+        // Batch 1: an insertion plus a (connectivity-preserving) removal plus weight
+        // drift beyond the old maximum.
+        let (a, b) = {
+            let mut found = None;
+            'outer: for a in g0.nodes() {
+                for b in g0.nodes() {
+                    if a < b && g0.edge_between(a, b).is_none() {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.unwrap()
+        };
+        let removable = g0
+            .edge_ids()
+            .find(|&e| {
+                let ed = *g0.edge(e);
+                let mut trial = g0.clone();
+                trial.remove_edge(ed.u, ed.v);
+                trial.is_connected()
+            })
+            .unwrap();
+        let (ru, rv) = (g0.edge(removable).u, g0.edge(removable).v);
+        let drift = {
+            let e = g0
+                .edge_ids()
+                .find(|&e| e != removable)
+                .expect("more than one edge");
+            (g0.edge(e).u, g0.edge(e).v)
+        };
+        let max_w = g0.edge_ids().map(|e| g0.weight(e)).max().unwrap();
+        let batch = vec![
+            Mutation::AddEdge {
+                u: a,
+                v: b,
+                weight: 1,
+            },
+            Mutation::RemoveEdge { u: ru, v: rv },
+            Mutation::SetWeight {
+                u: drift.0,
+                v: drift.1,
+                weight: 4 * max_w,
+            },
+        ];
+        let mut g1 = g0.clone();
+        let outcome = g1.apply_mutations(&batch);
+        packed.apply_topology(&g1, &outcome);
+        structs.apply_topology(&g1, &outcome);
+        assert_eq!(
+            packed.states(),
+            structs.states(),
+            "{kind}: after edge churn"
+        );
+        assert_eq!(packed.enabled_nodes(), structs.enabled_nodes());
+        assert_eq!(packed.enabled_nodes(), packed.rescan_enabled_nodes());
+        let qp = packed.run_to_quiescence(2_000_000).unwrap();
+        let qs = structs.run_to_quiescence(2_000_000).unwrap();
+        assert_eq!(qp, qs, "{kind}: re-stabilization after edge churn");
+        assert_eq!(packed.states(), structs.states());
+        // Batch 2: node churn (join with a large identity — grows the ident field).
+        let n = g1.node_count();
+        let mut g2 = g1.clone();
+        let outcome = g2.apply_mutations(&[
+            Mutation::AddNode { ident: 5_000 },
+            Mutation::AddEdge {
+                u: NodeId(n),
+                v: NodeId(0),
+                weight: 2,
+            },
+        ]);
+        packed.apply_topology(&g2, &outcome);
+        structs.apply_topology(&g2, &outcome);
+        assert_eq!(
+            packed.states(),
+            structs.states(),
+            "{kind}: after node churn"
+        );
+        let qp = packed.run_to_quiescence(2_000_000).unwrap();
+        let qs = structs.run_to_quiescence(2_000_000).unwrap();
+        assert_eq!(qp, qs, "{kind}: re-stabilization after node churn");
+        assert_eq!(packed.states(), structs.states());
+        assert!(qp.legal);
+    }
+}

@@ -30,7 +30,7 @@ fn executor_trajectories_are_bit_identical_across_thread_counts() {
                 let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
                 let q = exec.run_to_quiescence(5_000_000).expect("converges");
                 (
-                    exec.states().to_vec(),
+                    exec.states(),
                     q,
                     exec.guard_evaluations(),
                     exec.activation_counts(),

@@ -1,8 +1,8 @@
 //! Review repro: two tree edges on one ancestor chain deleted in one batch.
 
-use stst::engine::{CompositionEngine, EngineTask, PhaseEvent};
-use stst::EngineConfig;
-use stst_graph::{Graph, Mutation, NodeId};
+use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTask, PhaseEvent};
+use self_stabilizing_spanning_trees::core::EngineConfig;
+use self_stabilizing_spanning_trees::graph::{Graph, Mutation, NodeId};
 
 #[test]
 fn batch_deleting_nested_tree_edges_keeps_tree_valid() {
@@ -24,7 +24,10 @@ fn batch_deleting_nested_tree_edges_keeps_tree_valid() {
             v: NodeId(2),
         },
     ]);
-    assert!(matches!(event, PhaseEvent::TopologyApplied { .. }), "{event:?}");
+    assert!(
+        matches!(event, PhaseEvent::TopologyApplied { .. }),
+        "{event:?}"
+    );
     let report = engine.run();
     assert!(report.legal);
     assert!(

@@ -58,8 +58,10 @@ fn stabilized_mdst_is_fr_certified_at_every_node() {
         "rejecting nodes: {:?}",
         outcome.rejecting
     );
-    // Label sizes are the O(log n)-class budget of Corollary 8.1.
-    assert!(FrScheme.max_label_bits(&labels) <= 40);
+    // Label sizes are the O(log n)-class budget of Corollary 8.1 (codec-derived
+    // accounting: each field costs its fixed instance width plus one escape bit).
+    let ctx = stst_runtime::CodecCtx::for_graph(&g);
+    assert!(FrScheme.max_label_bits(&ctx, &labels) <= 46);
 }
 
 #[test]
@@ -103,7 +105,7 @@ fn a_single_corrupted_register_is_locally_detectable() {
     let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(66));
     exec.run_to_quiescence(5_000_000).unwrap();
     let victim = NodeId(5);
-    let mut corrupted = *exec.state(victim);
+    let mut corrupted = exec.state(victim);
     corrupted.dist += 3;
     corrupted.size += 1;
     exec.corrupt_node(victim, corrupted);
