@@ -61,6 +61,10 @@ fn bench(c: &mut Criterion) {
         (&[1_000, 2_500], &[1, 2, 4, 8])
     };
     let waves = if smoke { 6 } else { 10 };
+    println!(
+        "churn_scale host: {}",
+        stst_bench::host_metadata_json(thread_counts)
+    );
 
     let mut group = c.benchmark_group("churn_scale");
     group

@@ -53,6 +53,12 @@ fn bench(c: &mut Criterion) {
         (&[10_000, 100_000], &[1, 2, 4, 8])
     };
 
+    println!(
+        "parallel_scale host: {}",
+        stst_bench::host_metadata_json(thread_counts)
+    );
+    let speedup_host = stst_bench::logical_cores() > 1;
+
     let mut group = c.benchmark_group("parallel_scale");
     group
         .sample_size(if smoke { 2 } else { 5 })
@@ -83,9 +89,16 @@ fn bench(c: &mut Criterion) {
             );
         }
         if means[0] > Duration::ZERO {
+            // On a single logical core a threads>1 run measures scheduling overhead,
+            // not parallel speedup — label the ratio honestly instead of calling it one.
+            let label = if speedup_host {
+                "speedup"
+            } else {
+                "time ratio (single-core host, NOT a speedup baseline)"
+            };
             for (i, &t) in thread_counts.iter().enumerate() {
                 println!(
-                    "parallel_scale/sync_bfs/{n}: threads={t} speedup vs threads=1 = {:.2}x",
+                    "parallel_scale/sync_bfs/{n}: threads={t} {label} vs threads=1 = {:.2}x",
                     means[0].as_secs_f64() / means[i].as_secs_f64().max(1e-12)
                 );
             }

@@ -8,10 +8,15 @@
 //!   count in the grid;
 //! * **allocation budget** — the packed double buffer (snapshot + pending) costs at
 //!   most 4× the accounted register bits, while the struct reference costs several
-//!   times more (the E11 acceptance gate, here at bench scale).
+//!   times more (the E11 acceptance gate, here at bench scale);
+//! * **decode elimination** — the two-tier guard path resolves the overwhelming
+//!   share of packed evaluations decode-free: full decodes drop at least 5× against
+//!   the decode-everything baseline (which paid one full decode per guard
+//!   evaluation), and the screened/decoded split exactly accounts for every
+//!   evaluation.
 //!
-//! `-- --smoke` runs a reduced grid (small n, threads ∈ {1, 4}); CI uses it to keep
-//! the packed path from rotting.
+//! `-- --smoke` runs a reduced grid (n = 10,000, threads ∈ {1, 4}); CI uses it to
+//! keep the packed path — screening gates included — from rotting.
 
 use std::time::Duration;
 
@@ -27,6 +32,8 @@ struct BfsOutcome {
     states: Vec<BfsState>,
     quiescence: Quiescence,
     guard_evals: u64,
+    screen_hits: u64,
+    full_decodes: u64,
     measured_bytes: usize,
     accounted_bits: u64,
 }
@@ -43,6 +50,8 @@ fn run_bfs(g: &Graph, store: StoreMode, threads: usize) -> BfsOutcome {
         states: exec.states(),
         quiescence,
         guard_evals: exec.guard_evaluations(),
+        screen_hits: exec.guard_screen_hits(),
+        full_decodes: exec.guard_full_decodes(),
         measured_bytes: report.measured_bytes,
         accounted_bits: report.accounted_bits,
     }
@@ -51,10 +60,14 @@ fn run_bfs(g: &Graph, store: StoreMode, threads: usize) -> BfsOutcome {
 fn bench(c: &mut Criterion) {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, thread_counts): (&[usize], &[usize]) = if smoke {
-        (&[4_000], &[1, 4])
+        (&[10_000], &[1, 4])
     } else {
         (&[50_000, 250_000], &[1, 2, 4, 8])
     };
+    println!(
+        "space_scale host: {}",
+        stst_bench::host_metadata_json(thread_counts)
+    );
 
     let mut group = c.benchmark_group("space_scale");
     group
@@ -71,7 +84,13 @@ fn bench(c: &mut Criterion) {
             reference.quiescence.legal,
             "BFS stabilizes legally at n={n}"
         );
+        assert_eq!(
+            (reference.screen_hits, reference.full_decodes),
+            (0, 0),
+            "the struct reference neither screens nor decodes"
+        );
         let mut packed_bytes = 0usize;
+        let mut tiers = (0u64, 0u64);
         for &t in thread_counts {
             let packed = run_bfs(&g, StoreMode::Packed, t);
             assert!(
@@ -84,6 +103,35 @@ fn bench(c: &mut Criterion) {
                 packed.accounted_bits, reference.accounted_bits,
                 "accounting must not depend on the store"
             );
+            // Decode-elimination gate: every packed evaluation is either screened or
+            // fully decoded, the screen resolves most of them, and full decodes drop
+            // at least 5x against the decode-everything baseline (which paid one full
+            // decode per guard evaluation). The split is thread-count invariant.
+            assert_eq!(
+                packed.screen_hits + packed.full_decodes,
+                packed.guard_evals,
+                "n={n}, threads={t}: tier accounting"
+            );
+            assert!(
+                packed.screen_hits > 0,
+                "n={n}, threads={t}: the screen never resolved a guard"
+            );
+            assert!(
+                packed.full_decodes * 5 <= packed.guard_evals,
+                "n={n}, threads={t}: {} full decodes out of {} evaluations is less \
+                 than a 5x reduction over the decode-everything baseline",
+                packed.full_decodes,
+                packed.guard_evals
+            );
+            if t == thread_counts[0] {
+                tiers = (packed.screen_hits, packed.full_decodes);
+            } else {
+                assert_eq!(
+                    (packed.screen_hits, packed.full_decodes),
+                    tiers,
+                    "n={n}, threads={t}: tier split must not depend on the thread count"
+                );
+            }
             // Allocation budget gate: packed ≤ 4x the accounted bits; the struct
             // reference costs several times the packed store.
             assert!(
@@ -102,10 +150,13 @@ fn bench(c: &mut Criterion) {
         }
         println!(
             "space_scale/{n}: packed {:.1} B/node vs struct {:.1} B/node \
-             ({:.1} accounted bits/node)",
+             ({:.1} accounted bits/node); {} screened / {} decoded of {} evals",
             packed_bytes as f64 / n as f64,
             reference.measured_bytes as f64 / n as f64,
-            reference.accounted_bits as f64 / n as f64
+            reference.accounted_bits as f64 / n as f64,
+            tiers.0,
+            tiers.1,
+            reference.guard_evals
         );
         for store in [StoreMode::Packed, StoreMode::Struct] {
             for &t in thread_counts {

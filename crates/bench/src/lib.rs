@@ -131,18 +131,27 @@ pub fn tables_to_json(tables: &[ExperimentTable]) -> String {
     out
 }
 
-/// Host metadata as a JSON object: the logical core count and the worker-thread grid
-/// the run measured with. Recorded in every `BENCH_*.json` / `report --json` output so
-/// single-core baselines (like the first `BENCH_parallel.json`) are self-describing
-/// instead of explained only in prose.
-pub fn host_metadata_json(thread_grid: &[usize]) -> String {
-    let cores = std::thread::available_parallelism()
+/// Logical cores available to this process (1 when the query fails — the honest
+/// floor).
+pub fn logical_cores() -> usize {
+    std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+        .unwrap_or(1)
+}
+
+/// Host metadata as a JSON object: the logical core count, whether multi-thread
+/// timings on this host are a meaningful *speedup baseline* (false on a single
+/// logical core, where a `threads > 1` run measures only scheduling overhead), and
+/// the worker-thread grid the run measured with. Recorded in every `BENCH_*.json` /
+/// `report --json` output so single-core baselines (like the first
+/// `BENCH_parallel.json`) are self-describing instead of explained only in prose.
+pub fn host_metadata_json(thread_grid: &[usize]) -> String {
+    let cores = logical_cores();
     let grid: Vec<String> = thread_grid.iter().map(|t| t.to_string()).collect();
     format!(
-        "{{\"logical_cores\":{},\"thread_grid\":[{}]}}",
+        "{{\"logical_cores\":{},\"speedup_baseline\":{},\"thread_grid\":[{}]}}",
         cores,
+        cores > 1,
         grid.join(",")
     )
 }
@@ -483,8 +492,10 @@ pub fn e7_mdst_space(sizes: &[usize], seed: u64) -> ExperimentTable {
 
 /// E8 — recovery from transient faults: rounds, moves **and guard evaluations** (the
 /// incremental executor's work unit) to re-stabilize after corrupting `k` registers of
-/// a converged spanning-tree layer. `threads` drives the executor's parallel wave
-/// evaluation (bit-identical results; the column records the measurement setting).
+/// a converged spanning-tree layer, with the two-tier split of those evaluations
+/// (screened decode-free vs fully decoded — the packed store's cost model). `threads`
+/// drives the executor's parallel wave evaluation (bit-identical results; the column
+/// records the measurement setting).
 pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> ExperimentTable {
     let g = generators::workload(n, 0.12, seed);
     let config = ExecutorConfig::seeded(seed).with_threads(threads);
@@ -497,6 +508,8 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> Expe
         initial.rounds.to_string(),
         initial.moves.to_string(),
         exec.guard_evaluations().to_string(),
+        exec.guard_screen_hits().to_string(),
+        exec.guard_full_decodes().to_string(),
         initial.legal.to_string(),
     ]];
     for &frac in fractions {
@@ -504,6 +517,8 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> Expe
         let rounds_before = exec.rounds();
         let moves_before = exec.moves();
         let guards_before = exec.guard_evaluations();
+        let hits_before = exec.guard_screen_hits();
+        let decodes_before = exec.guard_full_decodes();
         exec.corrupt_random_nodes(k);
         let q = exec.run_to_quiescence(10_000_000).unwrap();
         rows.push(vec![
@@ -513,6 +528,8 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> Expe
             (q.rounds - rounds_before).to_string(),
             (q.moves - moves_before).to_string(),
             (exec.guard_evaluations() - guards_before).to_string(),
+            (exec.guard_screen_hits() - hits_before).to_string(),
+            (exec.guard_full_decodes() - decodes_before).to_string(),
             q.legal.to_string(),
         ]);
     }
@@ -526,6 +543,8 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> Expe
             "recovery rounds".into(),
             "recovery moves".into(),
             "recovery guard evals".into(),
+            "guard screen hits".into(),
+            "guard full decodes".into(),
             "legal after".into(),
         ],
         rows,
@@ -783,10 +802,12 @@ pub fn e11_space_scale(
             let config = ExecutorConfig::with_scheduler(seed, SchedulerKind::Synchronous)
                 .with_threads(threads)
                 .with_store(store);
+            let start = std::time::Instant::now();
             let mut exec = Executor::from_arbitrary(&g, RootedBfs::new(root_ident), config);
             let q = exec
                 .run_to_quiescence(50_000_000)
                 .expect("sync-BFS converges");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             let report = exec.store_report();
             rows.push(vec![
                 format!("sync-BFS ({store:?})"),
@@ -796,6 +817,9 @@ pub fn e11_space_scale(
                 f(report.accounted_bits_per_node),
                 f(report.bytes_per_node),
                 f(report.bytes_per_node * 8.0 / report.accounted_bits_per_node.max(1.0)),
+                exec.guard_screen_hits().to_string(),
+                exec.guard_full_decodes().to_string(),
+                f(wall_ms),
                 q.legal.to_string(),
             ]);
         }
@@ -806,6 +830,7 @@ pub fn e11_space_scale(
         // steps (the central daemon's one-activation-per-step bookkeeping would need
         // tens of millions of steps at this scale before the composition even
         // starts); the composition's output is legality-checked either way.
+        let start = std::time::Instant::now();
         let mut engine = CompositionEngine::new(
             &g,
             EngineTask::Mst,
@@ -815,6 +840,7 @@ pub fn e11_space_scale(
                 .with_threads(threads),
         );
         let report = engine.run();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         assert!(report.legal, "E11 MST composition must stabilize on an MST");
         let space = engine.packed_space();
         rows.push(vec![
@@ -825,6 +851,9 @@ pub fn e11_space_scale(
             f(space.accounted_bits_per_node),
             f(space.bytes_per_node),
             f(space.bytes_per_node * 8.0 / space.accounted_bits_per_node.max(1.0)),
+            "-".into(),
+            "-".into(),
+            f(wall_ms),
             report.legal.to_string(),
         ]);
     }
@@ -839,6 +868,9 @@ pub fn e11_space_scale(
             "accounted bits/node".into(),
             "measured B/node".into(),
             "measured×8 / accounted".into(),
+            "guard screen hits".into(),
+            "guard full decodes".into(),
+            "wall ms".into(),
             "legal".into(),
         ],
         rows,
@@ -1027,6 +1059,30 @@ mod tests {
         for row in &table.rows {
             assert_eq!(row.last().unwrap(), "true", "row {row:?} must be legal");
         }
+        // The packed sync-BFS row runs the two-tier guard path: the decode-free
+        // screen must carry the overwhelming share of the evaluations (the struct
+        // row has nothing to screen and records zeros).
+        let hits_col = table
+            .headers
+            .iter()
+            .position(|h| h == "guard screen hits")
+            .unwrap();
+        let decodes_col = table
+            .headers
+            .iter()
+            .position(|h| h == "guard full decodes")
+            .unwrap();
+        let hits: u64 = table.rows[0][hits_col].parse().unwrap();
+        let decodes: u64 = table.rows[0][decodes_col].parse().unwrap();
+        assert!(hits > 0, "the screen never resolved a guard");
+        assert!(
+            decodes * 5 <= hits + decodes,
+            "full decodes must drop at least 5x vs total evaluations \
+             ({decodes} decodes of {} evaluations)",
+            hits + decodes
+        );
+        assert_eq!(table.rows[1][hits_col], "0");
+        assert_eq!(table.rows[1][decodes_col], "0");
     }
 
     #[test]
@@ -1056,6 +1112,10 @@ mod tests {
         let json = host_metadata_json(&[1, 4]);
         assert!(json.starts_with("{\"logical_cores\":"));
         assert!(json.ends_with("\"thread_grid\":[1,4]}"));
+        // A run only claims to be a speedup baseline when the host can actually run
+        // threads in parallel.
+        let expected = format!("\"speedup_baseline\":{}", logical_cores() > 1);
+        assert!(json.contains(&expected), "{json}");
         let doc = report_json(&smoke_report_stub(), &[2]);
         assert!(doc.starts_with("{\"host\":{\"logical_cores\":"));
         assert!(doc.contains("\"tables\":["));

@@ -13,7 +13,8 @@ use rand::Rng;
 
 use stst_graph::{Graph, Ident, NodeId};
 use stst_runtime::bits::{BitReader, BitWriter};
-use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, View};
+use stst_runtime::codec::FieldSpec;
+use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, RawView, Screen, View};
 
 /// Register of the rooted BFS construction: parent pointer plus distance, `O(log n)` bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +41,23 @@ impl Codec for BfsState {
             parent: CodecCtx::read_opt_uint(r, ctx.ident_bits),
             dist: CodecCtx::read_uint(r, ctx.count_bits),
         }
+    }
+
+    fn field_specs(ctx: &CodecCtx) -> Vec<FieldSpec> {
+        // Fault-free shape with the parent present: presence bit, escape bit, parent
+        // payload, escape bit, dist payload.
+        vec![
+            FieldSpec {
+                name: "parent",
+                offset: 2,
+                width: ctx.ident_bits,
+            },
+            FieldSpec {
+                name: "dist",
+                offset: 3 + ctx.ident_bits,
+                width: ctx.count_bits,
+            },
+        ]
     }
 }
 
@@ -106,6 +124,67 @@ impl Algorithm for RootedBfs {
                 })
         };
         (desired != *view.state).then_some(desired)
+    }
+
+    /// Decode-free mirror of [`RootedBfs::step`]: extracts `(parent, dist)` of the
+    /// closed neighborhood straight from the packed heap and replays the same
+    /// min-offer arithmetic. Any fired escape bit (fault garbage wider than the
+    /// nominal field) aborts to `Unknown` so the full-decode path — which handles
+    /// arbitrary garbage — stays the single source of truth there.
+    fn guard_screen(&self, raw: &RawView<'_>) -> Screen<BfsState> {
+        let ctx = raw.ctx();
+        let mut own = raw.own_reader();
+        let Some(parent) = own.opt_uint(ctx.ident_bits) else {
+            return Screen::Unknown;
+        };
+        let Some(dist) = own.uint(ctx.count_bits) else {
+            return Screen::Unknown;
+        };
+        let current = BfsState { parent, dist };
+        let n = raw.n as u64;
+        let desired = if raw.ident == self.root_ident {
+            BfsState {
+                parent: None,
+                dist: 0,
+            }
+        } else {
+            // `min_by_key` keeps the first of equal minima, so only a strictly
+            // smaller key replaces the incumbent. Extracted fields are un-escaped,
+            // hence < 2^count_bits: the +1 cannot wrap (the same arithmetic `step`
+            // performs on the decoded values).
+            let mut best: Option<(u64, Ident)> = None;
+            for port in 0..raw.degree() {
+                let mut r = raw.reader_of(port);
+                if r.opt_uint(ctx.ident_bits).is_none() {
+                    return Screen::Unknown;
+                }
+                let Some(nb_dist) = r.uint(ctx.count_bits) else {
+                    return Screen::Unknown;
+                };
+                if nb_dist + 1 < n {
+                    let key = (nb_dist, raw.neighbor(port).ident);
+                    match best {
+                        Some(incumbent) if incumbent <= key => {}
+                        _ => best = Some(key),
+                    }
+                }
+            }
+            match best {
+                Some((d, ident)) => BfsState {
+                    parent: Some(ident),
+                    dist: d + 1,
+                },
+                None => BfsState {
+                    parent: None,
+                    dist: n,
+                },
+            }
+        };
+        if desired == current {
+            Screen::Disabled
+        } else {
+            Screen::Enabled(desired)
+        }
     }
 
     fn is_legal(&self, graph: &Graph, states: &[BfsState]) -> bool {
@@ -220,6 +299,66 @@ mod tests {
             },
         ] {
             assert_codec_roundtrip(&ctx, &state);
+        }
+    }
+
+    #[test]
+    fn field_extraction_matches_decoding_for_random_and_garbage_registers() {
+        use rand::SeedableRng;
+        use stst_runtime::codec::FieldReader;
+        let g = generators::workload(30, 0.15, 2);
+        let ctx = stst_runtime::CodecCtx::for_graph(&g);
+        let algo = RootedBfs::new(g.ident(g.min_ident_node()));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut states: Vec<BfsState> = g
+            .nodes()
+            .map(|v| algo.arbitrary_state(&g, v, &mut rng))
+            .collect();
+        states.push(BfsState {
+            parent: Some(u64::MAX), // escapes the ident field
+            dist: 3,
+        });
+        states.push(BfsState {
+            parent: Some(2),
+            dist: u64::MAX, // escapes the count field
+        });
+        states.push(BfsState {
+            parent: None,
+            dist: 0,
+        });
+        let specs = BfsState::field_specs(&ctx);
+        assert_eq!(
+            specs.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["parent", "dist"]
+        );
+        for state in &states {
+            let mut words = Vec::new();
+            let mut w = BitWriter::new(&mut words, 0);
+            state.encode_into(&ctx, &mut w);
+            let mut f = FieldReader::new(&words, 0);
+            let parent = f.opt_uint(ctx.ident_bits);
+            if state.parent.is_some_and(|p| p >= 1 << ctx.ident_bits) {
+                // Escape-set slot: extraction must refuse (the screen falls back to
+                // the full decode, which handles arbitrary garbage).
+                assert_eq!(parent, None, "{state:?}");
+            } else {
+                assert_eq!(parent, Some(state.parent), "{state:?}");
+            }
+            let dist = f.uint(ctx.count_bits);
+            if state.dist >= 1 << ctx.count_bits {
+                assert_eq!(dist, None, "{state:?}");
+            } else {
+                assert_eq!(dist, Some(state.dist), "{state:?}");
+            }
+            // Fault-free fully-present shape: the static FieldSpec offsets are valid.
+            if let Some(p) = state.parent {
+                if parent == Some(state.parent) && dist == Some(state.dist) {
+                    let mut r = BitReader::new(&words, specs[0].offset as u64);
+                    assert_eq!(r.read(specs[0].width as usize), p);
+                    let mut r = BitReader::new(&words, specs[1].offset as u64);
+                    assert_eq!(r.read(specs[1].width as usize), state.dist);
+                }
+            }
         }
     }
 

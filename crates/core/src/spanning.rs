@@ -18,7 +18,8 @@ use rand::Rng;
 
 use stst_graph::{Graph, Ident, NodeId};
 use stst_runtime::bits::{BitReader, BitWriter};
-use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, View};
+use stst_runtime::codec::FieldSpec;
+use stst_runtime::{Algorithm, Codec, CodecCtx, ParentPointer, RawView, Screen, View};
 
 /// Register of the spanning-tree construction: `O(log n)` bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +56,35 @@ impl Codec for SpanningState {
             dist: CodecCtx::read_uint(r, ctx.count_bits),
             size: CodecCtx::read_uint(r, ctx.count_bits),
         }
+    }
+
+    fn field_specs(ctx: &CodecCtx) -> Vec<FieldSpec> {
+        // Fault-free shape with the parent present: escape + root payload, presence +
+        // escape + parent payload, escape + dist payload, escape + size payload.
+        let i = ctx.ident_bits;
+        let c = ctx.count_bits;
+        vec![
+            FieldSpec {
+                name: "root",
+                offset: 1,
+                width: i,
+            },
+            FieldSpec {
+                name: "parent",
+                offset: i + 3,
+                width: i,
+            },
+            FieldSpec {
+                name: "dist",
+                offset: 2 * i + 4,
+                width: c,
+            },
+            FieldSpec {
+                name: "size",
+                offset: 2 * i + c + 5,
+                width: c,
+            },
+        ]
     }
 }
 
@@ -130,6 +160,89 @@ impl Algorithm for MinIdSpanningTree {
             size,
         };
         (desired != *view.state).then_some(desired)
+    }
+
+    /// Decode-free mirror of [`MinIdSpanningTree::step`]: two extraction passes over
+    /// the packed neighborhood (one replaying [`MinIdSpanningTree::best_offer`], one
+    /// replaying [`MinIdSpanningTree::implied_size`] under the chosen root — the size
+    /// sum depends on the root picked by the first pass, exactly as in `step`). Any
+    /// fired escape bit aborts to `Unknown` and the full-decode path takes over.
+    fn guard_screen(&self, raw: &RawView<'_>) -> Screen<SpanningState> {
+        let ctx = raw.ctx();
+        let mut own = raw.own_reader();
+        let Some(root) = own.uint(ctx.ident_bits) else {
+            return Screen::Unknown;
+        };
+        let Some(parent) = own.opt_uint(ctx.ident_bits) else {
+            return Screen::Unknown;
+        };
+        let Some(dist) = own.uint(ctx.count_bits) else {
+            return Screen::Unknown;
+        };
+        let Some(size) = own.uint(ctx.count_bits) else {
+            return Screen::Unknown;
+        };
+        let current = SpanningState {
+            root,
+            parent,
+            dist,
+            size,
+        };
+        let n = raw.n as u64;
+        // Pass 1 — best offer. Extracted fields are un-escaped (< 2^count_bits), so
+        // the +1 cannot wrap; the candidate/incumbent tuples have exactly the types
+        // `best_offer` compares, `Option` ordering included.
+        let mut best: (Ident, u64, Option<Ident>) = (raw.ident, 0, None);
+        for port in 0..raw.degree() {
+            let mut r = raw.reader_of(port);
+            let Some(nb_root) = r.uint(ctx.ident_bits) else {
+                return Screen::Unknown;
+            };
+            if r.opt_uint(ctx.ident_bits).is_none() {
+                return Screen::Unknown;
+            }
+            let Some(nb_dist) = r.uint(ctx.count_bits) else {
+                return Screen::Unknown;
+            };
+            let offer_dist = nb_dist + 1;
+            if nb_root < raw.ident && offer_dist < n {
+                let candidate = (nb_root, offer_dist, Some(raw.neighbor(port).ident));
+                if candidate < best {
+                    best = candidate;
+                }
+            }
+        }
+        // Pass 2 — implied size under the chosen root.
+        let mut implied = 1u64;
+        for port in 0..raw.degree() {
+            let mut r = raw.reader_of(port);
+            let Some(nb_root) = r.uint(ctx.ident_bits) else {
+                return Screen::Unknown;
+            };
+            let Some(nb_parent) = r.opt_uint(ctx.ident_bits) else {
+                return Screen::Unknown;
+            };
+            if r.uint(ctx.count_bits).is_none() {
+                return Screen::Unknown; // skip over dist
+            }
+            let Some(nb_size) = r.uint(ctx.count_bits) else {
+                return Screen::Unknown;
+            };
+            if nb_parent == Some(raw.ident) && nb_root == best.0 {
+                implied += nb_size;
+            }
+        }
+        let desired = SpanningState {
+            root: best.0,
+            parent: best.2,
+            dist: best.1,
+            size: implied,
+        };
+        if desired == current {
+            Screen::Disabled
+        } else {
+            Screen::Enabled(desired)
+        }
     }
 
     fn is_legal(&self, graph: &Graph, states: &[SpanningState]) -> bool {
@@ -242,6 +355,88 @@ mod tests {
             },
         ] {
             assert_codec_roundtrip(&ctx, &state);
+        }
+    }
+
+    #[test]
+    fn field_extraction_matches_decoding_for_random_and_garbage_registers() {
+        use rand::SeedableRng;
+        use stst_runtime::codec::FieldReader;
+        let g = generators::workload(28, 0.2, 4);
+        let ctx = stst_runtime::CodecCtx::for_graph(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut states: Vec<SpanningState> = g
+            .nodes()
+            .map(|v| MinIdSpanningTree.arbitrary_state(&g, v, &mut rng))
+            .collect();
+        states.push(SpanningState {
+            root: u64::MAX, // escapes the ident field
+            parent: Some(1),
+            dist: 2,
+            size: 3,
+        });
+        states.push(SpanningState {
+            root: 4,
+            parent: Some(5),
+            dist: u64::MAX, // escapes the count field
+            size: 6,
+        });
+        let specs = SpanningState::field_specs(&ctx);
+        assert_eq!(
+            specs.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["root", "parent", "dist", "size"]
+        );
+        let ident_max = 1u64 << ctx.ident_bits;
+        let count_max = 1u64 << ctx.count_bits;
+        for state in &states {
+            let mut words = Vec::new();
+            let mut w = BitWriter::new(&mut words, 0);
+            state.encode_into(&ctx, &mut w);
+            let mut f = FieldReader::new(&words, 0);
+            // Walk the fields in encoding order; each extraction must either equal the
+            // decoded struct field or refuse exactly when the field escaped.
+            let root = f.uint(ctx.ident_bits);
+            assert_eq!(
+                root,
+                (state.root < ident_max).then_some(state.root),
+                "{state:?}"
+            );
+            let parent = f.opt_uint(ctx.ident_bits);
+            if state.parent.is_some_and(|p| p >= ident_max) {
+                assert_eq!(parent, None, "{state:?}");
+            } else {
+                assert_eq!(parent, Some(state.parent), "{state:?}");
+            }
+            let dist = f.uint(ctx.count_bits);
+            assert_eq!(
+                dist,
+                (state.dist < count_max).then_some(state.dist),
+                "{state:?}"
+            );
+            let size = f.uint(ctx.count_bits);
+            assert_eq!(
+                size,
+                (state.size < count_max).then_some(state.size),
+                "{state:?}"
+            );
+            // Fault-free fully-present shape: static FieldSpec offsets are valid.
+            if let Some(p) = state.parent {
+                if root.is_some()
+                    && parent == Some(state.parent)
+                    && dist.is_some()
+                    && size.is_some()
+                {
+                    for (spec, value) in specs.iter().zip([state.root, p, state.dist, state.size]) {
+                        let mut r = BitReader::new(&words, spec.offset as u64);
+                        assert_eq!(
+                            r.read(spec.width as usize),
+                            value,
+                            "{}: {state:?}",
+                            spec.name
+                        );
+                    }
+                }
+            }
         }
     }
 

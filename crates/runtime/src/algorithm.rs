@@ -5,7 +5,21 @@ use rand::rngs::StdRng;
 use stst_graph::{Graph, Ident, NodeId};
 
 use crate::register::Register;
-use crate::view::View;
+use crate::view::{RawView, View};
+
+/// Outcome of a decode-free guard screen ([`Algorithm::guard_screen`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Screen<S> {
+    /// The guard is definitely disabled: the desired next state, computed from
+    /// extracted fields alone, equals the current register bit-for-bit.
+    Disabled,
+    /// The guard resolved decode-free: the node is enabled and this is the next state
+    /// [`Algorithm::step`] would produce (required to be bit-identical to it).
+    Enabled(S),
+    /// The screen cannot decide — some field escaped (fault garbage) or the algorithm
+    /// offers no screen. The executor falls back to the full-decode path.
+    Unknown,
+}
 
 /// A self-stabilizing algorithm in the state model.
 ///
@@ -38,6 +52,17 @@ pub trait Algorithm: Sync {
     /// Evaluate the guarded rules of `view.node`. Returns the new register content if
     /// some rule is enabled, `None` otherwise.
     fn step(&self, view: &View<'_, Self::State>) -> Option<Self::State>;
+
+    /// Decode-free guard screen over the **undecoded** closed neighborhood: the cheap
+    /// first tier of guard evaluation on the packed store. Implementations mirror
+    /// [`Algorithm::step`] on fields extracted by shift/mask ([`RawView`]) and must
+    /// return [`Screen::Unknown`] the moment any escape bit fires — the executor then
+    /// falls back to the full-decode path, which keeps the two tiers bit-identical
+    /// (the differential oracles pin this). The default screens nothing, so
+    /// algorithms without one are simply always full-decode.
+    fn guard_screen(&self, _raw: &RawView<'_>) -> Screen<Self::State> {
+        Screen::Unknown
+    }
 
     /// Global legality predicate for the configuration (used by tests and experiments to
     /// check that the *stabilized* configuration solves the task; it is never consulted

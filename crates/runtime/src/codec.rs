@@ -127,6 +127,79 @@ fn fits(value: u64, width: u32) -> bool {
     width >= 64 || value < (1u64 << width)
 }
 
+/// Location of one field's payload inside a packed slot, **valid only for the
+/// fault-free shape** of the encoding: every escape bit clear and every optional field
+/// present. Under that shape the layout is fixed, so `offset`/`width` let a reader
+/// pull a field straight out of the heap with one shift/mask — no `decode_from`, no
+/// scratch structs. The moment any escape bit is set (fault garbage) or an optional
+/// field is absent, later offsets shift and the metadata must not be trusted;
+/// [`FieldReader`] is the cursor that handles those cases by walking the
+/// escape/presence bits themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name, matching the struct field it extracts.
+    pub name: &'static str,
+    /// Bit offset of the payload from the start of the slot (past the escape and
+    /// presence bits that precede it in the fault-free shape).
+    pub offset: u32,
+    /// Payload width in bits.
+    pub width: u32,
+}
+
+/// Decode-free cursor over one encoded register in a word buffer.
+///
+/// Reads fields in the order the codec wrote them, checking each escape/presence bit
+/// inline: extraction is pure shift/mask ([`BitReader::read`]) and never constructs
+/// the register struct. A fired escape bit means the slot holds fault garbage wider
+/// than the nominal field — extraction returns `None` and the caller must fall back
+/// to the full [`Codec::decode_from`] path (the guard screens do exactly that).
+#[derive(Clone, Debug)]
+pub struct FieldReader<'a> {
+    r: BitReader<'a>,
+}
+
+impl<'a> FieldReader<'a> {
+    /// A cursor at absolute bit offset `pos` of `words` (a slot start in the packed
+    /// heap).
+    #[inline]
+    pub fn new(words: &'a [u64], pos: u64) -> Self {
+        FieldReader {
+            r: BitReader::new(words, pos),
+        }
+    }
+
+    /// Extracts an escape-coded integer of nominal width `width`, or `None` if the
+    /// escape bit fired. The cursor always advances past the whole field, so further
+    /// fields of the slot stay reachable either way.
+    #[inline]
+    pub fn uint(&mut self, width: u32) -> Option<u64> {
+        if self.r.read(1) == 0 {
+            Some(self.r.read(width as usize))
+        } else {
+            self.r.read(64);
+            None
+        }
+    }
+
+    /// Extracts an optional escape-coded integer: `None` if the escape bit of a
+    /// present value fired, otherwise `Some(None)` for an absent field or
+    /// `Some(Some(v))` for a present one.
+    #[inline]
+    pub fn opt_uint(&mut self, width: u32) -> Option<Option<u64>> {
+        if self.r.read(1) == 0 {
+            Some(None)
+        } else {
+            self.uint(width).map(Some)
+        }
+    }
+
+    /// The number of bits consumed since construction.
+    #[inline]
+    pub fn bits_read(&self) -> u64 {
+        self.r.bits_read()
+    }
+}
+
 /// A register or label content that can be bit-packed.
 ///
 /// The contract the packed store and the differential oracles rely on:
@@ -147,6 +220,16 @@ pub trait Codec: Sized {
 
     /// Deserializes one value at the reader's cursor.
     fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self;
+
+    /// Per-field offset/width metadata of the **fault-free encoded shape** (every
+    /// escape bit clear, every optional field present), in encoding order. Empty (the
+    /// default) means the type offers no decode-free extraction and guards always take
+    /// the full-decode path. See [`FieldSpec`] for the validity contract; the
+    /// extraction property tests next to each implementation pin
+    /// `extract(field) == decode().field`.
+    fn field_specs(_ctx: &CodecCtx) -> Vec<FieldSpec> {
+        Vec::new()
+    }
 }
 
 impl Codec for u64 {
@@ -160,6 +243,14 @@ impl Codec for u64 {
 
     fn decode_from(ctx: &CodecCtx, r: &mut BitReader<'_>) -> Self {
         CodecCtx::read_uint(r, ctx.ident_bits)
+    }
+
+    fn field_specs(ctx: &CodecCtx) -> Vec<FieldSpec> {
+        vec![FieldSpec {
+            name: "value",
+            offset: 1,
+            width: ctx.ident_bits,
+        }]
     }
 }
 
@@ -283,6 +374,48 @@ mod tests {
         let mut r = BitReader::new(&words, 0);
         assert_eq!(CodecCtx::read_opt_uint(&mut r, ctx.ident_bits), None);
         assert_eq!(CodecCtx::read_opt_uint(&mut r, ctx.ident_bits), Some(500));
+    }
+
+    #[test]
+    fn field_reader_extracts_what_the_writer_encoded() {
+        let ctx = ctx();
+        let mut words = Vec::new();
+        let mut w = BitWriter::new(&mut words, 7); // deliberately unaligned
+        CodecCtx::write_uint(&mut w, 300, ctx.ident_bits);
+        CodecCtx::write_opt_uint(&mut w, &None, ctx.ident_bits);
+        CodecCtx::write_opt_uint(&mut w, &Some(41), ctx.count_bits);
+        CodecCtx::write_uint(&mut w, u64::MAX, ctx.count_bits); // escapes
+        CodecCtx::write_uint(&mut w, 12, ctx.count_bits); // reachable past the escape
+        let written = w.position() - 7;
+        let mut f = FieldReader::new(&words, 7);
+        assert_eq!(f.uint(ctx.ident_bits), Some(300));
+        assert_eq!(f.opt_uint(ctx.ident_bits), Some(None));
+        assert_eq!(f.opt_uint(ctx.count_bits), Some(Some(41)));
+        assert_eq!(
+            f.uint(ctx.count_bits),
+            None,
+            "escape must refuse extraction"
+        );
+        assert_eq!(
+            f.uint(ctx.count_bits),
+            Some(12),
+            "cursor advances past escapes"
+        );
+        assert_eq!(f.bits_read(), written);
+    }
+
+    #[test]
+    fn u64_field_spec_locates_the_payload_in_the_fault_free_shape() {
+        let ctx = ctx();
+        let specs = u64::field_specs(&ctx);
+        assert_eq!(specs.len(), 1);
+        for value in [0u64, 17, 511] {
+            let mut words = Vec::new();
+            let mut w = BitWriter::new(&mut words, 0);
+            value.encode_into(&ctx, &mut w);
+            let mut r = BitReader::new(&words, specs[0].offset as u64);
+            assert_eq!(r.read(specs[0].width as usize), value);
+        }
     }
 
     #[test]

@@ -53,6 +53,27 @@
 //! packed executions are **bit-identical** to the retained [`StoreMode::Struct`]
 //! reference (asserted by `tests/packed_store_oracle.rs` across daemons, seeds,
 //! thread counts, fault injection and topology churn).
+//!
+//! # Two-tier guard evaluation (decode-free screening)
+//!
+//! On the packed store, guard evaluation is two-tiered. The cheap first tier is the
+//! algorithm's [`Algorithm::guard_screen`]: it mirrors [`Algorithm::step`] on fields
+//! extracted from the heap by shift/mask ([`crate::view::RawView`]) — no
+//! `decode_from`, no scratch fill — and resolves the guard outright
+//! ([`crate::algorithm::Screen::Disabled`] / [`crate::algorithm::Screen::Enabled`])
+//! whenever every field of the closed neighborhood is in its fault-free shape. Only
+//! when some escape bit fires (fault garbage) or the algorithm offers no screen does
+//! the executor fall back to the full-decode second tier, so after the initial
+//! garbage is burned off a stabilizing run pays almost no decoding at all. The
+//! [`Executor::guard_screen_hits`] / [`Executor::guard_full_decodes`] counters split
+//! [`Executor::guard_evaluations`] between the tiers (struct-backed runs leave both
+//! at zero — that path is zero-copy and has nothing to screen), and the differential
+//! oracles pin that screening never changes a single bit of the execution.
+//!
+//! Writes are symmetric: [`ConfigStore::set`] short-circuits on bit-identical
+//! re-encodes via a per-slot xor-fold fingerprint, and the fault-injection paths use
+//! its changed/unchanged verdict to skip re-evaluating closed neighborhoods whose
+//! registers did not actually change bits.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,18 +82,34 @@ use rand::SeedableRng;
 use stst_graph::tree::TreeError;
 use stst_graph::{Graph, MutationOutcome, NodeId, Tree};
 
-use crate::algorithm::{Algorithm, ParentPointer};
+use crate::algorithm::{Algorithm, ParentPointer, Screen};
 use crate::codec::{Codec, CodecCtx};
 use crate::par::ThreadPool;
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::store::{ConfigStore, StoreMode};
-use crate::view::{NeighborInfo, View};
+use crate::view::{NeighborInfo, RawView, View};
 
 /// Minimum number of guard evaluations in one wave before the executor hands the work
 /// to the pool: below this, thread spawn overhead beats the parallelism. Purity makes
 /// the threshold invisible in the results (both paths compute the same values in the
 /// same order) — it only affects wall clock.
 pub const PAR_MIN_ITEMS: usize = 128;
+
+/// Which tier resolved one guard evaluation (see the module docs on two-tier guard
+/// evaluation). Returned alongside the result by `Executor::eval_guard` so the
+/// order-sensitive caller can count tier usage deterministically — the evaluation
+/// itself is a pure `&self` read and must not touch counters (worker threads run it
+/// concurrently).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GuardPath {
+    /// Struct-backed evaluation: zero-copy over decoded structs, nothing to screen.
+    Struct,
+    /// The decode-free screen resolved the guard (packed store, fault-free shape).
+    Screened,
+    /// Full decode of the closed neighborhood (screen returned `Unknown`, the
+    /// algorithm has no screen, or the store has no extractable heap).
+    Decoded,
+}
 
 /// How the executor maintains its enabled set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -255,6 +292,11 @@ pub struct Executor<'g, A: Algorithm> {
     /// Total guard evaluations performed (the cost metric the incremental design
     /// optimizes; exposed so tests and benches can assert the asymptotics).
     guard_evals: u64,
+    /// Guard evaluations resolved by the decode-free screen (packed store only).
+    screen_hits: u64,
+    /// Guard evaluations that fell through to a full decode of the closed
+    /// neighborhood (packed store only; the struct path decodes nothing).
+    full_decodes: u64,
     /// CSR of per-neighbor incorruptible constants: node `v`'s entries live at
     /// `nbr_info[nbr_offsets[v] .. nbr_offsets[v + 1]]`. Built once — identities and
     /// weights never change, so views borrow these slices allocation-free.
@@ -281,9 +323,9 @@ pub struct Executor<'g, A: Algorithm> {
     /// Scratch buffer holding the refresh frontier of the current step, in the
     /// deterministic order bookkeeping is applied in.
     refresh_buf: Vec<NodeId>,
-    /// Scratch buffer for the parallel wave's guard results, index-aligned with
-    /// `refresh_buf`.
-    eval_buf: Vec<Option<A::State>>,
+    /// Scratch buffer for the parallel wave's guard results (and the tier that
+    /// produced each), index-aligned with `refresh_buf`.
+    eval_buf: Vec<(Option<A::State>, GuardPath)>,
     /// Scratch buffer the packed store decodes closed neighborhoods into (sequential
     /// path; parallel waves hold one such buffer per worker).
     decode_buf: Vec<A::State>,
@@ -340,6 +382,8 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             steps: 0,
             rounds: 0,
             guard_evals: 0,
+            screen_hits: 0,
+            full_decodes: 0,
             nbr_offsets,
             nbr_info,
             in_enabled: vec![false; n],
@@ -418,41 +462,62 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         }
     }
 
-    /// Writes `state` into the snapshot buffer of `v`.
-    fn write_snapshot(&mut self, v: NodeId, state: A::State) {
+    /// Writes `state` into the snapshot buffer of `v`. Returns whether the stored
+    /// register actually changed: the packed store compares bits (fingerprint first,
+    /// exact on a match — [`ConfigStore::set`]), the struct store compares values,
+    /// and by codec exactness the two verdicts are always identical.
+    fn write_snapshot(&mut self, v: NodeId, state: A::State) -> bool {
         match &mut self.backend {
-            StateBackend::Struct { states, .. } => states[v.0] = state,
+            StateBackend::Struct { states, .. } => {
+                if states[v.0] == state {
+                    false
+                } else {
+                    states[v.0] = state;
+                    true
+                }
+            }
             StateBackend::Packed { states, .. } => states.set(v, &state, &self.ctx),
         }
     }
 
     /// Overwrites the register of `v` (models a transient fault targeting `v`).
     /// Re-evaluates the guards of `v`'s closed neighborhood and restarts the round
-    /// accounting from the now-enabled set.
+    /// accounting from the now-enabled set. A fault that leaves the register
+    /// bit-identical is skipped outright (no guard in the network can observe it), so
+    /// the re-evaluation cost is paid only for faults that actually flipped bits.
     pub fn corrupt_node(&mut self, v: NodeId, state: A::State) {
         self.peak_bits[v.0] = self.peak_bits[v.0].max(state.encoded_bits(&self.ctx));
-        self.write_snapshot(v, state);
+        if !self.write_snapshot(v, state) {
+            return;
+        }
         self.bump_stamp();
         self.refresh_closed_neighborhood(v);
         self.refill_round_pending();
     }
 
     /// Corrupts `k` distinct registers chosen uniformly at random, replacing each with an
-    /// arbitrary state. Returns the nodes hit.
+    /// arbitrary state. Returns the nodes hit. Closed neighborhoods are re-evaluated
+    /// only around the nodes whose registers actually changed bits (an "overwrite"
+    /// with the very state already stored is invisible to every guard).
     pub fn corrupt_random_nodes(&mut self, k: usize) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = self.graph.nodes().collect();
         nodes.shuffle(&mut self.rng);
         nodes.truncate(k.min(self.graph.node_count()));
+        let mut changed = Vec::with_capacity(nodes.len());
         for &v in &nodes {
             let state = self.algo.arbitrary_state(self.graph, v, &mut self.rng);
             self.peak_bits[v.0] = self.peak_bits[v.0].max(state.encoded_bits(&self.ctx));
-            self.write_snapshot(v, state);
+            changed.push(self.write_snapshot(v, state));
         }
-        self.bump_stamp();
-        for i in 0..nodes.len() {
-            self.refresh_closed_neighborhood(nodes[i]);
+        if changed.iter().any(|&c| c) {
+            self.bump_stamp();
+            for i in 0..nodes.len() {
+                if changed[i] {
+                    self.refresh_closed_neighborhood(nodes[i]);
+                }
+            }
+            self.refill_round_pending();
         }
-        self.refill_round_pending();
         nodes
     }
 
@@ -583,12 +648,16 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     }
 
     /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
-    /// enabled, `None` otherwise. Pure read — does not touch the executor's caches,
-    /// which is what lets the parallel wave run it from worker threads (each worker
-    /// brings its own decode scratch). The struct-backed store evaluates over the dense
-    /// slice zero-copy; the packed store decodes the closed neighborhood into `scratch`
-    /// and evaluates over the locally indexed view — identical guards either way.
-    fn eval_guard(&self, v: NodeId, scratch: &mut Vec<A::State>) -> Option<A::State> {
+    /// enabled, `None` otherwise, plus the tier that resolved it. Pure read — does not
+    /// touch the executor's caches or counters, which is what lets the parallel wave
+    /// run it from worker threads (each worker brings its own decode scratch; the
+    /// caller applies the returned [`GuardPath`]s in frontier order). The
+    /// struct-backed store evaluates over the dense slice zero-copy; the packed store
+    /// first tries the algorithm's decode-free screen over the raw heap and only on
+    /// [`Screen::Unknown`] decodes the closed neighborhood into `scratch` — identical
+    /// guard semantics either way (the screen is required to mirror `step` exactly on
+    /// fault-free shapes).
+    fn eval_guard(&self, v: NodeId, scratch: &mut Vec<A::State>) -> (Option<A::State>, GuardPath) {
         let range = self.nbr_offsets[v.0] as usize..self.nbr_offsets[v.0 + 1] as usize;
         let infos = &self.nbr_info[range];
         match &self.backend {
@@ -601,12 +670,29 @@ impl<'g, A: Algorithm> Executor<'g, A> {
                     self.graph.neighbor_order_by_weight(v),
                     states,
                 );
-                match self.algo.step(&view) {
+                let next = match self.algo.step(&view) {
                     Some(next) if next != states[v.0] => Some(next),
                     _ => None,
-                }
+                };
+                (next, GuardPath::Struct)
             }
             StateBackend::Packed { states, .. } => {
+                if let Some((heap, stride)) = states.raw_parts() {
+                    let raw = RawView::new(
+                        v,
+                        self.graph.ident(v),
+                        self.graph.node_count(),
+                        infos,
+                        heap,
+                        stride,
+                        &self.ctx,
+                    );
+                    match self.algo.guard_screen(&raw) {
+                        Screen::Disabled => return (None, GuardPath::Screened),
+                        Screen::Enabled(next) => return (Some(next), GuardPath::Screened),
+                        Screen::Unknown => {}
+                    }
+                }
                 scratch.clear();
                 for info in infos {
                     scratch.push(states.get(info.node, &self.ctx));
@@ -620,11 +706,24 @@ impl<'g, A: Algorithm> Executor<'g, A> {
                     Some(self.graph.neighbor_order_by_weight(v)),
                     scratch,
                 );
-                match self.algo.step(&view) {
+                let next = match self.algo.step(&view) {
                     Some(next) if next != scratch[infos.len()] => Some(next),
                     _ => None,
-                }
+                };
+                (next, GuardPath::Decoded)
             }
+        }
+    }
+
+    /// Counts which tier resolved one guard evaluation. Applied on the calling thread
+    /// in frontier order (never from workers), so the counters are as deterministic —
+    /// and as thread-count-invariant — as the execution itself.
+    #[inline]
+    fn note_path(&mut self, path: GuardPath) {
+        match path {
+            GuardPath::Struct => {}
+            GuardPath::Screened => self.screen_hits += 1,
+            GuardPath::Decoded => self.full_decodes += 1,
         }
     }
 
@@ -633,8 +732,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     fn refresh(&mut self, v: NodeId) {
         self.guard_evals += 1;
         let mut scratch = std::mem::take(&mut self.decode_buf);
-        let next = self.eval_guard(v, &mut scratch);
+        let (next, path) = self.eval_guard(v, &mut scratch);
         self.decode_buf = scratch;
+        self.note_path(path);
         self.apply_refresh(v, next);
     }
 
@@ -649,7 +749,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         match &mut self.backend {
             StateBackend::Struct { pending, .. } => pending[v.0] = next,
             StateBackend::Packed { pending, .. } => match &next {
-                Some(s) => pending.set(v, s, &self.ctx),
+                Some(s) => {
+                    pending.set(v, s, &self.ctx);
+                }
                 None => pending.clear(v),
             },
         }
@@ -687,14 +789,15 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         }
         let mut results = std::mem::take(&mut self.eval_buf);
         results.clear();
-        results.resize(n, None);
+        results.resize(n, (None, GuardPath::Struct));
         self.pool
             .fill_with_init(&mut results, Vec::new, |scratch, i| {
                 self.eval_guard(NodeId(i), scratch)
             });
         self.guard_evals += n as u64;
         for (i, slot) in results.iter_mut().enumerate() {
-            let next = slot.take();
+            let (next, path) = (slot.0.take(), slot.1);
+            self.note_path(path);
             self.apply_refresh(NodeId(i), next);
         }
         self.eval_buf = results;
@@ -737,7 +840,24 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     }
 
     /// Resets the round bitset to the currently enabled set (a fresh round begins).
+    ///
+    /// Under the packed store this is word-parallel: invariant 1 makes the pending
+    /// buffer's presence bitmap *equal* to the enabled set, so the refill is a
+    /// word-copy plus popcounts over `n/64` words instead of a zero-fill plus one
+    /// scatter write per enabled node — whole runs of disabled nodes cost one word.
     fn refill_round_pending(&mut self) {
+        if let StateBackend::Packed { pending, .. } = &self.backend {
+            if let Some(words) = pending.present_words() {
+                let mut count = 0usize;
+                for (dst, &src) in self.round_words.iter_mut().zip(words) {
+                    *dst = src;
+                    count += src.count_ones() as usize;
+                }
+                debug_assert_eq!(count, self.enabled_list.len());
+                self.round_count = count;
+                return;
+            }
+        }
         self.round_words.iter_mut().for_each(|w| *w = 0);
         let words = &mut self.round_words;
         for &v in &self.enabled_list {
@@ -781,7 +901,7 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         let mut scratch = Vec::new();
         self.graph
             .nodes()
-            .filter(|&v| self.eval_guard(v, &mut scratch).is_some())
+            .filter(|&v| self.eval_guard(v, &mut scratch).0.is_some())
             .collect()
     }
 
@@ -811,6 +931,20 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.guard_evals
     }
 
+    /// Guard evaluations the decode-free screen resolved (packed store only; always
+    /// zero under [`StoreMode::Struct`], whose evaluation is zero-copy). In packed
+    /// mode `guard_screen_hits() + guard_full_decodes() == guard_evaluations()`.
+    pub fn guard_screen_hits(&self) -> u64 {
+        self.screen_hits
+    }
+
+    /// Guard evaluations that decoded the whole closed neighborhood (packed store
+    /// only): the screen returned [`Screen::Unknown`] — some register held escaped
+    /// fault garbage or the algorithm offers no screen.
+    pub fn guard_full_decodes(&self) -> u64 {
+        self.full_decodes
+    }
+
     /// Executes one daemon step. Returns the nodes that were activated (borrowed from
     /// an internal scratch buffer, valid until the next `&mut self` call), or an empty
     /// slice if the configuration was already quiescent.
@@ -836,7 +970,8 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             };
             if let Some(next) = taken {
                 self.peak_bits[v.0] = self.peak_bits[v.0].max(next.encoded_bits(&self.ctx));
-                self.write_snapshot(v, next);
+                let wrote = self.write_snapshot(v, next);
+                debug_assert!(wrote, "a pending transition always changes the register");
                 self.moves += 1;
             }
         }
@@ -886,20 +1021,22 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         if self.pool.is_parallel() && frontier.len() >= PAR_MIN_ITEMS {
             let mut results = std::mem::take(&mut self.eval_buf);
             results.clear();
-            results.resize(frontier.len(), None);
+            results.resize(frontier.len(), (None, GuardPath::Struct));
             self.pool
                 .fill_with_init(&mut results, Vec::new, |scratch, i| {
                     self.eval_guard(frontier[i], scratch)
                 });
             for (i, slot) in results.iter_mut().enumerate() {
-                let next = slot.take();
+                let (next, path) = (slot.0.take(), slot.1);
+                self.note_path(path);
                 self.apply_refresh(frontier[i], next);
             }
             self.eval_buf = results;
         } else {
             let mut scratch = std::mem::take(&mut self.decode_buf);
             for &v in &frontier {
-                let next = self.eval_guard(v, &mut scratch);
+                let (next, path) = self.eval_guard(v, &mut scratch);
+                self.note_path(path);
                 self.apply_refresh(v, next);
             }
             self.decode_buf = scratch;
@@ -1251,6 +1388,47 @@ mod tests {
             pr.accounted_bits
         );
         assert!(pr.measured_bytes * 4 < sr.measured_bytes);
+    }
+
+    #[test]
+    fn guard_tier_counters_account_every_packed_evaluation() {
+        // Flood-max has no screen, so on the packed store every evaluation falls
+        // through to a full decode; the struct path has nothing to screen or decode.
+        let g = generators::random_connected(60, 0.08, 12);
+        let mut packed = Executor::from_arbitrary(&g, FloodMax, ExecutorConfig::seeded(12));
+        packed.run_to_quiescence(1_000_000).unwrap();
+        assert_eq!(packed.guard_screen_hits(), 0);
+        assert_eq!(packed.guard_full_decodes(), packed.guard_evaluations());
+        let mut structs = Executor::from_arbitrary(
+            &g,
+            FloodMax,
+            ExecutorConfig::seeded(12).with_store(StoreMode::Struct),
+        );
+        structs.run_to_quiescence(1_000_000).unwrap();
+        assert_eq!(structs.guard_screen_hits(), 0);
+        assert_eq!(structs.guard_full_decodes(), 0);
+        assert_eq!(structs.guard_evaluations(), packed.guard_evaluations());
+    }
+
+    #[test]
+    fn bit_identical_corruption_is_invisible() {
+        // Overwriting a register with the exact state it already holds must not
+        // re-evaluate anything or restart the round accounting, in either store mode.
+        for store in [StoreMode::Packed, StoreMode::Struct] {
+            let g = generators::path(5);
+            let config = ExecutorConfig::seeded(1).with_store(store);
+            let mut exec = Executor::with_states(&g, FloodMax, vec![0u64; 5], config);
+            exec.run_to_quiescence(10_000).unwrap();
+            let settled = exec.state(NodeId(2));
+            let evals = exec.guard_evaluations();
+            exec.corrupt_node(NodeId(2), settled);
+            assert!(exec.is_quiescent(), "{store:?}");
+            assert_eq!(exec.guard_evaluations(), evals, "{store:?}");
+            // A fault that actually flips bits still reactivates the system.
+            exec.corrupt_node(NodeId(2), 0);
+            assert!(!exec.is_quiescent(), "{store:?}");
+            assert!(exec.guard_evaluations() > evals, "{store:?}");
+        }
     }
 
     #[test]

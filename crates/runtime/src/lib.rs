@@ -45,8 +45,8 @@ pub mod scheduler;
 pub mod store;
 pub mod view;
 
-pub use algorithm::{Algorithm, ParentPointer};
-pub use codec::{Codec, CodecCtx};
+pub use algorithm::{Algorithm, ParentPointer, Screen};
+pub use codec::{Codec, CodecCtx, FieldReader, FieldSpec};
 pub use executor::{
     ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport, StoreReport,
 };
@@ -54,4 +54,4 @@ pub use par::ThreadPool;
 pub use register::Register;
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use store::{ConfigStore, StoreMode};
-pub use view::{NeighborInfo, NeighborView, View};
+pub use view::{NeighborInfo, NeighborView, RawView, View};

@@ -70,6 +70,10 @@ struct PackedBuf<S> {
     heap: Vec<u64>,
     /// Presence bitmap (all-ones for a snapshot store, sparse for a pending store).
     present: Vec<u64>,
+    /// Transient encode scratch for [`ConfigStore::set`]'s change detection: one
+    /// slot's worth of words, reused across writes. Working space, not slot storage —
+    /// excluded from [`ConfigStore::measured`].
+    scratch: Vec<u64>,
     len: usize,
     _marker: PhantomData<S>,
 }
@@ -83,6 +87,7 @@ impl<S: Codec + Clone> ConfigStore<S> {
                 stride: 0,
                 heap: Vec::new(),
                 present: vec![0; n.div_ceil(64)],
+                scratch: Vec::new(),
                 len: n,
                 _marker: PhantomData,
             }),
@@ -114,6 +119,7 @@ impl<S: Codec + Clone> ConfigStore<S> {
             stride,
             heap: vec![0; (stride as u64 * n as u64).div_ceil(64) as usize],
             present: vec![u64::MAX; n.div_ceil(64)],
+            scratch: Vec::new(),
             len: n,
             _marker: PhantomData,
         };
@@ -145,6 +151,7 @@ impl<S: Codec + Clone> ConfigStore<S> {
             stride,
             heap: vec![0; (stride as u64 * n as u64).div_ceil(64) as usize],
             present: vec![0; n.div_ceil(64)],
+            scratch: Vec::new(),
             len: n,
             _marker: PhantomData,
         };
@@ -211,17 +218,52 @@ impl<S: Codec + Clone> ConfigStore<S> {
         self.is_present(v).then(|| self.get(v, ctx))
     }
 
-    /// Writes the register of `v` (marking the slot present).
-    pub fn set(&mut self, v: NodeId, state: &S, ctx: &CodecCtx) {
+    /// Writes the register of `v` (marking the slot present). Returns `true` iff the
+    /// stored bits changed.
+    ///
+    /// A write that re-encodes to exactly the bits already stored short-circuits
+    /// without touching the heap: the slot's xor-fold change [`fingerprint`] is
+    /// compared first (almost always different when the value changed), then an exact
+    /// window compare confirms — fingerprints can collide, so no skip decision ever
+    /// rests on fingerprint equality alone. Because every codec is exactly invertible,
+    /// bit-identical ⟺ value-identical, which is what keeps the struct mode's
+    /// value-compare short-circuit in lockstep with this one.
+    ///
+    /// [`fingerprint`]: ConfigStore::fingerprint
+    pub fn set(&mut self, v: NodeId, state: &S, ctx: &CodecCtx) -> bool
+    where
+        S: PartialEq,
+    {
         match &mut self.repr {
-            Repr::Struct(s) => s[v.0] = Some(state.clone()),
+            Repr::Struct(s) => {
+                if s[v.0].as_ref() == Some(state) {
+                    return false;
+                }
+                s[v.0] = Some(state.clone());
+                true
+            }
             Repr::Packed(b) => {
                 let bits = state.encoded_bits(ctx) as u32;
                 if bits > b.stride {
+                    // Wider than every encoding the store has held, so the stored
+                    // value (if any) cannot equal `state`: encoded size is a function
+                    // of the value.
                     b.grow_stride(bits, ctx);
+                    b.encode_slot(v.0, state, ctx);
+                    b.mark_present(v.0);
+                    return true;
                 }
-                b.encode_slot(v.0, state, ctx);
-                b.mark_present(v.0);
+                if !b.is_present(v.0) {
+                    b.encode_slot(v.0, state, ctx);
+                    b.mark_present(v.0);
+                    return true;
+                }
+                b.encode_scratch(state, ctx);
+                if b.fold_scratch() == b.fingerprint_slot(v.0) && b.slot_equals_scratch(v.0) {
+                    return false;
+                }
+                b.write_scratch_to_slot(v.0);
+                true
             }
         }
     }
@@ -320,6 +362,44 @@ impl<S: Codec + Clone> ConfigStore<S> {
             Repr::Packed(b) => Some(b.stride),
         }
     }
+
+    /// The packed heap and slot stride, for decode-free field extraction (the guard
+    /// screens build [`crate::view::RawView`]s over this). `None` in struct mode or
+    /// when the stride is zero (zero-bit registers leave nothing to read).
+    pub fn raw_parts(&self) -> Option<(&[u64], u32)> {
+        match &self.repr {
+            Repr::Packed(b) if b.stride > 0 => Some((&b.heap, b.stride)),
+            _ => None,
+        }
+    }
+
+    /// The presence bitmap words (packed mode only): bit `v % 64` of word `v / 64` is
+    /// set iff slot `v` holds a register. For the executor's pending buffer this
+    /// bitmap *is* the enabled set, which lets the per-round bitset refill run as
+    /// word copies + popcounts instead of per-node scatter writes.
+    pub fn present_words(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Struct(_) => None,
+            Repr::Packed(b) => Some(&b.present),
+        }
+    }
+
+    /// Xor-fold change fingerprint of slot `v`'s stride window, phase-normalized to
+    /// the slot start so equal register bits give equal fingerprints at any slot
+    /// index (packed mode only; the slot need not be present — an absent slot folds
+    /// its zeroed window).
+    ///
+    /// Derived on demand rather than stored: a persistent word per slot would blow
+    /// the ≤4× accounted-bits allocation budget the space gates pin. Equal bits ⇒
+    /// equal fingerprints; the converse can fail (xor collisions), so change/skip
+    /// decisions treat a fingerprint match only as "maybe unchanged" and confirm with
+    /// an exact compare — see [`ConfigStore::set`].
+    pub fn fingerprint(&self, v: NodeId) -> Option<u64> {
+        match &self.repr {
+            Repr::Struct(_) => None,
+            Repr::Packed(b) => Some(b.fingerprint_slot(v.0)),
+        }
+    }
 }
 
 impl<S: Codec + Clone> PackedBuf<S> {
@@ -357,6 +437,70 @@ impl<S: Codec + Clone> PackedBuf<S> {
             w.write(0, chunk);
             remaining -= chunk as u64;
         }
+    }
+
+    /// Encodes `state` into the reusable scratch buffer, zero-padded to exactly one
+    /// stride so scratch words compare directly against a slot's bit window.
+    fn encode_scratch(&mut self, state: &S, ctx: &CodecCtx) {
+        self.scratch.clear();
+        let mut w = BitWriter::new(&mut self.scratch, 0);
+        state.encode_into(ctx, &mut w);
+        let mut remaining = self.stride as u64 - w.position();
+        while remaining > 0 {
+            let chunk = remaining.min(64) as usize;
+            w.write(0, chunk);
+            remaining -= chunk as u64;
+        }
+    }
+
+    /// Exact compare of slot `i`'s stride window against the scratch encoding.
+    fn slot_equals_scratch(&self, i: usize) -> bool {
+        let mut r = BitReader::new(&self.heap, i as u64 * self.stride as u64);
+        let mut remaining = self.stride as u64;
+        let mut k = 0;
+        while remaining > 0 {
+            let chunk = remaining.min(64) as usize;
+            if r.read(chunk) != self.scratch[k] {
+                return false;
+            }
+            k += 1;
+            remaining -= chunk as u64;
+        }
+        true
+    }
+
+    /// Copies the scratch encoding (already padded to one stride) into slot `i`.
+    fn write_scratch_to_slot(&mut self, i: usize) {
+        let start = i as u64 * self.stride as u64;
+        let scratch = std::mem::take(&mut self.scratch);
+        let mut w = BitWriter::new(&mut self.heap, start);
+        let mut remaining = self.stride as u64;
+        for &word in &scratch {
+            let chunk = remaining.min(64) as usize;
+            w.write(word, chunk);
+            remaining -= chunk as u64;
+        }
+        self.scratch = scratch;
+    }
+
+    /// Xor-fold of the scratch encoding (the fingerprint the slot would have after
+    /// writing it).
+    fn fold_scratch(&self) -> u64 {
+        self.scratch.iter().fold(0, |acc, &w| acc ^ w)
+    }
+
+    /// Xor-fold fingerprint of slot `i`'s stride window, phase-normalized to the slot
+    /// start.
+    fn fingerprint_slot(&self, i: usize) -> u64 {
+        let mut r = BitReader::new(&self.heap, i as u64 * self.stride as u64);
+        let mut fp = 0u64;
+        let mut remaining = self.stride as u64;
+        while remaining > 0 {
+            let chunk = remaining.min(64) as usize;
+            fp ^= r.read(chunk);
+            remaining -= chunk as u64;
+        }
+        fp
     }
 
     /// Repacks every present slot at a wider stride. Monotone and rare: encoded sizes
@@ -456,6 +600,59 @@ mod tests {
             assert_eq!(out[5], Some(200), "{mode:?}");
             assert_eq!(store.accounted_bits(&ctx), 9, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn set_reports_whether_the_stored_bits_changed() {
+        let ctx = ctx();
+        for mode in [StoreMode::Struct, StoreMode::Packed] {
+            let mut store: ConfigStore<u64> = ConfigStore::empty(mode, 8);
+            assert!(store.set(NodeId(3), &7, &ctx), "{mode:?}: first write");
+            assert!(
+                !store.set(NodeId(3), &7, &ctx),
+                "{mode:?}: bit-identical rewrite short-circuits"
+            );
+            assert!(store.set(NodeId(3), &8, &ctx), "{mode:?}: changed value");
+            // An escaping value forces a stride growth in packed mode; either way the
+            // value differs so the write must report a change.
+            assert!(store.set(NodeId(3), &u64::MAX, &ctx), "{mode:?}: escape");
+            assert!(
+                !store.set(NodeId(3), &u64::MAX, &ctx),
+                "{mode:?}: same escape"
+            );
+            assert_eq!(store.get(NodeId(3), &ctx), u64::MAX, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_track_slot_bits_not_slot_position() {
+        let ctx = ctx();
+        let states: Vec<u64> = vec![5, 9, 5, 200];
+        let store = ConfigStore::from_states(StoreMode::Packed, states, &ctx);
+        // Equal register bits ⇒ equal fingerprints, at unrelated bit phases.
+        assert_eq!(store.fingerprint(NodeId(0)), store.fingerprint(NodeId(2)));
+        assert_ne!(store.fingerprint(NodeId(0)), store.fingerprint(NodeId(1)));
+        let structs = ConfigStore::from_states(StoreMode::Struct, vec![5u64], &ctx);
+        assert_eq!(structs.fingerprint(NodeId(0)), None);
+    }
+
+    #[test]
+    fn present_words_mirror_the_presence_bitmap() {
+        let ctx = ctx();
+        let mut store: ConfigStore<u64> = ConfigStore::empty(StoreMode::Packed, 70);
+        store.set(NodeId(1), &1, &ctx);
+        store.set(NodeId(65), &2, &ctx);
+        let words = store.present_words().unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], 1 << 1);
+        assert_eq!(words[1], 1 << 1);
+        assert_eq!(
+            words.iter().map(|w| w.count_ones()).sum::<u32>(),
+            2,
+            "popcount agrees with the number of present slots"
+        );
+        let raw = store.raw_parts().unwrap();
+        assert_eq!(raw.1, store.stride_bits().unwrap());
     }
 
     #[test]

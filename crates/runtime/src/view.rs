@@ -24,6 +24,8 @@
 
 use stst_graph::{Ident, NodeId, Weight};
 
+use crate::codec::{CodecCtx, FieldReader};
+
 /// The incorruptible constants a node knows about one neighbor: its dense index (for
 /// the simulator), its identity and the weight of the connecting edge. Register
 /// contents are *not* stored here — they change every step and are read through the
@@ -250,6 +252,87 @@ impl<'a, S> View<'a, S> {
             }
         };
         NeighborsByWeight { inner }
+    }
+}
+
+/// The **undecoded** closed neighborhood: what a guard screen reads.
+///
+/// Where [`View`] hands an algorithm decoded registers, a `RawView` hands it bit
+/// cursors ([`FieldReader`]) straight into the packed store's heap — the same closed
+/// 1-hop neighborhood (own slot plus one slot per port, same port order), but field
+/// extraction is shift/mask with **no `decode_from` and no scratch fill**. Screens use
+/// it to answer "definitely disabled?" (or even to produce the full next state) on the
+/// fault-free fast path; any fired escape bit makes extraction return `None` and the
+/// executor falls back to the full-decode [`View`] path, so the two tiers are
+/// bit-identical by construction (pinned by `tests/packed_store_oracle.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct RawView<'a> {
+    /// Dense index of the node under evaluation (simulation bookkeeping).
+    pub node: NodeId,
+    /// The node's own identity.
+    pub ident: Ident,
+    /// Total number of nodes `n` (same bound [`View::n`] exposes).
+    pub n: usize,
+    /// Per-neighbor constants in port order (same CSR slice the decoded view uses).
+    neighbors: &'a [NeighborInfo],
+    /// The packed heap and its slot stride.
+    heap: &'a [u64],
+    stride: u64,
+    /// The instance's field widths (what screens pass to [`FieldReader`]).
+    ctx: &'a CodecCtx,
+}
+
+impl<'a> RawView<'a> {
+    /// Builds the raw view of `node` over the packed heap (`heap`/`stride` as returned
+    /// by `ConfigStore::raw_parts`).
+    pub fn new(
+        node: NodeId,
+        ident: Ident,
+        n: usize,
+        neighbors: &'a [NeighborInfo],
+        heap: &'a [u64],
+        stride: u32,
+        ctx: &'a CodecCtx,
+    ) -> Self {
+        RawView {
+            node,
+            ident,
+            n,
+            neighbors,
+            heap,
+            stride: stride as u64,
+            ctx,
+        }
+    }
+
+    /// Degree of the node in the communication graph.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The incorruptible constants of the neighbor at `port`.
+    #[inline]
+    pub fn neighbor(&self, port: usize) -> NeighborInfo {
+        self.neighbors[port]
+    }
+
+    /// The instance field widths.
+    #[inline]
+    pub fn ctx(&self) -> &'a CodecCtx {
+        self.ctx
+    }
+
+    /// A field cursor at the start of the node's own slot.
+    #[inline]
+    pub fn own_reader(&self) -> FieldReader<'a> {
+        FieldReader::new(self.heap, self.node.0 as u64 * self.stride)
+    }
+
+    /// A field cursor at the start of the slot of the neighbor at `port`.
+    #[inline]
+    pub fn reader_of(&self, port: usize) -> FieldReader<'a> {
+        FieldReader::new(self.heap, self.neighbors[port].node.0 as u64 * self.stride)
     }
 }
 

@@ -64,7 +64,23 @@ fn drive_lockstep<A: Algorithm + Clone>(
             ),
             "{label}: counters at step {step}"
         );
+        // Two-tier accounting: every packed evaluation is either screened or fully
+        // decoded; the struct path neither screens nor decodes.
+        assert_eq!(
+            packed.guard_screen_hits() + packed.guard_full_decodes(),
+            packed.guard_evaluations(),
+            "{label}: tier accounting at step {step}"
+        );
+        assert_eq!(
+            (structs.guard_screen_hits(), structs.guard_full_decodes()),
+            (0, 0),
+            "{label}: struct runs have nothing to screen"
+        );
     }
+    assert!(
+        packed.guard_screen_hits() > 0,
+        "{label}: the screen never resolved a guard"
+    );
 }
 
 #[test]
@@ -117,7 +133,13 @@ fn packed_runs_are_bit_identical_at_every_thread_count() {
         let config = ExecutorConfig::with_scheduler(4, SchedulerKind::Synchronous);
         let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
         let q = exec.run_to_quiescence(1_000_000).unwrap();
-        (exec.states(), q, exec.guard_evaluations())
+        (
+            exec.states(),
+            q,
+            exec.guard_evaluations(),
+            exec.guard_screen_hits(),
+            exec.guard_full_decodes(),
+        )
     };
     for store in [StoreMode::Packed, StoreMode::Struct] {
         for threads in [1usize, 2, 8] {
@@ -131,6 +153,18 @@ fn packed_runs_are_bit_identical_at_every_thread_count() {
             assert_eq!(
                 exec.guard_evaluations(),
                 reference.2,
+                "{store:?}, {threads} threads"
+            );
+            // The tier split is as thread-count-invariant as the execution: a guard's
+            // screenability depends only on the slot bits, never on which worker
+            // evaluated it.
+            let expected_tiers = match store {
+                StoreMode::Packed => (reference.3, reference.4),
+                StoreMode::Struct => (0, 0),
+            };
+            assert_eq!(
+                (exec.guard_screen_hits(), exec.guard_full_decodes()),
+                expected_tiers,
                 "{store:?}, {threads} threads"
             );
         }

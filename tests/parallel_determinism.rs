@@ -33,6 +33,8 @@ fn executor_trajectories_are_bit_identical_across_thread_counts() {
                     exec.states(),
                     q,
                     exec.guard_evaluations(),
+                    exec.guard_screen_hits(),
+                    exec.guard_full_decodes(),
                     exec.activation_counts(),
                 )
             };
@@ -82,6 +84,13 @@ fn executor_stepwise_equality_holds_under_fault_injection() {
             assert_eq!(
                 seq.guard_evaluations(),
                 par8.guard_evaluations(),
+                "daemon {kind}, step {step}"
+            );
+            // The screened/decoded split is applied on the calling thread in frontier
+            // order, so it is as thread-invariant as every other counter.
+            assert_eq!(
+                (seq.guard_screen_hits(), seq.guard_full_decodes()),
+                (par8.guard_screen_hits(), par8.guard_full_decodes()),
                 "daemon {kind}, step {step}"
             );
         }
