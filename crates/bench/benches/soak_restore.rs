@@ -1,0 +1,200 @@
+//! The durability gate: checkpoint/kill/restore correctness and soak survival at
+//! bench scale, plus timings for the snapshot roundtrip and a soak wave.
+//!
+//! Before timing anything the bench asserts the persistence contracts:
+//!
+//! * **bit identity** — a run that is checkpointed mid-flight, killed and restored
+//!   from the serialized bytes finishes in exactly the configuration and with
+//!   exactly the counters of the uninterrupted run, at every thread count in the
+//!   grid (restore is a *representation* choice, not a semantic one);
+//! * **soak survival** — a short mixed-load soak (churn + label faults + periodic
+//!   checkpoint/kill/restore cycles at the engine layer; register faults + restore
+//!   cycles at the executor layer) ends silent and legal, with every checkpoint
+//!   and restore actually exercised;
+//! * **restore == self-stabilization** — an engine snapshot carrying unresolved
+//!   label corruption restores into a configuration whose next verification wave
+//!   repairs it.
+//!
+//! `-- --smoke` runs a reduced grid (threads ∈ {1, 4}); CI uses it to keep the
+//! durability path from rotting next to the other bench gates.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_bench::sparse_workload;
+use stst_churn::soak::{run_executor_soak, run_soak, SoakConfig};
+use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
+use stst_core::spanning::{MinIdSpanningTree, SpanningState};
+use stst_core::EngineConfig;
+use stst_graph::Graph;
+use stst_runtime::{Executor, ExecutorConfig, SchedulerKind, Snapshot};
+
+const SEED: u64 = 2015;
+
+/// Uninterrupted reference outcome: final states plus every execution counter.
+fn finish(
+    exec: &mut Executor<'_, MinIdSpanningTree>,
+) -> (Vec<SpanningState>, u64, u64, u64, Vec<u64>) {
+    let q = exec.run_to_quiescence(20_000_000).expect("converges");
+    assert!(q.silent && q.legal);
+    (
+        exec.states(),
+        exec.moves(),
+        exec.steps(),
+        exec.rounds(),
+        exec.activation_counts(),
+    )
+}
+
+/// The bit-identity gate: checkpoint at a mid-round step, serialize, kill, restore,
+/// finish — and compare everything against the uninterrupted twin.
+fn assert_restore_bit_identical(g: &Graph, threads: usize) {
+    let config = ExecutorConfig::seeded(SEED).with_threads(threads);
+    let mut reference = Executor::from_arbitrary(g, MinIdSpanningTree, config);
+    let want = finish(&mut reference);
+
+    let mut twin = Executor::from_arbitrary(g, MinIdSpanningTree, config);
+    for _ in 0..29 {
+        if twin.is_quiescent() {
+            break;
+        }
+        twin.step_once();
+    }
+    let bytes = twin.checkpoint().to_bytes();
+    drop(twin);
+
+    let snap = Snapshot::from_bytes(&bytes).expect("self-produced snapshot parses");
+    let mut restored =
+        Executor::restore(g, MinIdSpanningTree, &snap, config).expect("snapshot restores");
+    let got = finish(&mut restored);
+    assert_eq!(
+        got, want,
+        "restored run diverged from the uninterrupted one at {threads} threads"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let thread_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let (exec_n, soak_waves) = if smoke { (400, 8) } else { (20_000, 16) };
+    println!(
+        "soak_restore host: {}",
+        stst_bench::host_metadata_json(thread_counts)
+    );
+
+    // Gate 1 (untimed): checkpoint/kill/restore bit identity at every thread count.
+    let g = sparse_workload(exec_n, exec_n / 2, SEED);
+    for &t in thread_counts {
+        assert_restore_bit_identical(&g, t);
+    }
+
+    // Gate 2 (untimed): a snapshot carrying unresolved label corruption restores
+    // into a configuration the verification wave repairs — restore is just
+    // self-stabilization from disk.
+    let eg = sparse_workload(24, 12, SEED);
+    let mut engine = CompositionEngine::new(&eg, EngineTask::Mst, EngineConfig::seeded(SEED));
+    let report = engine.run();
+    assert!(report.legal);
+    let reference_tree = engine.tree().clone();
+    engine.corrupt_random_labels(3);
+    let bytes = engine.checkpoint().to_bytes();
+    drop(engine);
+    let snap = Snapshot::from_bytes(&bytes).expect("engine snapshot parses");
+    let (mut restored, _) = CompositionEngine::restore(&snap, 1).expect("engine restores");
+    match restored.step() {
+        PhaseEvent::Recovered { .. } => {}
+        other => panic!("corrupted snapshot must trigger a recovery wave, got {other:?}"),
+    }
+    assert!(restored.report().legal);
+    assert_eq!(
+        restored.tree(),
+        &reference_tree,
+        "recovery must re-stabilize on the uninterrupted run's tree"
+    );
+
+    // Gate 3 (untimed): the short mixed-load soaks survive every stressor.
+    for &t in thread_counts {
+        let engine_soak = run_soak(
+            &eg,
+            EngineTask::Mst,
+            &SoakConfig {
+                waves: soak_waves,
+                threads: t,
+                ..SoakConfig::smoke(SEED)
+            },
+        );
+        assert!(
+            engine_soak.legal && engine_soak.checkpoints > 0 && engine_soak.restores > 0,
+            "engine soak at {t} threads must survive churn+faults+restores"
+        );
+        let exec_soak = run_executor_soak(
+            &g,
+            MinIdSpanningTree,
+            &SoakConfig {
+                waves: soak_waves,
+                threads: t,
+                fault_burst: (exec_n / 250).max(2),
+                scheduler: SchedulerKind::Synchronous,
+                max_steps: 100_000_000,
+                ..SoakConfig::smoke(SEED)
+            },
+        );
+        assert!(
+            exec_soak.legal && exec_soak.checkpoints > 0 && exec_soak.restores > 0,
+            "executor soak at {t} threads must survive faults+restores"
+        );
+    }
+    println!("soak_restore gates: bit identity, corrupted-snapshot recovery, soak survival — ok");
+
+    let mut group = c.benchmark_group("soak_restore");
+    group
+        .sample_size(if smoke { 2 } else { 10 })
+        .measurement_time(Duration::from_secs(if smoke { 2 } else { 8 }))
+        .warm_up_time(Duration::from_millis(if smoke { 50 } else { 500 }));
+
+    // Timed: the snapshot roundtrip (checkpoint + serialize + parse + restore) on a
+    // converged executor — the per-checkpoint cost the soak pays on its cadence.
+    let mut converged =
+        Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(SEED));
+    converged.run_to_quiescence(20_000_000).expect("converges");
+    group.bench_with_input(
+        BenchmarkId::new("snapshot_roundtrip", format!("n={exec_n}")),
+        &exec_n,
+        |b, _| {
+            b.iter(|| {
+                let bytes = converged.checkpoint().to_bytes();
+                let snap = Snapshot::from_bytes(&bytes).expect("parses");
+                let restored =
+                    Executor::restore(&g, MinIdSpanningTree, &snap, ExecutorConfig::seeded(SEED))
+                        .expect("restores");
+                black_box(restored.steps())
+            });
+        },
+    );
+
+    // Timed: one full executor soak (faults + checkpoints + restores) per iteration.
+    group.bench_with_input(
+        BenchmarkId::new("executor_soak", format!("n={exec_n}/waves={soak_waves}")),
+        &exec_n,
+        |b, _| {
+            b.iter(|| {
+                let report = run_executor_soak(
+                    &g,
+                    MinIdSpanningTree,
+                    &SoakConfig {
+                        waves: soak_waves,
+                        scheduler: SchedulerKind::Synchronous,
+                        max_steps: 100_000_000,
+                        ..SoakConfig::smoke(SEED)
+                    },
+                );
+                assert!(report.legal);
+                black_box(report.total_rounds)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space]`
+//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space] [--soak]`
 //!
 //! * `--json` emits machine-readable output — a `{host, tables}` document whose
 //!   `host` block records the logical core count and thread grid, so recorded
@@ -8,7 +8,10 @@
 //! * `--smoke` runs the tiny-size grid (every experiment at toy sizes — the CI check
 //!   that keeps the harness runnable);
 //! * `--space` runs only the space tables (E5, E7 and the large-scale E11) at their
-//!   full sizes — what `BENCH_space.json` is recorded from.
+//!   full sizes — what `BENCH_space.json` is recorded from;
+//! * `--soak` runs only the long-haul E12 soak at full size (MST composition soak at
+//!   composition scale, sync-BFS executor soak at n = 10⁶) and, with `--json`, emits
+//!   the `{host, runs}` time-series document recorded as `BENCH_soak.json`.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,6 +23,23 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let space = args.iter().any(|a| a == "--space");
+    let soak = args.iter().any(|a| a == "--soak");
+    if soak {
+        let threads = stst_bench::default_threads();
+        let (engine_sizes, executor_sizes, waves) = if smoke {
+            (vec![20usize], vec![400usize], 8)
+        } else {
+            (vec![2_000], vec![1_000_000], 24)
+        };
+        let runs = stst_bench::e12_soak_runs(&engine_sizes, &executor_sizes, waves, seed, threads);
+        if json {
+            println!("{}", stst_bench::soak_json(&runs, threads));
+        } else {
+            let table = stst_bench::e12_table_from_runs(&runs, threads);
+            println!("# Soak report (seed {seed})\n\n{}\n", table.to_markdown());
+        }
+        return;
+    }
     let (tables, thread_grid) = if smoke {
         (stst_bench::smoke_report(seed), vec![2])
     } else if space {

@@ -9,6 +9,7 @@
 use stst_baselines::compact_mst::{self, CompactVariant};
 use stst_baselines::naive_reset::DistanceOnlySpanningTree;
 use stst_baselines::prior_mdst;
+use stst_churn::soak::{run_executor_soak, run_soak, SoakConfig, SoakReport};
 use stst_churn::{trace, ChurnDriver};
 use stst_core::bfs::RootedBfs;
 use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
@@ -533,6 +534,27 @@ pub fn e8_faults(n: usize, fractions: &[f64], seed: u64, threads: usize) -> Expe
             q.legal.to_string(),
         ]);
     }
+    // The structured repeated-fault generator: the adversary keeps hitting the same
+    // register (8 arbitrary overwrites in a row) — the last write wins, and recovery
+    // proceeds from just another arbitrary configuration.
+    let rounds_before = exec.rounds();
+    let moves_before = exec.moves();
+    let guards_before = exec.guard_evaluations();
+    let hits_before = exec.guard_screen_hits();
+    let decodes_before = exec.guard_full_decodes();
+    exec.corrupt_node_repeatedly(NodeId(n / 2), 8);
+    let q = exec.run_to_quiescence(10_000_000).unwrap();
+    rows.push(vec![
+        format!("hit register {} eight times in a row", n / 2),
+        "-".into(),
+        threads.to_string(),
+        (q.rounds - rounds_before).to_string(),
+        (q.moves - moves_before).to_string(),
+        (exec.guard_evaluations() - guards_before).to_string(),
+        (exec.guard_screen_hits() - hits_before).to_string(),
+        (exec.guard_full_decodes() - decodes_before).to_string(),
+        q.legal.to_string(),
+    ]);
     ExperimentTable {
         id: "E8".into(),
         claim: format!("self-stabilization: recovery after register corruption (n = {n})"),
@@ -582,6 +604,29 @@ pub fn e8_label_faults(n: usize, faults: &[usize], seed: u64) -> ExperimentTable
         rows.push(vec![
             format!("corrupt {k} labels mid-composition"),
             k.to_string(),
+            families_rebuilt.to_string(),
+            rounds.to_string(),
+            labels_written.to_string(),
+            silent_again.to_string(),
+        ]);
+    }
+    // The hardest corruption class: stale-but-consistent certificates — a complete,
+    // internally correct proof of the *wrong* tree. No syntactic check rejects it;
+    // only the verification wave's comparison against the maintained tree does.
+    if engine.corrupt_stale_certificates() {
+        let event = engine.step();
+        let PhaseEvent::Recovered {
+            families_rebuilt,
+            labels_written,
+            rounds,
+        } = event
+        else {
+            panic!("stale certificates must trigger a recovery wave, got {event:?}");
+        };
+        let silent_again = matches!(engine.step(), PhaseEvent::Stabilized { legal: true });
+        rows.push(vec![
+            "stale-but-consistent certificates".into(),
+            "all".into(),
             families_rebuilt.to_string(),
             rounds.to_string(),
             labels_written.to_string(),
@@ -877,6 +922,209 @@ pub fn e11_space_scale(
     }
 }
 
+/// One row of the E12 soak table from a finished [`SoakReport`].
+fn soak_row(scenario: &str, n: usize, threads: usize, r: &SoakReport) -> Vec<String> {
+    vec![
+        scenario.to_string(),
+        n.to_string(),
+        threads.to_string(),
+        r.waves.to_string(),
+        r.events.to_string(),
+        r.faults.to_string(),
+        r.checkpoints.to_string(),
+        r.restores.to_string(),
+        f(r.p50_repair_ms),
+        f(r.p99_repair_ms),
+        f(r.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+        format!("{:.2}", r.silence_ratio),
+        f(r.mean_checkpoint_ms),
+        r.max_checkpoint_bytes.to_string(),
+        r.legal.to_string(),
+    ]
+}
+
+/// E12 — the long-haul soak: mixed churn, periodic label/register faults, periodic
+/// durability checkpoints and kill-and-restore cycles, with the measured recovery
+/// story (repair-latency percentiles, peak RSS, silence ratio, checkpoint cost).
+///
+/// Two layers share the harness, sized for what one host can actually run (see
+/// `BENCH_space.json`): the full MST composition soaks at composition scale
+/// (`engine_sizes` — churn + label faults + engine snapshots), and the guarded-rule
+/// sync-BFS executor soaks at up to n = 10⁶ (`executor_sizes` — register faults,
+/// incl. the repeated-fault generator, + full execution-state snapshots restored
+/// bit-identically mid-run).
+pub fn e12_soak(
+    engine_sizes: &[usize],
+    executor_sizes: &[usize],
+    waves: usize,
+    seed: u64,
+    threads: usize,
+) -> ExperimentTable {
+    e12_table_from_runs(
+        &e12_soak_runs(engine_sizes, executor_sizes, waves, seed, threads),
+        threads,
+    )
+}
+
+/// Renders already-finished E12 runs as the experiment table (shared with the report
+/// binary's `--soak` mode, which needs both the table and the raw series from one
+/// set of runs).
+pub fn e12_table_from_runs(
+    runs: &[(String, usize, SoakReport)],
+    threads: usize,
+) -> ExperimentTable {
+    let mut rows = Vec::new();
+    for (scenario, n, report) in runs {
+        rows.push(soak_row(scenario, *n, threads, report));
+    }
+    ExperimentTable {
+        id: "E12".into(),
+        claim: "long-haul soak: churn + faults + checkpoint/kill/restore cycles with bounded RSS and repair latency".into(),
+        headers: vec![
+            "scenario".into(),
+            "n".into(),
+            "threads".into(),
+            "waves".into(),
+            "churn events".into(),
+            "faults".into(),
+            "checkpoints".into(),
+            "restores".into(),
+            "p50 repair ms".into(),
+            "p99 repair ms".into(),
+            "peak RSS MiB".into(),
+            "silence ratio".into(),
+            "mean ckpt ms".into(),
+            "max snapshot B".into(),
+            "legal".into(),
+        ],
+        rows,
+    }
+}
+
+/// The raw E12 runs: `(scenario, n, report)` per soak, shared between the table
+/// rendering ([`e12_soak`]) and the time-series artifact ([`soak_json`]).
+pub fn e12_soak_runs(
+    engine_sizes: &[usize],
+    executor_sizes: &[usize],
+    waves: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(String, usize, SoakReport)> {
+    let mut runs = Vec::new();
+    for &n in engine_sizes {
+        let g = sparse_workload(n, n / 2, seed);
+        let config = SoakConfig {
+            waves,
+            threads,
+            scheduler: SchedulerKind::Synchronous,
+            max_steps: 100_000_000,
+            ..SoakConfig::smoke(seed)
+        };
+        let report = run_soak(&g, EngineTask::Mst, &config);
+        runs.push((
+            "MST composition soak (churn+faults+restore)".into(),
+            n,
+            report,
+        ));
+    }
+    for &n in executor_sizes {
+        let g = sparse_workload(n, n / 2, seed);
+        let root_ident = g.ident(g.min_ident_node());
+        let config = SoakConfig {
+            waves,
+            threads,
+            // Register faults scale with the network so recovery is visible at 10⁶.
+            fault_burst: (n / 250).max(2),
+            scheduler: SchedulerKind::Synchronous,
+            max_steps: 100_000_000,
+            ..SoakConfig::smoke(seed)
+        };
+        let report = run_executor_soak(&g, RootedBfs::new(root_ident), &config);
+        runs.push(("sync-BFS executor soak (faults+restore)".into(), n, report));
+    }
+    runs
+}
+
+fn json_f64_array(values: &[f64]) -> String {
+    let rendered: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+fn json_u64_array<I: Iterator<Item = u64>>(values: I) -> String {
+    let rendered: Vec<String> = values.map(|v| v.to_string()).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// The `report --soak` document (recorded as `BENCH_soak.json`): host metadata plus,
+/// per soak run, the aggregate summary *and* the full per-wave time series (repair
+/// latency, recovery rounds, RSS, checkpoint cost, restore markers) that the summary
+/// percentiles are computed from.
+pub fn soak_json(runs: &[(String, usize, SoakReport)], threads: usize) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"host\":{},", host_metadata_json(&[threads])));
+    out.push_str("\"runs\":[");
+    for (i, (scenario, n, r)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":{},\"n\":{},\"threads\":{},\"summary\":{{\
+             \"waves\":{},\"events\":{},\"faults\":{},\"checkpoints\":{},\"restores\":{},\
+             \"restore_rebuilds\":{},\"peak_rss_bytes\":{},\"p50_repair_ms\":{:.3},\
+             \"p99_repair_ms\":{:.3},\"max_repair_ms\":{:.3},\"silence_ratio\":{:.4},\
+             \"mean_checkpoint_ms\":{:.3},\"max_checkpoint_bytes\":{},\"legal\":{},\
+             \"total_rounds\":{},\"wall_ms\":{:.1}}},",
+            json_string(scenario),
+            n,
+            threads,
+            r.waves,
+            r.events,
+            r.faults,
+            r.checkpoints,
+            r.restores,
+            r.restore_rebuilds,
+            r.peak_rss_bytes,
+            r.p50_repair_ms,
+            r.p99_repair_ms,
+            r.max_repair_ms,
+            r.silence_ratio,
+            r.mean_checkpoint_ms,
+            r.max_checkpoint_bytes,
+            r.legal,
+            r.total_rounds,
+            r.wall_ms,
+        ));
+        let restored = format!(
+            "[{}]",
+            r.samples
+                .iter()
+                .map(|s| s.restored.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        out.push_str(&format!(
+            "\"series\":{{\"wave\":{},\"events\":{},\"faults\":{},\"recovery_rounds\":{},\
+             \"repair_ms\":{},\"rss_bytes\":{},\"checkpoint_ms\":{},\"checkpoint_bytes\":{},\
+             \"restored\":{restored}}}}}",
+            json_u64_array(r.samples.iter().map(|s| s.wave as u64)),
+            json_u64_array(r.samples.iter().map(|s| s.events as u64)),
+            json_u64_array(r.samples.iter().map(|s| s.faults as u64)),
+            json_u64_array(r.samples.iter().map(|s| s.recovery_rounds)),
+            json_f64_array(&r.samples.iter().map(|s| s.repair_ms).collect::<Vec<_>>()),
+            json_u64_array(r.samples.iter().map(|s| s.rss_bytes)),
+            json_f64_array(
+                &r.samples
+                    .iter()
+                    .map(|s| s.checkpoint_ms)
+                    .collect::<Vec<_>>()
+            ),
+            json_u64_array(r.samples.iter().map(|s| s.checkpoint_bytes as u64)),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Worker threads the full report measures with: the host's available parallelism,
 /// capped at 8 (the widest point of the `parallel_scale` sweep). Results are
 /// bit-identical at any value — this only affects wall clock and the recorded
@@ -904,6 +1152,7 @@ pub fn full_report(seed: u64) -> Vec<ExperimentTable> {
         e9_sched_ablation(24, seed),
         e10_churn(&[64, 1000], &[0.5, 2.0], 8, seed, threads),
         e11_space_scale(&[100_000, 1_000_000], &[100_000], seed, threads),
+        e12_soak(&[256], &[50_000], 24, seed, threads),
     ]
 }
 
@@ -925,6 +1174,7 @@ pub fn smoke_report(seed: u64) -> Vec<ExperimentTable> {
         e9_sched_ablation(12, seed),
         e10_churn(&[16], &[1.5], 4, seed, 2),
         e11_space_scale(&[2_000], &[400], seed, 2),
+        e12_soak(&[20], &[400], 8, seed, 2),
     ]
 }
 
@@ -974,7 +1224,7 @@ mod tests {
         assert_eq!(e3_nca(&[16], 1).rows.len(), 2);
         assert_eq!(e4_mst(&[12], 1, 1).rows.len(), 2);
         assert_eq!(e6_mdst(&[10], 1).rows.len(), 1);
-        assert_eq!(e8_faults(12, &[0.5], 1, 1).rows.len(), 2);
+        assert_eq!(e8_faults(12, &[0.5], 1, 1).rows.len(), 3);
         assert!(e9_sched_ablation(12, 1).rows.len() >= 7);
     }
 
@@ -1015,20 +1265,25 @@ mod tests {
     #[test]
     fn e8b_recovers_from_label_corruption() {
         let table = e8_label_faults(16, &[1, 3], 2);
-        assert_eq!(table.rows.len(), 3);
+        assert_eq!(
+            table.rows.len(),
+            4,
+            "scratch + 2 random-corruption rows + the stale-certificate row"
+        );
         for row in &table.rows[1..] {
             assert_eq!(row.last().unwrap(), "true", "row {row:?}");
         }
+        assert!(table.rows[3][0].contains("stale"));
     }
 
     #[test]
     fn smoke_grid_covers_every_experiment() {
         let tables = smoke_report(5);
-        assert_eq!(tables.len(), 12);
+        assert_eq!(tables.len(), 13);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
         }
-        assert_eq!(tables.last().unwrap().id, "E11");
+        assert_eq!(tables.last().unwrap().id, "E12");
     }
 
     #[test]
@@ -1083,6 +1338,30 @@ mod tests {
         );
         assert_eq!(table.rows[1][hits_col], "0");
         assert_eq!(table.rows[1][decodes_col], "0");
+    }
+
+    #[test]
+    fn e12_soak_runs_and_serializes_its_time_series() {
+        let runs = e12_soak_runs(&[14], &[60], 8, 9, 2);
+        assert_eq!(runs.len(), 2, "one engine soak + one executor soak");
+        for (scenario, _, r) in &runs {
+            assert!(r.legal, "{scenario} must end legal");
+            assert!(r.checkpoints > 0, "{scenario} must take checkpoints");
+            assert!(r.restores > 0, "{scenario} must kill-and-restore");
+            assert_eq!(r.samples.len(), r.waves);
+        }
+        let json = soak_json(&runs, 2);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"host\":"));
+        assert!(json.contains("\"p99_repair_ms\":"));
+        assert!(json.contains("\"series\":"));
+        assert!(json.contains("\"restored\":[") && json.contains("true"));
+        let table = e12_soak(&[14], &[60], 8, 9, 2);
+        assert_eq!(table.id, "E12");
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "true", "row {row:?} must end legal");
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * [`ChurnDriver`] — injects event batches **only at wave boundaries** (it steps the
 //!   engine to silence before every injection), which is what keeps parallel wave
 //!   execution bit-identical at any thread count under churn, and records the
-//!   marginal recovery cost of every event batch (rounds, label writes, switches).
+//!   marginal recovery cost of every event batch (rounds, label writes, switches);
+//! * [`soak`] — long-haul mixed-load runs: churn + periodic label faults + periodic
+//!   durability checkpoints and kill-and-restore cycles, with a measured time series
+//!   (RSS, repair latency percentiles, silence ratio, checkpoint cost) — the harness
+//!   behind experiment E12.
 //!
 //! The differential contract — after every injected event the repaired labels and the
 //! re-stabilized tree are bit-identical to a from-scratch rebuild on the mutated
@@ -28,10 +32,12 @@
 
 pub mod driver;
 pub mod event;
+pub mod soak;
 pub mod trace;
 
 pub use driver::{ChurnDriver, ChurnSummary, EventReport};
 pub use event::TopologyEvent;
+pub use soak::{run_executor_soak, run_soak, SoakConfig, SoakReport, SoakSample};
 pub use trace::ChurnTrace;
 
 // Re-exported so churn scenarios can be scripted against this crate alone.

@@ -1,0 +1,508 @@
+//! Long-haul soak runs: churn + faults + periodic checkpoint/kill/restore cycles.
+//!
+//! The churn driver answers "does one event recover correctly?"; the soak harness
+//! answers the systems question behind experiment E12: does the composition survive
+//! *hours* of mixed load — steady topology churn, periodic label corruption, periodic
+//! durability checkpoints, and full kill-and-restore cycles — with bounded memory and
+//! bounded repair latency? Every wave is measured (wall-clock repair time, recovery
+//! rounds, resident set size, checkpoint cost), and the report aggregates the series
+//! into the percentiles the benchmark emits.
+//!
+//! A restore inside the soak is deliberately *not* special-cased: the restored
+//! snapshot may carry unresolved label corruption (a fault wave and a checkpoint wave
+//! can coincide), in which case the engine's verification wave detects and repairs it
+//! — restore is just self-stabilization from a configuration that happens to come
+//! from disk.
+
+use std::time::Instant;
+
+use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
+use stst_core::{Algorithm, EngineConfig, Executor, ExecutorConfig, SchedulerKind, Snapshot};
+use stst_graph::{Graph, Mutation, NodeId};
+
+use crate::trace;
+
+/// Configuration of a soak run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoakConfig {
+    /// Injection points (wave boundaries) to drive.
+    pub waves: usize,
+    /// Poisson rate of topology events per wave.
+    pub churn_rate: f64,
+    /// Fraction of churn events that are node joins/leaves (0 = link churn only).
+    pub node_fraction: f64,
+    /// Inject label corruption every this many waves (0 = never).
+    pub fault_period: usize,
+    /// Labels corrupted per fault wave.
+    pub fault_burst: usize,
+    /// Take a durability checkpoint every this many waves (0 = never).
+    pub checkpoint_period: usize,
+    /// Kill the engine and restore from the snapshot every this many checkpoints
+    /// (0 = checkpoints are taken but never restored from).
+    pub restore_period: usize,
+    /// Seed for the trace generator and the engine.
+    pub seed: u64,
+    /// Worker threads for the engine's parallel waves.
+    pub threads: usize,
+    /// Daemon for the guarded-rule phases (synchronous at large scale — the central
+    /// daemon's one-activation-per-step bookkeeping does not reach 10⁶ nodes).
+    pub scheduler: SchedulerKind,
+    /// Step budget for the guarded-rule phases.
+    pub max_steps: u64,
+}
+
+impl SoakConfig {
+    /// A short mixed-load soak: every stressor enabled, sized for CI.
+    pub fn smoke(seed: u64) -> Self {
+        SoakConfig {
+            waves: 24,
+            churn_rate: 1.5,
+            node_fraction: 0.0,
+            fault_period: 5,
+            fault_burst: 2,
+            checkpoint_period: 4,
+            restore_period: 2,
+            seed,
+            threads: 1,
+            scheduler: SchedulerKind::Central,
+            max_steps: 5_000_000,
+        }
+    }
+}
+
+/// One wave of the soak time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoakSample {
+    /// Wave index.
+    pub wave: usize,
+    /// Churn events injected this wave.
+    pub events: usize,
+    /// Labels corrupted this wave.
+    pub faults: usize,
+    /// Rounds from the injection(s) to renewed silence.
+    pub recovery_rounds: u64,
+    /// Wall-clock milliseconds spent repairing this wave (churn + fault recovery).
+    pub repair_ms: f64,
+    /// Resident set size after the wave, in bytes (0 where unavailable).
+    pub rss_bytes: u64,
+    /// Wall-clock milliseconds spent serializing the checkpoint (0 when none).
+    pub checkpoint_ms: f64,
+    /// Snapshot size in bytes (0 when no checkpoint was taken).
+    pub checkpoint_bytes: usize,
+    /// Whether this wave ended with a kill-and-restore cycle.
+    pub restored: bool,
+}
+
+/// Aggregated outcome of a soak run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoakReport {
+    /// Per-wave time series, in wave order.
+    pub samples: Vec<SoakSample>,
+    /// Waves driven.
+    pub waves: usize,
+    /// Total churn events applied.
+    pub events: usize,
+    /// Total labels corrupted by fault injection.
+    pub faults: usize,
+    /// Checkpoints taken.
+    pub checkpoints: usize,
+    /// Kill-and-restore cycles performed.
+    pub restores: usize,
+    /// Label families rebuilt by restores (non-zero when a snapshot carried
+    /// unresolved corruption or mid-repair state).
+    pub restore_rebuilds: usize,
+    /// Peak resident set size observed, in bytes (0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Median per-wave repair wall time.
+    pub p50_repair_ms: f64,
+    /// 99th-percentile per-wave repair wall time.
+    pub p99_repair_ms: f64,
+    /// Worst per-wave repair wall time.
+    pub max_repair_ms: f64,
+    /// Fraction of waves that needed no recovery at all (already silent).
+    pub silence_ratio: f64,
+    /// Mean checkpoint serialization time across checkpoints taken.
+    pub mean_checkpoint_ms: f64,
+    /// Largest snapshot produced.
+    pub max_checkpoint_bytes: usize,
+    /// Whether the final stabilized output satisfies the task's legality predicate.
+    pub legal: bool,
+    /// Engine rounds at the end of the soak.
+    pub total_rounds: u64,
+    /// Wall-clock duration of the whole soak in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Resident set size of the current process in bytes, from `/proc/self/status`
+/// (`VmRSS`). Returns 0 on platforms without procfs — the soak still runs, the RSS
+/// column is just absent.
+pub fn rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmRSS:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs a mixed churn + fault + checkpoint/restore soak against a fresh engine on
+/// `graph` and returns the measured report.
+///
+/// The engine is booted through a checkpoint/restore roundtrip so it owns its
+/// network: kill-and-restore cycles then replace it wholesale, exactly like a
+/// process restart would.
+pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakReport {
+    let start = Instant::now();
+    let trace = trace::steady_poisson(
+        graph,
+        config.waves,
+        config.churn_rate,
+        config.node_fraction,
+        config.seed,
+    );
+    let engine_config = EngineConfig::seeded(config.seed)
+        .with_scheduler(config.scheduler)
+        .with_max_steps(config.max_steps)
+        .with_threads(config.threads.max(1));
+
+    let mut engine: CompositionEngine<'static> = {
+        let boot = CompositionEngine::new(graph, task, engine_config);
+        let snap = boot.checkpoint();
+        CompositionEngine::restore(&snap, config.threads.max(1))
+            .expect("a self-produced boot snapshot restores")
+            .0
+    };
+    engine.run();
+
+    let mut samples = Vec::with_capacity(config.waves);
+    let mut events_total = 0usize;
+    let mut faults_total = 0usize;
+    let mut checkpoints = 0usize;
+    let mut restores = 0usize;
+    let mut restore_rebuilds = 0usize;
+    let mut silent_waves = 0usize;
+
+    for (wave, batch) in trace.batches.iter().enumerate() {
+        let rounds_before = engine.total_rounds();
+        let repair_start = Instant::now();
+
+        // Churn: lower the batch to graph mutations and let the engine repair.
+        if !batch.is_empty() {
+            let mut n = engine.graph().node_count();
+            let mut mutations: Vec<Mutation> = Vec::new();
+            for event in batch {
+                mutations.extend(event.mutations(n));
+                n = n
+                    .checked_add_signed(event.node_delta())
+                    .expect("node count stays positive");
+            }
+            if let PhaseEvent::Partitioned { .. } = engine.apply_topology(&mutations) {
+                // steady_poisson never emits a severing batch; dropped defensively.
+            }
+            events_total += batch.len();
+        }
+
+        // Fault: corrupt labels at the wave boundary.
+        let mut faults = 0usize;
+        if config.fault_period > 0 && (wave + 1) % config.fault_period == 0 {
+            engine.run();
+            faults = engine.corrupt_random_labels(config.fault_burst).len();
+            faults_total += faults;
+        }
+
+        // Checkpoint — possibly *carrying* the unresolved fault — and, on the
+        // restore cadence, kill the engine and reload from the serialized bytes.
+        let mut checkpoint_ms = 0.0f64;
+        let mut checkpoint_bytes = 0usize;
+        let mut restored = false;
+        if config.checkpoint_period > 0 && (wave + 1) % config.checkpoint_period == 0 {
+            let t = Instant::now();
+            let snap = engine.checkpoint();
+            let bytes = snap.to_bytes();
+            checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+            checkpoint_bytes = bytes.len();
+            checkpoints += 1;
+            if config.restore_period > 0 && checkpoints.is_multiple_of(config.restore_period) {
+                let reloaded = Snapshot::from_bytes(&bytes)
+                    .expect("a freshly serialized snapshot parses back");
+                let (next, outcome) = CompositionEngine::restore(&reloaded, config.threads.max(1))
+                    .expect("a self-produced snapshot restores");
+                engine = next;
+                restores += 1;
+                restore_rebuilds += outcome.families_rebuilt;
+                restored = true;
+            }
+        }
+
+        // Recover to silence; everything since the injection is this wave's repair.
+        engine.run();
+        let recovery_rounds = engine.total_rounds() - rounds_before;
+        if recovery_rounds == 0 {
+            silent_waves += 1;
+        }
+        samples.push(SoakSample {
+            wave,
+            events: batch.len(),
+            faults,
+            recovery_rounds,
+            repair_ms: repair_start.elapsed().as_secs_f64() * 1e3,
+            rss_bytes: rss_bytes(),
+            checkpoint_ms,
+            checkpoint_bytes,
+            restored,
+        });
+    }
+
+    let report = engine.report();
+    let mut repair_sorted: Vec<f64> = samples.iter().map(|s| s.repair_ms).collect();
+    repair_sorted.sort_by(|a, b| a.partial_cmp(b).expect("repair times are finite"));
+    let checkpoint_times: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.checkpoint_bytes > 0)
+        .map(|s| s.checkpoint_ms)
+        .collect();
+    SoakReport {
+        waves: samples.len(),
+        events: events_total,
+        faults: faults_total,
+        checkpoints,
+        restores,
+        restore_rebuilds,
+        peak_rss_bytes: samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0),
+        p50_repair_ms: percentile(&repair_sorted, 0.50),
+        p99_repair_ms: percentile(&repair_sorted, 0.99),
+        max_repair_ms: repair_sorted.last().copied().unwrap_or(0.0),
+        silence_ratio: if samples.is_empty() {
+            1.0
+        } else {
+            silent_waves as f64 / samples.len() as f64
+        },
+        mean_checkpoint_ms: if checkpoint_times.is_empty() {
+            0.0
+        } else {
+            checkpoint_times.iter().sum::<f64>() / checkpoint_times.len() as f64
+        },
+        max_checkpoint_bytes: samples
+            .iter()
+            .map(|s| s.checkpoint_bytes)
+            .max()
+            .unwrap_or(0),
+        legal: report.legal,
+        total_rounds: engine.total_rounds(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        samples,
+    }
+}
+
+/// Runs a register-fault + checkpoint/restore soak against the *guarded-rule
+/// executor* layer — the configuration that reaches n = 10⁶ on one host, where the
+/// full composition engine does not (see `BENCH_space.json`: the n = 10⁵ MST
+/// composition alone costs ~10⁷ guarded-rule steps).
+///
+/// Each wave corrupts `fault_burst` random registers; every second fault wave
+/// additionally hammers one rotating victim register `fault_burst` times in a row
+/// (the repeated-fault generator). On the checkpoint cadence the executor's complete
+/// execution state is serialized, and on the restore cadence the executor is dropped
+/// and rebuilt from those bytes — [`Executor::restore`] continues bit-identically,
+/// so the soak's recovery trajectory is exactly the uninterrupted one. `churn_rate`
+/// and `node_fraction` are unused here: topology churn is an engine-layer stressor.
+pub fn run_executor_soak<A: Algorithm + Clone>(
+    graph: &Graph,
+    algo: A,
+    config: &SoakConfig,
+) -> SoakReport {
+    let start = Instant::now();
+    let exec_config = ExecutorConfig::with_scheduler(config.seed, config.scheduler)
+        .with_threads(config.threads.max(1));
+    let n = graph.node_count();
+    let mut exec = Executor::from_arbitrary(graph, algo.clone(), exec_config);
+    let mut legal = exec
+        .run_to_quiescence(config.max_steps)
+        .expect("initial stabilization converges")
+        .legal;
+
+    let mut samples = Vec::with_capacity(config.waves);
+    let mut events_total = 0usize;
+    let mut faults_total = 0usize;
+    let mut checkpoints = 0usize;
+    let mut restores = 0usize;
+    let mut silent_waves = 0usize;
+
+    for wave in 0..config.waves {
+        let rounds_before = exec.rounds();
+        let repair_start = Instant::now();
+
+        let mut faults = 0usize;
+        if config.fault_period > 0 && (wave + 1) % config.fault_period == 0 {
+            faults += exec.corrupt_random_nodes(config.fault_burst).len();
+            if (wave + 1) % (2 * config.fault_period) == 0 {
+                // The repeated-fault generator: hit one register over and over.
+                let victim = NodeId((wave * 7919) % n);
+                faults += exec.corrupt_node_repeatedly(victim, config.fault_burst.max(1));
+            }
+            faults_total += faults;
+            events_total += faults;
+        }
+
+        let mut checkpoint_ms = 0.0f64;
+        let mut checkpoint_bytes = 0usize;
+        let mut restored = false;
+        if config.checkpoint_period > 0 && (wave + 1) % config.checkpoint_period == 0 {
+            let t = Instant::now();
+            let snap = exec.checkpoint();
+            let bytes = snap.to_bytes();
+            checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+            checkpoint_bytes = bytes.len();
+            checkpoints += 1;
+            if config.restore_period > 0 && checkpoints.is_multiple_of(config.restore_period) {
+                let reloaded = Snapshot::from_bytes(&bytes)
+                    .expect("a freshly serialized snapshot parses back");
+                exec = Executor::restore(graph, algo.clone(), &reloaded, exec_config)
+                    .expect("a self-produced snapshot restores");
+                restores += 1;
+                restored = true;
+            }
+        }
+
+        legal = exec
+            .run_to_quiescence(config.max_steps)
+            .expect("recovery converges")
+            .legal;
+        let recovery_rounds = exec.rounds() - rounds_before;
+        if recovery_rounds == 0 {
+            silent_waves += 1;
+        }
+        samples.push(SoakSample {
+            wave,
+            events: faults,
+            faults,
+            recovery_rounds,
+            repair_ms: repair_start.elapsed().as_secs_f64() * 1e3,
+            rss_bytes: rss_bytes(),
+            checkpoint_ms,
+            checkpoint_bytes,
+            restored,
+        });
+    }
+
+    let mut repair_sorted: Vec<f64> = samples.iter().map(|s| s.repair_ms).collect();
+    repair_sorted.sort_by(|a, b| a.partial_cmp(b).expect("repair times are finite"));
+    let checkpoint_times: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.checkpoint_bytes > 0)
+        .map(|s| s.checkpoint_ms)
+        .collect();
+    SoakReport {
+        waves: samples.len(),
+        events: events_total,
+        faults: faults_total,
+        checkpoints,
+        restores,
+        restore_rebuilds: 0,
+        peak_rss_bytes: samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0),
+        p50_repair_ms: percentile(&repair_sorted, 0.50),
+        p99_repair_ms: percentile(&repair_sorted, 0.99),
+        max_repair_ms: repair_sorted.last().copied().unwrap_or(0.0),
+        silence_ratio: if samples.is_empty() {
+            1.0
+        } else {
+            silent_waves as f64 / samples.len() as f64
+        },
+        mean_checkpoint_ms: if checkpoint_times.is_empty() {
+            0.0
+        } else {
+            checkpoint_times.iter().sum::<f64>() / checkpoint_times.len() as f64
+        },
+        max_checkpoint_bytes: samples
+            .iter()
+            .map(|s| s.checkpoint_bytes)
+            .max()
+            .unwrap_or(0),
+        legal,
+        total_rounds: exec.rounds(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stst_graph::generators;
+
+    #[test]
+    fn smoke_soak_survives_every_stressor() {
+        let g = generators::workload(24, 0.25, 9);
+        let report = run_soak(&g, EngineTask::Mst, &SoakConfig::smoke(9));
+        assert_eq!(report.waves, 24);
+        assert!(report.legal, "the soak must end in a legal configuration");
+        assert!(report.checkpoints > 0);
+        assert!(report.restores > 0);
+        assert!(report.events > 0);
+        assert!(report.faults > 0);
+        assert!(report.max_checkpoint_bytes > 0);
+        assert!(report.p99_repair_ms >= report.p50_repair_ms);
+        assert!((0.0..=1.0).contains(&report.silence_ratio));
+    }
+
+    #[test]
+    fn executor_soak_recovers_from_every_fault_wave() {
+        use stst_core::spanning::MinIdSpanningTree;
+        let g = generators::workload(40, 0.15, 11);
+        let config = SoakConfig {
+            waves: 16,
+            fault_period: 2,
+            fault_burst: 4,
+            checkpoint_period: 3,
+            restore_period: 2,
+            ..SoakConfig::smoke(11)
+        };
+        let report = run_executor_soak(&g, MinIdSpanningTree, &config);
+        assert!(report.legal, "every wave must re-stabilize to legality");
+        assert!(report.faults > 0);
+        assert!(report.checkpoints > 0);
+        assert!(report.restores > 0);
+        assert!(report.max_checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn soak_is_deterministic_in_everything_but_wall_clock() {
+        let g = generators::workload(20, 0.3, 4);
+        let config = SoakConfig {
+            threads: 2,
+            ..SoakConfig::smoke(4)
+        };
+        let a = run_soak(&g, EngineTask::Mst, &config);
+        let b = run_soak(&g, EngineTask::Mst, &config);
+        assert_eq!(a.total_rounds, b.total_rounds);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.restores, b.restores);
+        let rounds_a: Vec<u64> = a.samples.iter().map(|s| s.recovery_rounds).collect();
+        let rounds_b: Vec<u64> = b.samples.iter().map(|s| s.recovery_rounds).collect();
+        assert_eq!(rounds_a, rounds_b);
+    }
+}

@@ -51,10 +51,13 @@ pub mod spanning;
 pub mod switch;
 pub mod waves;
 
-pub use engine::{CompositionEngine, EngineTask, PhaseEvent};
+pub use engine::{CompositionEngine, EngineTask, PhaseEvent, RestoreOutcome};
 pub use framework::{ConstructionReport, EngineConfig, Relabel};
 pub use mdst::construct_mdst;
 pub use mst::construct_mst;
-// The runtime's fault hooks and daemons, re-exported so wave-boundary corruption
-// scenarios can be scripted against `stst-core` alone.
-pub use stst_runtime::{ExecMode, Executor, ExecutorConfig, SchedulerKind};
+// The runtime's fault hooks, daemons and snapshot container, re-exported so
+// wave-boundary corruption and checkpoint/restore scenarios can be scripted against
+// `stst-core` alone.
+pub use stst_runtime::{
+    Algorithm, ExecMode, Executor, ExecutorConfig, RestoreError, SchedulerKind, Snapshot,
+};

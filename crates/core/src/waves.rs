@@ -62,6 +62,25 @@ impl RoundLedger {
     pub fn by_phase(&self) -> Vec<(&'static str, u64)> {
         self.grouped.clone()
     }
+
+    /// Rebuilds a ledger from checkpointed grouped entries and a charge count (the
+    /// engine's snapshot restore path). The total is recomputed from the entries, so a
+    /// restored ledger satisfies the same invariant as a live one:
+    /// `total == Σ grouped`.
+    pub fn restore(entries: Vec<(&'static str, u64)>, charges: usize) -> Self {
+        let total = entries.iter().map(|&(_, r)| r).sum();
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(label, _))| (label, i))
+            .collect();
+        RoundLedger {
+            grouped: entries,
+            index,
+            charges,
+            total,
+        }
+    }
 }
 
 /// Rounds for one top-down broadcast wave over `tree` (the root informs the leaves):

@@ -83,9 +83,11 @@ use stst_graph::tree::TreeError;
 use stst_graph::{Graph, MutationOutcome, NodeId, Tree};
 
 use crate::algorithm::{Algorithm, ParentPointer, Screen};
+use crate::bits::{BitReader, BitWriter};
 use crate::codec::{Codec, CodecCtx};
 use crate::par::ThreadPool;
-use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::persist::{self, RestoreError, Snapshot, SnapshotReader};
+use crate::scheduler::{Scheduler, SchedulerKind, SchedulerState};
 use crate::store::{ConfigStore, StoreMode};
 use crate::view::{NeighborInfo, RawView, View};
 
@@ -1152,6 +1154,243 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             .nodes()
             .map(|v| self.scheduler.activation_count(v))
             .collect()
+    }
+
+    /// Overwrites the register of `v` with `k` successive arbitrary states — the
+    /// "keep hitting the same register" fault pattern: unlike
+    /// [`Executor::corrupt_random_nodes`] the damage concentrates on one node,
+    /// modelling a faulty component rather than scattered transients. Every overwrite
+    /// draws from the fault RNG and runs through the same changed-bits screen as
+    /// [`Executor::corrupt_node`]; guards are re-evaluated once, after the last hit
+    /// (intermediate values are never observable — registers are atomic). Returns how
+    /// many of the `k` overwrites actually flipped stored bits.
+    pub fn corrupt_node_repeatedly(&mut self, v: NodeId, k: usize) -> usize {
+        let mut changed = 0usize;
+        for _ in 0..k {
+            let state = self.algo.arbitrary_state(self.graph, v, &mut self.rng);
+            self.peak_bits[v.0] = self.peak_bits[v.0].max(state.encoded_bits(&self.ctx));
+            if self.write_snapshot(v, state) {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.bump_stamp();
+            self.refresh_closed_neighborhood(v);
+            self.refill_round_pending();
+        }
+        changed
+    }
+
+    /// Serializes the executor's **complete** execution state into a versioned,
+    /// checksummed [`Snapshot`]: the configuration (every register, as one packed
+    /// codec bitstream — the same `O(log² n)`-bit layout the packed store holds), the
+    /// move/step/round/guard counters, the mid-round bitset, the per-node peak sizes,
+    /// and both RNG streams (executor fault RNG and the daemon's full decision state).
+    ///
+    /// [`Executor::restore`] rebuilds an executor that continues the execution
+    /// **bit-identically**: every future daemon choice, register write and counter
+    /// increment matches the uninterrupted run. The enabled *set* and the
+    /// pending-transition cache are *not* serialized — they are a pure function of the
+    /// configuration and are rebuilt by the restore scan (DESIGN.md §2.11). The
+    /// enabled list's *order*, however, is execution state like the RNG streams: the
+    /// daemons index into it, and its layout depends on the history of swap-removes
+    /// that produced it — so the order is serialized and reimposed on the rebuilt set.
+    pub fn checkpoint(&self) -> Snapshot {
+        let n = self.graph.node_count();
+        let mut words: Vec<u64> = vec![persist::graph_fingerprint(self.graph), n as u64];
+        words.push(self.moves);
+        words.push(self.steps);
+        words.push(self.rounds);
+        words.push(self.guard_evals);
+        words.push(self.screen_hits);
+        words.push(self.full_decodes);
+        words.extend_from_slice(&self.rng.state());
+        let sched = self.scheduler.export_state();
+        words.push(sched.kind.tag());
+        words.push(sched.cursor as u64);
+        words.extend_from_slice(&sched.rng);
+        words.extend_from_slice(&sched.activations);
+        words.push(self.round_count as u64);
+        words.extend_from_slice(&self.round_words);
+        words.extend(self.peak_bits.iter().map(|&b| b as u64));
+        words.push(self.enabled_list.len() as u64);
+        words.extend(self.enabled_list.iter().map(|&v| v.0 as u64));
+        let states = self.states();
+        let mut stream: Vec<u64> = Vec::new();
+        let mut writer = BitWriter::new(&mut stream, 0);
+        let mut bits = 0usize;
+        for s in &states {
+            s.encode_into(&self.ctx, &mut writer);
+            bits += s.encoded_bits(&self.ctx);
+        }
+        words.push(bits as u64);
+        words.push(stream.len() as u64);
+        words.extend_from_slice(&stream);
+        Snapshot::new(persist::KIND_EXECUTOR, words)
+    }
+
+    /// Rebuilds an executor from a [`Snapshot`] written by [`Executor::checkpoint`],
+    /// resuming the execution bit-identically to the uninterrupted run.
+    ///
+    /// `graph` must be the network the snapshot was taken on (checked by
+    /// fingerprint); `config` supplies the *representation* choices — store mode and
+    /// thread count — which may freely differ from the checkpointing process (the
+    /// differential oracles pin that executions are bit-identical across all of
+    /// them). The enabled-set mode may also differ, but it is trajectory-affecting,
+    /// not pure representation: [`ExecMode::FullRescan`] refreshes guards in node
+    /// order where [`ExecMode::Incremental`] refreshes in frontier order, so the
+    /// enabled list's layout — and with it the daemon's indexed picks — diverges,
+    /// exactly as it does between two fresh runs in different modes. The daemon
+    /// kind, its RNG stream and the fault RNG come from the snapshot: they are
+    /// execution state, not representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`RestoreError`] — never panics, never loads garbage — on a
+    /// snapshot of the wrong kind, for a different graph, or with a payload that does
+    /// not parse.
+    pub fn restore(
+        graph: &'g Graph,
+        algo: A,
+        snapshot: &Snapshot,
+        config: ExecutorConfig,
+    ) -> Result<Self, RestoreError> {
+        snapshot.expect_kind(persist::KIND_EXECUTOR)?;
+        let mut r = SnapshotReader::new(snapshot);
+        if r.next_word()? != persist::graph_fingerprint(graph) {
+            return Err(RestoreError::GraphMismatch);
+        }
+        let n = r.next_usize()?;
+        if n != graph.node_count() {
+            return Err(RestoreError::GraphMismatch);
+        }
+        let moves = r.next_word()?;
+        let steps = r.next_word()?;
+        let rounds = r.next_word()?;
+        let guard_evals = r.next_word()?;
+        let screen_hits = r.next_word()?;
+        let full_decodes = r.next_word()?;
+        let rng_state = [
+            r.next_word()?,
+            r.next_word()?,
+            r.next_word()?,
+            r.next_word()?,
+        ];
+        let kind = SchedulerKind::from_tag(r.next_word()?)
+            .ok_or(RestoreError::Malformed("unknown scheduler kind"))?;
+        let cursor = r.next_usize()?;
+        let sched_rng = [
+            r.next_word()?,
+            r.next_word()?,
+            r.next_word()?,
+            r.next_word()?,
+        ];
+        let activations = r.take(n)?.to_vec();
+        let round_count = r.next_usize()?;
+        let round_words = r.take(n.div_ceil(64))?.to_vec();
+        let peak_bits: Vec<usize> = r
+            .take(n)?
+            .iter()
+            .map(|&w| usize::try_from(w))
+            .collect::<Result<_, _>>()
+            .map_err(|_| RestoreError::Malformed("peak bits exceed usize"))?;
+        let enabled_len = r.next_usize()?;
+        if enabled_len > n {
+            return Err(RestoreError::Malformed(
+                "enabled list longer than the network",
+            ));
+        }
+        let enabled_order: Vec<usize> = r
+            .take(enabled_len)?
+            .iter()
+            .map(|&w| usize::try_from(w))
+            .collect::<Result<_, _>>()
+            .map_err(|_| RestoreError::Malformed("enabled node exceeds usize"))?;
+        let bit_len = r.next_usize()?;
+        let word_len = r.next_usize()?;
+        let stream = r.take(word_len)?;
+        r.expect_exhausted()?;
+        if bit_len > word_len * 64 || round_count > n {
+            return Err(RestoreError::Malformed("length field out of range"));
+        }
+        let ctx = CodecCtx::for_graph(graph);
+        let mut reader = BitReader::new(stream, 0);
+        let mut states: Vec<A::State> = Vec::with_capacity(n);
+        for _ in 0..n {
+            if reader.bits_read() > bit_len as u64 {
+                return Err(RestoreError::Malformed("state bitstream ended early"));
+            }
+            states.push(A::State::decode_from(&ctx, &mut reader));
+        }
+        if reader.bits_read() != bit_len as u64 {
+            return Err(RestoreError::Malformed("state bitstream length mismatch"));
+        }
+        let mut exec = Executor::with_states(
+            graph,
+            algo,
+            states,
+            ExecutorConfig {
+                scheduler: kind,
+                ..config
+            },
+        );
+        // The round bitset must be a subset of the (deterministically rebuilt) enabled
+        // set and agree with its population count — true of every self-produced
+        // snapshot, verified rather than assumed.
+        let mut popcount = 0usize;
+        for (word_idx, &word) in round_words.iter().enumerate() {
+            popcount += word.count_ones() as usize;
+            let mut bits = word;
+            while bits != 0 {
+                let v = (word_idx << 6) + bits.trailing_zeros() as usize;
+                if v >= n || !exec.in_enabled[v] {
+                    return Err(RestoreError::Malformed(
+                        "round bitset is not a subset of the enabled set",
+                    ));
+                }
+                bits &= bits - 1;
+            }
+        }
+        if popcount != round_count {
+            return Err(RestoreError::Malformed("round bitset population mismatch"));
+        }
+        // The serialized enabled order must be a permutation of the rebuilt enabled
+        // set; reimpose it so the daemons' indexed picks continue bit-identically.
+        if enabled_order.len() != exec.enabled_list.len() {
+            return Err(RestoreError::Malformed(
+                "enabled order does not match the enabled set",
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &v in &enabled_order {
+            if v >= n || !exec.in_enabled[v] || seen[v] {
+                return Err(RestoreError::Malformed(
+                    "enabled order does not match the enabled set",
+                ));
+            }
+            seen[v] = true;
+        }
+        exec.enabled_list = enabled_order.into_iter().map(NodeId).collect();
+        for (pos, &v) in exec.enabled_list.iter().enumerate() {
+            exec.enabled_pos[v.0] = pos;
+        }
+        exec.moves = moves;
+        exec.steps = steps;
+        exec.rounds = rounds;
+        exec.guard_evals = guard_evals;
+        exec.screen_hits = screen_hits;
+        exec.full_decodes = full_decodes;
+        exec.rng = StdRng::from_state(rng_state);
+        exec.scheduler = Scheduler::from_state(SchedulerState {
+            kind,
+            cursor,
+            rng: sched_rng,
+            activations,
+        });
+        exec.round_words = round_words;
+        exec.round_count = round_count;
+        exec.peak_bits = peak_bits;
+        Ok(exec)
     }
 }
 

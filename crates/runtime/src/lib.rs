@@ -40,6 +40,7 @@ pub mod bits;
 pub mod codec;
 pub mod executor;
 pub mod par;
+pub mod persist;
 pub mod register;
 pub mod scheduler;
 pub mod store;
@@ -51,7 +52,8 @@ pub use executor::{
     ExecError, ExecMode, Executor, ExecutorConfig, Quiescence, SpaceReport, StoreReport,
 };
 pub use par::ThreadPool;
+pub use persist::{RestoreError, Snapshot, SnapshotReader};
 pub use register::Register;
-pub use scheduler::{Scheduler, SchedulerKind};
+pub use scheduler::{Scheduler, SchedulerKind, SchedulerState};
 pub use store::{ConfigStore, StoreMode};
 pub use view::{NeighborInfo, NeighborView, RawView, View};

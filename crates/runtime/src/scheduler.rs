@@ -51,6 +51,31 @@ impl SchedulerKind {
     }
 }
 
+impl SchedulerKind {
+    /// Stable numeric tag for snapshot serialization (see `stst_runtime::persist`).
+    pub fn tag(self) -> u64 {
+        match self {
+            SchedulerKind::Central => 0,
+            SchedulerKind::Synchronous => 1,
+            SchedulerKind::RoundRobin => 2,
+            SchedulerKind::UniformRandom => 3,
+            SchedulerKind::Adversarial => 4,
+        }
+    }
+
+    /// Inverse of [`SchedulerKind::tag`]; `None` for an unknown tag.
+    pub fn from_tag(tag: u64) -> Option<SchedulerKind> {
+        Some(match tag {
+            0 => SchedulerKind::Central,
+            1 => SchedulerKind::Synchronous,
+            2 => SchedulerKind::RoundRobin,
+            3 => SchedulerKind::UniformRandom,
+            4 => SchedulerKind::Adversarial,
+            _ => return None,
+        })
+    }
+}
+
 impl std::fmt::Display for SchedulerKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -62,6 +87,22 @@ impl std::fmt::Display for SchedulerKind {
         };
         write!(f, "{name}")
     }
+}
+
+/// The checkpointable part of a daemon, captured by [`Scheduler::export_state`] and
+/// restored by [`Scheduler::from_state`]. Holds everything that influences future
+/// selections: the policy, the RNG stream position, the round-robin cursor and the
+/// per-node activation counts (the scratch mask is rebuilt on restore).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedulerState {
+    /// The scheduling policy.
+    pub kind: SchedulerKind,
+    /// Round-robin cursor.
+    pub cursor: usize,
+    /// Raw xoshiro256** RNG state.
+    pub rng: [u64; 4],
+    /// Per-node activation counts.
+    pub activations: Vec<u64>,
 }
 
 /// A stateful daemon: given the set of currently enabled nodes, selects the non-empty
@@ -95,6 +136,30 @@ impl Scheduler {
     /// The scheduling policy of this daemon.
     pub fn kind(&self) -> SchedulerKind {
         self.kind
+    }
+
+    /// Captures the daemon's full decision state for a checkpoint.
+    pub fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            kind: self.kind,
+            cursor: self.cursor,
+            rng: self.rng.state(),
+            activations: self.activations.clone(),
+        }
+    }
+
+    /// Rebuilds a daemon from a captured [`SchedulerState`]. The restored daemon
+    /// produces the exact selection stream the original would have from the capture
+    /// point on.
+    pub fn from_state(state: SchedulerState) -> Self {
+        let n = state.activations.len();
+        Scheduler {
+            kind: state.kind,
+            rng: StdRng::from_state(state.rng),
+            activations: state.activations,
+            cursor: if n == 0 { 0 } else { state.cursor % n },
+            mask: vec![false; n],
+        }
     }
 
     /// Remaps the daemon's per-node state after node churn: `old_index[i]` is the

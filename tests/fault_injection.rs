@@ -84,3 +84,62 @@ fn corrupting_every_register_is_just_a_fresh_start() {
     let q = exec.run_to_quiescence(5_000_000).unwrap();
     assert!(q.legal);
 }
+
+#[test]
+fn repeated_faults_on_the_same_register_are_absorbed() {
+    // An adversary that keeps hitting one node's register (the paper's transient
+    // faults need not be spread out) still leaves just another arbitrary
+    // configuration: the last overwrite wins and stabilization proceeds from there.
+    let g = generators::workload(30, 0.15, 53);
+    let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, ExecutorConfig::seeded(53));
+    exec.run_to_quiescence(5_000_000).unwrap();
+    for victim in [NodeId(0), NodeId(13), NodeId(29)] {
+        let flips = exec.corrupt_node_repeatedly(victim, 16);
+        assert!(
+            flips > 0,
+            "sixteen arbitrary overwrites must flip bits at least once"
+        );
+        let q = exec.run_to_quiescence(5_000_000).unwrap();
+        assert!(
+            q.legal,
+            "recovery after hammering {victim:?} sixteen times in a row"
+        );
+    }
+}
+
+#[test]
+fn stale_but_consistent_certificates_are_rejected_by_the_verification_wave() {
+    use self_stabilizing_spanning_trees::core::{
+        CompositionEngine, EngineConfig, EngineTask, PhaseEvent,
+    };
+
+    // The hardest corruption class: labels that are *internally* consistent — a
+    // complete, correct proof of the wrong tree — so no local syntactic check can
+    // reject them. The verification wave compares them against the maintained tree
+    // and must re-prove both certificate families.
+    let g = generators::workload(26, 0.25, 61);
+    let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(61));
+    let report = engine.run();
+    assert!(report.legal);
+
+    assert!(
+        engine.corrupt_stale_certificates(),
+        "the stale tree's certificates must differ from the maintained ones"
+    );
+    match engine.step() {
+        PhaseEvent::Recovered {
+            families_rebuilt,
+            labels_written,
+            rounds,
+        } => {
+            assert!(
+                families_rebuilt >= 2,
+                "stale NCA and redundant certificates must both be re-proved"
+            );
+            assert!(labels_written > 0);
+            assert!(rounds > 0, "recovery waves are charged real rounds");
+        }
+        other => panic!("stale certificates must be detected, got {other:?}"),
+    }
+    assert!(engine.report().legal, "the tree itself was never damaged");
+}
