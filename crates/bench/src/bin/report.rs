@@ -1,6 +1,6 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space] [--soak]`
+//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space] [--soak] [--trace] [--threads=N]`
 //!
 //! * `--json` emits machine-readable output — a `{host, tables}` document whose
 //!   `host` block records the logical core count and thread grid, so recorded
@@ -11,21 +11,49 @@
 //!   full sizes — what `BENCH_space.json` is recorded from;
 //! * `--soak` runs only the long-haul E12 soak at full size (MST composition soak at
 //!   composition scale, sync-BFS executor soak at n = 10⁶) and, with `--json`, emits
-//!   the `{host, runs}` time-series document recorded as `BENCH_soak.json`.
+//!   the `{host, runs}` time-series document recorded as `BENCH_soak.json`;
+//! * `--trace` runs the observability scenario (one enabled `Obs` handle across all
+//!   four layers) and checks every trace contract — non-empty trace, no drops, wave
+//!   ordering, byte-exact JSONL round-trip, determinism transparency, the guard-counter
+//!   invariant, and the disabled-cost overhead gate. Exits 1 when any contract fails
+//!   (the CI gate); with `--json` the document embeds the full trace and registry;
+//! * `--threads=N` pins the worker thread count (defaults to the host grid). The `=`
+//!   form is required: a bare value would be read as the seed.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed: u64 = args
         .iter()
         .skip(1)
+        .filter(|s| !s.starts_with("--"))
         .find_map(|s| s.parse().ok())
         .unwrap_or(2015);
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let space = args.iter().any(|a| a == "--space");
     let soak = args.iter().any(|a| a == "--soak");
+    let trace = args.iter().any(|a| a == "--trace");
+    let threads_override: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .and_then(|v| v.parse().ok());
+    if trace {
+        let threads = threads_override.unwrap_or_else(stst_bench::default_threads);
+        let (n, waves) = if smoke { (60, 8) } else { (2_000, 24) };
+        let doc = stst_bench::trace_report(n, waves, seed, threads);
+        if json {
+            println!("{}", doc.to_json(threads));
+        } else {
+            println!("{}", doc.to_markdown());
+        }
+        if !doc.passed() {
+            eprintln!("trace contracts FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
     if soak {
-        let threads = stst_bench::default_threads();
+        let threads = threads_override.unwrap_or_else(stst_bench::default_threads);
         let (engine_sizes, executor_sizes, waves) = if smoke {
             (vec![20usize], vec![400usize], 8)
         } else {
@@ -43,7 +71,7 @@ fn main() {
     let (tables, thread_grid) = if smoke {
         (stst_bench::smoke_report(seed), vec![2])
     } else if space {
-        let threads = stst_bench::default_threads();
+        let threads = threads_override.unwrap_or_else(stst_bench::default_threads);
         (
             vec![
                 stst_bench::e5_mst_space(&[16, 32, 64, 128], seed),
@@ -55,7 +83,7 @@ fn main() {
     } else {
         (
             stst_bench::full_report(seed),
-            vec![stst_bench::default_threads()],
+            vec![threads_override.unwrap_or_else(stst_bench::default_threads)],
         )
     };
     if json {

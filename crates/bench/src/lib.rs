@@ -9,7 +9,7 @@
 use stst_baselines::compact_mst::{self, CompactVariant};
 use stst_baselines::naive_reset::DistanceOnlySpanningTree;
 use stst_baselines::prior_mdst;
-use stst_churn::soak::{run_executor_soak, run_soak, SoakConfig, SoakReport};
+use stst_churn::soak::{run_executor_soak, run_soak, run_soak_observed, SoakConfig, SoakReport};
 use stst_churn::{trace, ChurnDriver};
 use stst_core::bfs::RootedBfs;
 use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
@@ -21,6 +21,7 @@ use stst_graph::{bfs, fr, generators, mst, Graph, NodeId};
 use stst_labeling::mst_fragments::fragment_guided_swap;
 use stst_labeling::redundant::RedundantScheme;
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
+use stst_obs::{check_wave_order, Obs, TraceBuffer, LAYERS};
 use stst_runtime::{Executor, ExecutorConfig, SchedulerKind, StoreMode};
 
 /// Renders a markdown table from a header and rows of strings.
@@ -1125,6 +1126,261 @@ pub fn soak_json(runs: &[(String, usize, SoakReport)], threads: usize) -> String
     out
 }
 
+/// Outcome of the observability scenario behind `report -- --trace`: one enabled
+/// [`Obs`] handle threaded through all four layers (a mixed soak for
+/// Soak/Engine/Executor, the churn driver for Churn, a timed sync-BFS for the
+/// overhead gate), with every trace-contract check evaluated.
+#[derive(Clone, Debug)]
+pub struct TraceReportDoc {
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Soak waves driven.
+    pub waves: usize,
+    /// Events retained in the ring.
+    pub event_count: usize,
+    /// Events evicted by ring overflow (must be 0 for the scenario's sizing).
+    pub dropped: u64,
+    /// Layer names that emitted at least one event (must be all four).
+    pub layers: Vec<String>,
+    /// First wave-ordering violation, if any.
+    pub wave_order_error: Option<String>,
+    /// Whether `emit -> parse -> re-emit` reproduced the JSONL byte for byte.
+    pub round_trip_ok: bool,
+    /// Whether the observed runs were bit-identical to unobserved twins
+    /// (soak series + engine checkpoint bytes + executor checkpoint bytes).
+    pub determinism_ok: bool,
+    /// Whether `executor_guard_screen_hits + executor_guard_full_decodes ==
+    /// executor_guard_evaluations` held in the registry.
+    pub guard_invariant_ok: bool,
+    /// Sync-BFS wall time with observability disabled, ms.
+    pub disabled_wall_ms: f64,
+    /// Sync-BFS wall time with the enabled handle attached, ms.
+    pub enabled_wall_ms: f64,
+    /// Whether the enabled run stayed within the overhead budget
+    /// (2x + 250 ms of the disabled run — loose, to absorb CI timer noise).
+    pub overhead_ok: bool,
+    /// The exported trace, one JSON object per line.
+    pub jsonl: String,
+    /// The metric registry in Prometheus text exposition.
+    pub prometheus: String,
+    /// The metric registry as a JSON object.
+    pub metrics_json: String,
+}
+
+impl TraceReportDoc {
+    /// `true` iff every contract the CI trace gate enforces held.
+    pub fn passed(&self) -> bool {
+        self.event_count > 0
+            && self.dropped == 0
+            && self.layers.len() == LAYERS.len()
+            && self.wave_order_error.is_none()
+            && self.round_trip_ok
+            && self.determinism_ok
+            && self.guard_invariant_ok
+            && self.overhead_ok
+    }
+
+    /// Human-readable summary (the non-`--json` output of `report -- --trace`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "# Trace report (n = {}, {} soak waves)\n\n\
+             | check | value |\n|---|---|\n\
+             | events | {} |\n\
+             | dropped | {} |\n\
+             | layers | {} |\n\
+             | wave order | {} |\n\
+             | JSONL round-trip | {} |\n\
+             | determinism transparency | {} |\n\
+             | guard-counter invariant | {} |\n\
+             | sync-BFS wall (disabled / enabled) | {:.1} ms / {:.1} ms |\n\
+             | overhead gate | {} |\n\
+             | verdict | {} |\n",
+            self.n,
+            self.waves,
+            self.event_count,
+            self.dropped,
+            self.layers.join(", "),
+            self.wave_order_error.as_deref().unwrap_or("ok"),
+            self.round_trip_ok,
+            self.determinism_ok,
+            self.guard_invariant_ok,
+            self.disabled_wall_ms,
+            self.enabled_wall_ms,
+            if self.overhead_ok { "ok" } else { "REGRESSED" },
+            if self.passed() { "PASS" } else { "FAIL" },
+        );
+        out.push_str("\n## Metrics\n\n```\n");
+        out.push_str(&self.prometheus);
+        out.push_str("```\n");
+        out
+    }
+
+    /// The `--trace --json` document: host metadata, the check results, the
+    /// full trace (each line is already a JSON object, so the export embeds
+    /// verbatim), and the registry dump.
+    pub fn to_json(&self, threads: usize) -> String {
+        let trace_array = format!(
+            "[{}]",
+            self.jsonl
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        format!(
+            "{{\"host\":{},\n \"checks\":{{\"n\":{},\"waves\":{},\"events\":{},\"dropped\":{},\
+             \"layers\":{},\"wave_order_error\":{},\"round_trip_ok\":{},\"determinism_ok\":{},\
+             \"guard_invariant_ok\":{},\"disabled_wall_ms\":{:.3},\"enabled_wall_ms\":{:.3},\
+             \"overhead_ok\":{},\"passed\":{}}},\n \"trace\":{},\n \"metrics\":{}}}",
+            host_metadata_json(&[threads]),
+            self.n,
+            self.waves,
+            self.event_count,
+            self.dropped,
+            json_string_array(&self.layers),
+            self.wave_order_error
+                .as_deref()
+                .map_or("null".to_string(), json_string),
+            self.round_trip_ok,
+            self.determinism_ok,
+            self.guard_invariant_ok,
+            self.disabled_wall_ms,
+            self.enabled_wall_ms,
+            self.overhead_ok,
+            self.passed(),
+            trace_array,
+            self.metrics_json,
+        )
+    }
+}
+
+/// Runs the combined observability scenario against one enabled [`Obs`] handle
+/// and evaluates every trace contract. Covers all four layers: the mixed soak
+/// (Soak waves, Engine phase waves, Executor waves from the build phase), the
+/// churn driver (Churn waves), and a timed sync-BFS pair for the disabled-cost
+/// overhead gate. Each observed run has an unobserved twin whose state must
+/// match bit for bit (determinism transparency).
+pub fn trace_report(n: usize, waves: usize, seed: u64, threads: usize) -> TraceReportDoc {
+    let obs = Obs::enabled();
+    let g = sparse_workload(n, n / 2, seed);
+
+    // Soak scenario: Soak + Engine (+ Executor via the engine's build phase).
+    let soak_config = SoakConfig {
+        waves,
+        threads,
+        scheduler: SchedulerKind::Synchronous,
+        max_steps: 100_000_000,
+        ..SoakConfig::smoke(seed)
+    };
+    let observed = run_soak_observed(&g, EngineTask::Mst, &soak_config, obs.clone());
+    let reference = run_soak(&g, EngineTask::Mst, &soak_config);
+    let soak_identical = observed.total_rounds == reference.total_rounds
+        && observed.events == reference.events
+        && observed.faults == reference.faults
+        && observed.restores == reference.restores
+        && observed
+            .samples
+            .iter()
+            .map(|s| s.recovery_rounds)
+            .eq(reference.samples.iter().map(|s| s.recovery_rounds));
+
+    // Churn scenario: the driver's Churn-layer waves, with a disabled twin
+    // compared through serialized engine state (bit-identity, not summaries).
+    let run_churn = |obs: Option<Obs>| {
+        let engine = CompositionEngine::new(
+            &g,
+            EngineTask::Mst,
+            EngineConfig::seeded(seed)
+                .with_scheduler(SchedulerKind::Synchronous)
+                .with_max_steps(100_000_000)
+                .with_threads(threads),
+        );
+        let mut driver = ChurnDriver::new(engine);
+        if let Some(obs) = obs {
+            driver.attach_obs(obs);
+        }
+        driver.stabilize();
+        let churn = trace::steady_poisson(&g, waves.min(6), 1.0, 0.0, seed);
+        driver.run_trace(&churn);
+        driver.into_engine().checkpoint().to_bytes()
+    };
+    let churn_identical = run_churn(Some(obs.clone())) == run_churn(None);
+
+    // Overhead gate: the packed sync-BFS hot path, disabled handle vs the
+    // enabled one. The disabled path must stay near-free; the bound is loose
+    // (2x + 250 ms) because CI wall clocks are noisy at smoke sizes — the
+    // million-node acceptance run pins the tight 5% bound.
+    let root_ident = g.ident(g.min_ident_node());
+    let bfs_config =
+        ExecutorConfig::with_scheduler(seed, SchedulerKind::Synchronous).with_threads(threads);
+    let timed_bfs = |handle: Obs| {
+        let start = std::time::Instant::now();
+        let mut exec = Executor::from_arbitrary(&g, RootedBfs::new(root_ident), bfs_config);
+        exec.attach_obs(handle);
+        exec.run_to_quiescence(50_000_000)
+            .expect("sync-BFS converges");
+        (
+            start.elapsed().as_secs_f64() * 1e3,
+            exec.checkpoint().to_bytes(),
+        )
+    };
+    let (disabled_wall_ms, bfs_disabled_state) = timed_bfs(Obs::disabled());
+    let (enabled_wall_ms, bfs_enabled_state) = timed_bfs(obs.clone());
+    let executor_identical = bfs_disabled_state == bfs_enabled_state;
+    let overhead_ok = enabled_wall_ms <= disabled_wall_ms * 2.0 + 250.0;
+
+    // Trace contracts.
+    let registry = obs.registry().expect("enabled handle");
+    let trace_buf = obs.trace().expect("enabled handle");
+    let events = trace_buf.snapshot();
+    let dropped = trace_buf.dropped();
+    let wave_order_error = check_wave_order(&events, dropped > 0).err();
+    let jsonl = trace_buf.to_jsonl();
+    let round_trip_ok = TraceBuffer::parse_jsonl(&jsonl)
+        .map(|parsed| {
+            let mut re_emitted = String::new();
+            for (seq, event) in &parsed {
+                re_emitted.push_str(&event.jsonl(*seq));
+                re_emitted.push('\n');
+            }
+            parsed == events && re_emitted == jsonl
+        })
+        .unwrap_or(false);
+    let layers: Vec<String> = LAYERS
+        .iter()
+        .filter(|layer| events.iter().any(|(_, e)| e.layer() == **layer))
+        .map(|layer| layer.as_str().to_string())
+        .collect();
+    let evals = registry
+        .counter_value("executor_guard_evaluations")
+        .unwrap_or(0);
+    let hits = registry
+        .counter_value("executor_guard_screen_hits")
+        .unwrap_or(0);
+    let decodes = registry
+        .counter_value("executor_guard_full_decodes")
+        .unwrap_or(0);
+    let guard_invariant_ok = evals > 0 && hits + decodes == evals;
+
+    TraceReportDoc {
+        n,
+        waves,
+        event_count: events.len(),
+        dropped,
+        layers,
+        wave_order_error,
+        round_trip_ok,
+        determinism_ok: soak_identical && churn_identical && executor_identical,
+        guard_invariant_ok,
+        disabled_wall_ms,
+        enabled_wall_ms,
+        overhead_ok,
+        jsonl,
+        prometheus: registry.prometheus_text(),
+        metrics_json: registry.json(),
+    }
+}
+
 /// Worker threads the full report measures with: the host's available parallelism,
 /// capped at 8 (the widest point of the `parallel_scale` sweep). Results are
 /// bit-identical at any value — this only affects wall clock and the recorded
@@ -1407,5 +1663,32 @@ mod tests {
             headers: vec!["a".into()],
             rows: vec![vec!["1".into()]],
         }]
+    }
+
+    #[test]
+    fn trace_report_passes_every_contract_at_smoke_size() {
+        let doc = trace_report(40, 6, 2015, 2);
+        assert!(
+            doc.passed(),
+            "trace contracts failed: events={} dropped={} layers={:?} order={:?} \
+             round_trip={} determinism={} guard={} overhead={}",
+            doc.event_count,
+            doc.dropped,
+            doc.layers,
+            doc.wave_order_error,
+            doc.round_trip_ok,
+            doc.determinism_ok,
+            doc.guard_invariant_ok,
+            doc.overhead_ok,
+        );
+        assert!(doc.event_count > 0);
+        assert_eq!(doc.layers.len(), 4, "all four layers must emit");
+        let md = doc.to_markdown();
+        assert!(md.contains("| verdict | PASS |"));
+        let json = doc.to_json(2);
+        assert!(json.starts_with("{\"host\":"));
+        assert!(json.contains("\"passed\":true"));
+        assert!(json.contains("\"trace\":[{\"seq\":"));
+        assert!(json.contains("\"metrics\":{"));
     }
 }

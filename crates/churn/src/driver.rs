@@ -3,6 +3,7 @@
 use stst_core::engine::{CompositionEngine, PhaseEvent};
 use stst_core::ConstructionReport;
 use stst_graph::Mutation;
+use stst_obs::{Layer, Obs, TraceEvent};
 
 use crate::event::TopologyEvent;
 use crate::trace::ChurnTrace;
@@ -63,6 +64,7 @@ pub struct ChurnSummary {
 pub struct ChurnDriver<'g> {
     engine: CompositionEngine<'g>,
     reports: Vec<EventReport>,
+    obs: Obs,
 }
 
 impl<'g> ChurnDriver<'g> {
@@ -71,7 +73,17 @@ impl<'g> ChurnDriver<'g> {
         ChurnDriver {
             engine,
             reports: Vec::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: every injected batch becomes one
+    /// Churn-layer trace wave (with its `TopologyDelta` and recovery rounds),
+    /// and the handle is forwarded to the wrapped engine so engine and
+    /// executor waves land in the same trace. Determinism-transparent.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs.clone();
+        self.engine.attach_obs(obs);
     }
 
     /// The wrapped engine.
@@ -110,6 +122,17 @@ impl<'g> ChurnDriver<'g> {
         let rounds_before = self.engine.total_rounds();
         let written_before = self.engine.labels_written();
         let switches_before = self.engine.improvements() as u64;
+        let obs_wave = if self.obs.is_enabled() {
+            let wave = self.obs.begin_wave(Layer::Churn);
+            self.obs.emit(TraceEvent::WaveStart {
+                layer: Layer::Churn,
+                wave,
+            });
+            self.obs.counter("churn_batches_injected").inc();
+            Some(wave)
+        } else {
+            None
+        };
         let report = match self.engine.apply_topology(&mutations) {
             PhaseEvent::Partitioned { components } => EventReport {
                 events: events.len(),
@@ -142,6 +165,26 @@ impl<'g> ChurnDriver<'g> {
             }
             other => unreachable!("apply_topology reports deltas, got {other:?}"),
         };
+        if let Some(wave) = obs_wave {
+            if report.applied {
+                self.obs
+                    .counter("churn_events_applied")
+                    .add(report.events as u64);
+                self.obs.emit(TraceEvent::TopologyDelta {
+                    layer: Layer::Churn,
+                    wave,
+                    dirty_nodes: report.dirty_nodes as u64,
+                    reanchored: report.reanchored as u64,
+                });
+            } else {
+                self.obs.counter("churn_batches_severed").inc();
+            }
+            self.obs.emit(TraceEvent::WaveEnd {
+                layer: Layer::Churn,
+                wave,
+                rounds: report.recovery_rounds,
+            });
+        }
         self.reports.push(report.clone());
         report
     }

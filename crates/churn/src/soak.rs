@@ -19,8 +19,13 @@ use std::time::Instant;
 use stst_core::engine::{CompositionEngine, EngineTask, PhaseEvent};
 use stst_core::{Algorithm, EngineConfig, Executor, ExecutorConfig, SchedulerKind, Snapshot};
 use stst_graph::{Graph, Mutation, NodeId};
+use stst_obs::{summarize_waves, Layer, Obs, TraceEvent, WavePoint};
 
 use crate::trace;
+
+/// Resident set size of the current process in bytes (re-exported from
+/// [`stst_obs`], where the sampler now lives so every harness shares it).
+pub use stst_obs::rss_bytes;
 
 /// Configuration of a soak run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -133,39 +138,18 @@ pub struct SoakReport {
     pub wall_ms: f64,
 }
 
-/// Resident set size of the current process in bytes, from `/proc/self/status`
-/// (`VmRSS`). Returns 0 on platforms without procfs — the soak still runs, the RSS
-/// column is just absent.
-pub fn rss_bytes() -> u64 {
-    #[cfg(target_os = "linux")]
-    {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmRSS:") {
-                    let kb = rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse::<u64>()
-                        .unwrap_or(0);
-                    return kb * 1024;
-                }
-            }
-        }
-        0
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        0
-    }
-}
-
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+/// Converts the soak time series into the shared summarizer's wave points.
+fn wave_points(samples: &[SoakSample]) -> Vec<WavePoint> {
+    samples
+        .iter()
+        .map(|s| WavePoint {
+            repair_ms: s.repair_ms,
+            recovery_rounds: s.recovery_rounds,
+            rss_bytes: s.rss_bytes,
+            checkpoint_ms: s.checkpoint_ms,
+            checkpoint_bytes: s.checkpoint_bytes,
+        })
+        .collect()
 }
 
 /// Runs a mixed churn + fault + checkpoint/restore soak against a fresh engine on
@@ -175,6 +159,22 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// network: kill-and-restore cycles then replace it wholesale, exactly like a
 /// process restart would.
 pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakReport {
+    run_soak_observed(graph, task, config, Obs::disabled())
+}
+
+/// [`run_soak`] with an observability handle attached: each wave of the soak
+/// becomes one Soak-layer trace wave carrying its fault, checkpoint and
+/// restore events, the handle rides down through the engine (and its inner
+/// executor), and the process RSS is sampled once per wave. Passing
+/// `Obs::disabled()` is exactly [`run_soak`] — instrumentation is
+/// determinism-transparent, so the measured series differs only in wall-clock
+/// noise.
+pub fn run_soak_observed(
+    graph: &Graph,
+    task: EngineTask,
+    config: &SoakConfig,
+    obs: Obs,
+) -> SoakReport {
     let start = Instant::now();
     let trace = trace::steady_poisson(
         graph,
@@ -195,6 +195,7 @@ pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakRep
             .expect("a self-produced boot snapshot restores")
             .0
     };
+    engine.attach_obs(obs.clone());
     engine.run();
 
     let mut samples = Vec::with_capacity(config.waves);
@@ -203,11 +204,20 @@ pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakRep
     let mut checkpoints = 0usize;
     let mut restores = 0usize;
     let mut restore_rebuilds = 0usize;
-    let mut silent_waves = 0usize;
 
     for (wave, batch) in trace.batches.iter().enumerate() {
         let rounds_before = engine.total_rounds();
         let repair_start = Instant::now();
+        let obs_wave = if obs.is_enabled() {
+            let w = obs.begin_wave(Layer::Soak);
+            obs.emit(TraceEvent::WaveStart {
+                layer: Layer::Soak,
+                wave: w,
+            });
+            Some(w)
+        } else {
+            None
+        };
 
         // Churn: lower the batch to graph mutations and let the engine repair.
         if !batch.is_empty() {
@@ -231,6 +241,14 @@ pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakRep
             engine.run();
             faults = engine.corrupt_random_labels(config.fault_burst).len();
             faults_total += faults;
+            if let Some(w) = obs_wave {
+                obs.counter("soak_faults_injected").add(faults as u64);
+                obs.emit(TraceEvent::CorruptionInjected {
+                    layer: Layer::Soak,
+                    wave: w,
+                    nodes: faults as u64,
+                });
+            }
         }
 
         // Checkpoint — possibly *carrying* the unresolved fault — and, on the
@@ -245,45 +263,76 @@ pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakRep
             checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
             checkpoint_bytes = bytes.len();
             checkpoints += 1;
+            if let Some(w) = obs_wave {
+                obs.counter("soak_checkpoints").inc();
+                obs.emit(TraceEvent::Checkpoint {
+                    layer: Layer::Soak,
+                    wave: w,
+                    bytes: bytes.len() as u64,
+                    ms: checkpoint_ms,
+                });
+            }
             if config.restore_period > 0 && checkpoints.is_multiple_of(config.restore_period) {
+                let restore_timer = obs.is_enabled().then(Instant::now);
                 let reloaded = Snapshot::from_bytes(&bytes)
                     .expect("a freshly serialized snapshot parses back");
                 let (next, outcome) = CompositionEngine::restore(&reloaded, config.threads.max(1))
                     .expect("a self-produced snapshot restores");
                 engine = next;
+                // A restored engine comes up with observability detached.
+                engine.attach_obs(obs.clone());
                 restores += 1;
                 restore_rebuilds += outcome.families_rebuilt;
                 restored = true;
+                if let Some(w) = obs_wave {
+                    obs.counter("soak_restores").inc();
+                    obs.emit(TraceEvent::Restore {
+                        layer: Layer::Soak,
+                        wave: w,
+                        bytes: bytes.len() as u64,
+                        ms: restore_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3),
+                    });
+                }
             }
         }
 
         // Recover to silence; everything since the injection is this wave's repair.
         engine.run();
         let recovery_rounds = engine.total_rounds() - rounds_before;
-        if recovery_rounds == 0 {
-            silent_waves += 1;
-        }
+        let rss = if obs.is_enabled() {
+            obs.sample_rss()
+        } else {
+            rss_bytes()
+        };
         samples.push(SoakSample {
             wave,
             events: batch.len(),
             faults,
             recovery_rounds,
             repair_ms: repair_start.elapsed().as_secs_f64() * 1e3,
-            rss_bytes: rss_bytes(),
+            rss_bytes: rss,
             checkpoint_ms,
             checkpoint_bytes,
             restored,
         });
+        if let Some(w) = obs_wave {
+            obs.emit(TraceEvent::WaveEnd {
+                layer: Layer::Soak,
+                wave: w,
+                rounds: recovery_rounds,
+            });
+        }
     }
 
     let report = engine.report();
-    let mut repair_sorted: Vec<f64> = samples.iter().map(|s| s.repair_ms).collect();
-    repair_sorted.sort_by(|a, b| a.partial_cmp(b).expect("repair times are finite"));
-    let checkpoint_times: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.checkpoint_bytes > 0)
-        .map(|s| s.checkpoint_ms)
-        .collect();
+    if obs.is_enabled() {
+        obs.emit(TraceEvent::SilenceReached {
+            layer: Layer::Soak,
+            wave: obs.peek_wave(Layer::Soak),
+            rounds: engine.total_rounds(),
+        });
+    }
+    let summary = summarize_waves(&wave_points(&samples));
     SoakReport {
         waves: samples.len(),
         events: events_total,
@@ -291,25 +340,13 @@ pub fn run_soak(graph: &Graph, task: EngineTask, config: &SoakConfig) -> SoakRep
         checkpoints,
         restores,
         restore_rebuilds,
-        peak_rss_bytes: samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0),
-        p50_repair_ms: percentile(&repair_sorted, 0.50),
-        p99_repair_ms: percentile(&repair_sorted, 0.99),
-        max_repair_ms: repair_sorted.last().copied().unwrap_or(0.0),
-        silence_ratio: if samples.is_empty() {
-            1.0
-        } else {
-            silent_waves as f64 / samples.len() as f64
-        },
-        mean_checkpoint_ms: if checkpoint_times.is_empty() {
-            0.0
-        } else {
-            checkpoint_times.iter().sum::<f64>() / checkpoint_times.len() as f64
-        },
-        max_checkpoint_bytes: samples
-            .iter()
-            .map(|s| s.checkpoint_bytes)
-            .max()
-            .unwrap_or(0),
+        peak_rss_bytes: summary.peak_rss_bytes,
+        p50_repair_ms: summary.p50_repair_ms,
+        p99_repair_ms: summary.p99_repair_ms,
+        max_repair_ms: summary.max_repair_ms,
+        silence_ratio: summary.silence_ratio,
+        mean_checkpoint_ms: summary.mean_checkpoint_ms,
+        max_checkpoint_bytes: summary.max_checkpoint_bytes,
         legal: report.legal,
         total_rounds: engine.total_rounds(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -334,11 +371,26 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
     algo: A,
     config: &SoakConfig,
 ) -> SoakReport {
+    run_executor_soak_observed(graph, algo, config, Obs::disabled())
+}
+
+/// [`run_executor_soak`] with an observability handle attached: the handle is
+/// attached to the executor (guard-batch and silence events at the Executor
+/// layer), each soak wave becomes one Soak-layer trace wave, and the process
+/// RSS is sampled once per wave. Passing `Obs::disabled()` is exactly
+/// [`run_executor_soak`].
+pub fn run_executor_soak_observed<A: Algorithm + Clone>(
+    graph: &Graph,
+    algo: A,
+    config: &SoakConfig,
+    obs: Obs,
+) -> SoakReport {
     let start = Instant::now();
     let exec_config = ExecutorConfig::with_scheduler(config.seed, config.scheduler)
         .with_threads(config.threads.max(1));
     let n = graph.node_count();
     let mut exec = Executor::from_arbitrary(graph, algo.clone(), exec_config);
+    exec.attach_obs(obs.clone());
     let mut legal = exec
         .run_to_quiescence(config.max_steps)
         .expect("initial stabilization converges")
@@ -349,11 +401,20 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
     let mut faults_total = 0usize;
     let mut checkpoints = 0usize;
     let mut restores = 0usize;
-    let mut silent_waves = 0usize;
 
     for wave in 0..config.waves {
         let rounds_before = exec.rounds();
         let repair_start = Instant::now();
+        let obs_wave = if obs.is_enabled() {
+            let w = obs.begin_wave(Layer::Soak);
+            obs.emit(TraceEvent::WaveStart {
+                layer: Layer::Soak,
+                wave: w,
+            });
+            Some(w)
+        } else {
+            None
+        };
 
         let mut faults = 0usize;
         if config.fault_period > 0 && (wave + 1) % config.fault_period == 0 {
@@ -365,6 +426,14 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
             }
             faults_total += faults;
             events_total += faults;
+            if let Some(w) = obs_wave {
+                obs.counter("soak_faults_injected").add(faults as u64);
+                obs.emit(TraceEvent::CorruptionInjected {
+                    layer: Layer::Soak,
+                    wave: w,
+                    nodes: faults as u64,
+                });
+            }
         }
 
         let mut checkpoint_ms = 0.0f64;
@@ -377,13 +446,34 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
             checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
             checkpoint_bytes = bytes.len();
             checkpoints += 1;
+            if let Some(w) = obs_wave {
+                obs.counter("soak_checkpoints").inc();
+                obs.emit(TraceEvent::Checkpoint {
+                    layer: Layer::Soak,
+                    wave: w,
+                    bytes: bytes.len() as u64,
+                    ms: checkpoint_ms,
+                });
+            }
             if config.restore_period > 0 && checkpoints.is_multiple_of(config.restore_period) {
+                let restore_timer = obs.is_enabled().then(Instant::now);
                 let reloaded = Snapshot::from_bytes(&bytes)
                     .expect("a freshly serialized snapshot parses back");
                 exec = Executor::restore(graph, algo.clone(), &reloaded, exec_config)
                     .expect("a self-produced snapshot restores");
+                // A restored executor comes up with observability detached.
+                exec.attach_obs(obs.clone());
                 restores += 1;
                 restored = true;
+                if let Some(w) = obs_wave {
+                    obs.counter("soak_restores").inc();
+                    obs.emit(TraceEvent::Restore {
+                        layer: Layer::Soak,
+                        wave: w,
+                        bytes: bytes.len() as u64,
+                        ms: restore_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3),
+                    });
+                }
             }
         }
 
@@ -392,29 +482,39 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
             .expect("recovery converges")
             .legal;
         let recovery_rounds = exec.rounds() - rounds_before;
-        if recovery_rounds == 0 {
-            silent_waves += 1;
-        }
+        let rss = if obs.is_enabled() {
+            obs.sample_rss()
+        } else {
+            rss_bytes()
+        };
         samples.push(SoakSample {
             wave,
             events: faults,
             faults,
             recovery_rounds,
             repair_ms: repair_start.elapsed().as_secs_f64() * 1e3,
-            rss_bytes: rss_bytes(),
+            rss_bytes: rss,
             checkpoint_ms,
             checkpoint_bytes,
             restored,
         });
+        if let Some(w) = obs_wave {
+            obs.emit(TraceEvent::WaveEnd {
+                layer: Layer::Soak,
+                wave: w,
+                rounds: recovery_rounds,
+            });
+        }
     }
 
-    let mut repair_sorted: Vec<f64> = samples.iter().map(|s| s.repair_ms).collect();
-    repair_sorted.sort_by(|a, b| a.partial_cmp(b).expect("repair times are finite"));
-    let checkpoint_times: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.checkpoint_bytes > 0)
-        .map(|s| s.checkpoint_ms)
-        .collect();
+    if obs.is_enabled() {
+        obs.emit(TraceEvent::SilenceReached {
+            layer: Layer::Soak,
+            wave: obs.peek_wave(Layer::Soak),
+            rounds: exec.rounds(),
+        });
+    }
+    let summary = summarize_waves(&wave_points(&samples));
     SoakReport {
         waves: samples.len(),
         events: events_total,
@@ -422,25 +522,13 @@ pub fn run_executor_soak<A: Algorithm + Clone>(
         checkpoints,
         restores,
         restore_rebuilds: 0,
-        peak_rss_bytes: samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0),
-        p50_repair_ms: percentile(&repair_sorted, 0.50),
-        p99_repair_ms: percentile(&repair_sorted, 0.99),
-        max_repair_ms: repair_sorted.last().copied().unwrap_or(0.0),
-        silence_ratio: if samples.is_empty() {
-            1.0
-        } else {
-            silent_waves as f64 / samples.len() as f64
-        },
-        mean_checkpoint_ms: if checkpoint_times.is_empty() {
-            0.0
-        } else {
-            checkpoint_times.iter().sum::<f64>() / checkpoint_times.len() as f64
-        },
-        max_checkpoint_bytes: samples
-            .iter()
-            .map(|s| s.checkpoint_bytes)
-            .max()
-            .unwrap_or(0),
+        peak_rss_bytes: summary.peak_rss_bytes,
+        p50_repair_ms: summary.p50_repair_ms,
+        p99_repair_ms: summary.p99_repair_ms,
+        max_repair_ms: summary.max_repair_ms,
+        silence_ratio: summary.silence_ratio,
+        mean_checkpoint_ms: summary.mean_checkpoint_ms,
+        max_checkpoint_bytes: summary.max_checkpoint_bytes,
         legal,
         total_rounds: exec.rounds(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,

@@ -49,6 +49,8 @@ use stst_runtime::persist::{RestoreError, Snapshot, SnapshotReader, KIND_ENGINE}
 use stst_runtime::store::{ConfigStore, StoreMode};
 use stst_runtime::{Codec, CodecCtx, Executor, ExecutorConfig, StoreReport};
 
+use stst_obs::{Family, Layer, Obs, TraceEvent};
+
 /// Minimum network size before the engine's per-node verification waves go through
 /// the pool (below this, spawn overhead dominates). Results are unaffected.
 const PAR_VERIFY_MIN: usize = 256;
@@ -127,6 +129,19 @@ pub enum PhaseEvent {
         /// Whether the stabilized tree satisfies the task's legality predicate.
         legal: bool,
     },
+}
+
+/// Rounds charged by the step an event reports (0 for the events that charge
+/// none) — the `rounds` field of the trace wave that wraps the step.
+fn event_rounds(event: &PhaseEvent) -> u64 {
+    match event {
+        PhaseEvent::TreeConstructed { rounds }
+        | PhaseEvent::LabelsReady { rounds, .. }
+        | PhaseEvent::Switched { rounds, .. }
+        | PhaseEvent::Recovered { rounds, .. }
+        | PhaseEvent::TopologyApplied { rounds, .. } => *rounds,
+        PhaseEvent::Partitioned { .. } | PhaseEvent::Stabilized { .. } => 0,
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -453,6 +468,13 @@ pub struct CompositionEngine<'g> {
     labels_written: u64,
     max_register_bits: usize,
     legal: bool,
+    /// Observability handle ([`CompositionEngine::attach_obs`]); disabled by default.
+    /// Every engine entry point (`step`, `apply_topology`) opens one Engine-layer
+    /// trace wave, and the phase bodies emit per-family `Repair` events inside it.
+    obs: Obs,
+    /// Wave index of the Engine-layer trace wave currently open (None between waves;
+    /// always None while `obs` is disabled).
+    obs_wave: Option<u64>,
 }
 
 impl<'g> CompositionEngine<'g> {
@@ -481,7 +503,29 @@ impl<'g> CompositionEngine<'g> {
             labels_written: 0,
             max_register_bits: 0,
             legal: false,
+            obs: Obs::disabled(),
+            obs_wave: None,
         }
+    }
+
+    /// Attaches an observability handle: subsequent phase steps and topology deltas
+    /// emit Engine-layer trace waves (with `Repair`, `TopologyDelta`,
+    /// `CorruptionInjected` and `SilenceReached` events) into its ring, per-phase
+    /// wall-time spans into its histograms, and the run totals into its gauges. The
+    /// handle is also passed down to the guarded-rule executor of the build phase, so
+    /// one enabled handle yields a unified executor + engine trace.
+    ///
+    /// Instrumentation is determinism-transparent: attaching an enabled handle never
+    /// changes a bit of the run (pinned by `tests/parallel_determinism.rs`).
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.obs_wave = None;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`CompositionEngine::attach_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The current tree.
@@ -562,6 +606,57 @@ impl<'g> CompositionEngine<'g> {
 
     /// Advances the composition by one phase step.
     pub fn step(&mut self) -> PhaseEvent {
+        if !self.obs.is_enabled() {
+            return self.step_inner();
+        }
+        let span_name = if self.corrupted {
+            "engine_recover"
+        } else {
+            match self.phase {
+                Phase::Build => "engine_build",
+                Phase::Label => "engine_label",
+                Phase::Improve => "engine_improve",
+                Phase::Done => "engine_done",
+            }
+        };
+        let wave = self.obs.begin_wave(Layer::Engine);
+        self.obs_wave = Some(wave);
+        self.obs.emit(TraceEvent::WaveStart {
+            layer: Layer::Engine,
+            wave,
+        });
+        let span = self.obs.span(span_name);
+        let event = self.step_inner();
+        drop(span);
+        self.obs_wave = None;
+        if let PhaseEvent::Stabilized { .. } = event {
+            self.obs.emit(TraceEvent::SilenceReached {
+                layer: Layer::Engine,
+                wave,
+                rounds: self.ledger.total(),
+            });
+            self.obs
+                .gauge("engine_total_rounds")
+                .set(self.ledger.total());
+            self.obs
+                .gauge("engine_labels_written")
+                .set(self.labels_written);
+            self.obs
+                .gauge("engine_improvements")
+                .set(self.improvements as u64);
+            self.obs
+                .gauge("engine_max_register_bits")
+                .set(self.max_register_bits as u64);
+        }
+        self.obs.emit(TraceEvent::WaveEnd {
+            layer: Layer::Engine,
+            wave,
+            rounds: event_rounds(&event),
+        });
+        event
+    }
+
+    fn step_inner(&mut self) -> PhaseEvent {
         if self.corrupted {
             return self.recover();
         }
@@ -571,6 +666,13 @@ impl<'g> CompositionEngine<'g> {
             Phase::Improve => self.improve(),
             Phase::Done => PhaseEvent::Stabilized { legal: self.legal },
         }
+    }
+
+    /// The Engine-layer wave to stamp on events emitted mid-step; events at a
+    /// wave boundary (fault hooks) stamp the wave the next step will open.
+    fn obs_current_wave(&self) -> u64 {
+        self.obs_wave
+            .unwrap_or_else(|| self.obs.peek_wave(Layer::Engine))
     }
 
     /// Applies a batch of live topology mutations — links failing, weights drifting,
@@ -612,6 +714,54 @@ impl<'g> CompositionEngine<'g> {
     /// Panics if a label repair is pending or injected corruption is unresolved, or if
     /// a mutation itself is invalid (see [`Graph::apply_mutations`]).
     pub fn apply_topology(&mut self, mutations: &[Mutation]) -> PhaseEvent {
+        if !self.obs.is_enabled() {
+            return self.apply_topology_inner(mutations);
+        }
+        let wave = self.obs.begin_wave(Layer::Engine);
+        self.obs_wave = Some(wave);
+        self.obs.emit(TraceEvent::WaveStart {
+            layer: Layer::Engine,
+            wave,
+        });
+        let span = self.obs.span("engine_topology");
+        let event = self.apply_topology_inner(mutations);
+        drop(span);
+        self.obs_wave = None;
+        if let PhaseEvent::TopologyApplied {
+            dirty_nodes,
+            reanchored,
+            labels_written,
+            ..
+        } = event
+        {
+            self.obs.counter("engine_topology_deltas").inc();
+            self.obs.emit(TraceEvent::TopologyDelta {
+                layer: Layer::Engine,
+                wave,
+                dirty_nodes: dirty_nodes as u64,
+                reanchored: reanchored as u64,
+            });
+            if labels_written > 0 {
+                // The eager fragment repair is the only label write a delta
+                // performs; NCA/redundant repair lands in the next label wave.
+                self.obs.emit(TraceEvent::Repair {
+                    layer: Layer::Engine,
+                    wave,
+                    family: Family::Fragments,
+                    dirty_nodes: dirty_nodes as u64,
+                    labels_written,
+                });
+            }
+        }
+        self.obs.emit(TraceEvent::WaveEnd {
+            layer: Layer::Engine,
+            wave,
+            rounds: event_rounds(&event),
+        });
+        event
+    }
+
+    fn apply_topology_inner(&mut self, mutations: &[Mutation]) -> PhaseEvent {
         assert!(
             self.pending.is_none() && !self.corrupted,
             "topology deltas are wave-boundary events"
@@ -806,6 +956,7 @@ impl<'g> CompositionEngine<'g> {
         let exec_config = ExecutorConfig::with_scheduler(self.config.seed, self.config.scheduler)
             .with_threads(self.config.threads);
         let mut exec = Executor::from_arbitrary(&self.graph, MinIdSpanningTree, exec_config);
+        exec.attach_obs(self.obs.clone());
         let quiescence = exec
             .run_to_quiescence(self.config.max_steps)
             .expect("the spanning-tree phase converges on connected graphs");
@@ -843,6 +994,13 @@ impl<'g> CompositionEngine<'g> {
                 self.labels_written += written;
                 self.ledger
                     .charge("fragment label repair (dirty region)", repair_rounds);
+                self.obs.emit(TraceEvent::Repair {
+                    layer: Layer::Engine,
+                    wave: self.obs_current_wave(),
+                    family: Family::Fragments,
+                    dirty_nodes: pending.path_len,
+                    labels_written: written,
+                });
             }
             let mut seeds = pending.region.structurally_dirty.clone();
             for &x in &pending.region.size_dirty {
@@ -861,6 +1019,13 @@ impl<'g> CompositionEngine<'g> {
             self.labels_written += written;
             self.ledger
                 .charge("NCA label repair (dirty region)", repair_rounds);
+            self.obs.emit(TraceEvent::Repair {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                family: Family::Nca,
+                dirty_nodes: seeds.len() as u64,
+                labels_written: written,
+            });
             let written = repair_redundant_labels(
                 &mut self.redundant,
                 &state.depths,
@@ -871,6 +1036,14 @@ impl<'g> CompositionEngine<'g> {
             self.labels_written += written;
             self.ledger
                 .charge("redundant label repair (dirty region)", repair_rounds);
+            self.obs.emit(TraceEvent::Repair {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                family: Family::Redundant,
+                dirty_nodes: (pending.region.depth_dirty.len() + pending.region.size_dirty.len())
+                    as u64,
+                labels_written: written,
+            });
             if self.task == EngineTask::Mdst {
                 self.charge_fr_marking();
             }
@@ -926,10 +1099,13 @@ impl<'g> CompositionEngine<'g> {
                 fragment_rounds,
             );
             self.labels_written += n;
+            self.obs_note_from_scratch(Family::Fragments, n);
             self.ledger.charge("NCA labels", nca_rounds);
             self.labels_written += n;
+            self.obs_note_from_scratch(Family::Nca, n);
             self.ledger.charge("redundant labels", redundant_rounds);
             self.labels_written += n;
+            self.obs_note_from_scratch(Family::Redundant, n);
         } else {
             self.charge_fr_marking();
             let graph: &Graph = &self.graph;
@@ -944,8 +1120,24 @@ impl<'g> CompositionEngine<'g> {
             self.redundant = redundant;
             self.ledger.charge("NCA labels", nca_rounds);
             self.labels_written += n;
+            self.obs_note_from_scratch(Family::Nca, n);
             self.ledger.charge("redundant labels", redundant_rounds);
             self.labels_written += n;
+            self.obs_note_from_scratch(Family::Redundant, n);
+        }
+    }
+
+    /// Emits the Repair trace event of a from-scratch family proof (`n` nodes
+    /// dirty, `n` labels written). No-op when observability is disabled.
+    fn obs_note_from_scratch(&self, family: Family, n: u64) {
+        if self.obs.is_enabled() {
+            self.obs.emit(TraceEvent::Repair {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                family,
+                dirty_nodes: n,
+                labels_written: n,
+            });
         }
     }
 
@@ -1253,6 +1445,16 @@ impl<'g> CompositionEngine<'g> {
             hit.push(v);
         }
         self.corrupted = true;
+        if !hit.is_empty() && self.obs.is_enabled() {
+            self.obs
+                .counter("engine_corruptions_injected")
+                .add(hit.len() as u64);
+            self.obs.emit(TraceEvent::CorruptionInjected {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                nodes: hit.len() as u64,
+            });
+        }
         hit
     }
 
@@ -1302,6 +1504,7 @@ impl<'g> CompositionEngine<'g> {
                 self.fragments = Some(fresh);
                 self.labels_written += n;
                 families_rebuilt += 1;
+                self.obs_note_from_scratch(Family::Fragments, n);
             }
         }
         if !self.verification_wave_accepts(&NcaScheme, &instance, &self.nca) {
@@ -1309,14 +1512,21 @@ impl<'g> CompositionEngine<'g> {
             rounds += waves::nca_labeling_rounds(tree);
             self.labels_written += n;
             families_rebuilt += 1;
+            self.obs_note_from_scratch(Family::Nca, n);
         }
         if !self.verification_wave_accepts(&RedundantScheme, &instance, &self.redundant) {
             self.redundant = RedundantScheme.prove(&self.graph, tree);
             rounds += waves::convergecast_rounds(tree) + waves::broadcast_rounds(tree);
             self.labels_written += n;
             families_rebuilt += 1;
+            self.obs_note_from_scratch(Family::Redundant, n);
         }
         self.ledger.charge("label corruption recovery", rounds);
+        if families_rebuilt > 0 {
+            self.obs
+                .counter("engine_families_rebuilt")
+                .add(families_rebuilt as u64);
+        }
         if self.phase == Phase::Done {
             // Re-examine silence: the rebuilt labels certify the unchanged tree, so the
             // next improve step re-reports stabilization.
@@ -1380,6 +1590,16 @@ impl<'g> CompositionEngine<'g> {
         self.nca = stale_nca;
         self.redundant = stale_redundant;
         self.corrupted = true;
+        if self.obs.is_enabled() {
+            self.obs
+                .counter("engine_corruptions_injected")
+                .add(n as u64);
+            self.obs.emit(TraceEvent::CorruptionInjected {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                nodes: n as u64,
+            });
+        }
         differs
     }
 
@@ -1398,6 +1618,7 @@ impl<'g> CompositionEngine<'g> {
     ///
     /// [`stst-churn` driver's discipline]: PhaseEvent
     pub fn checkpoint(&self) -> Snapshot {
+        let timer = self.obs.is_enabled().then(std::time::Instant::now);
         let n = self.graph.node_count();
         let mut words: Vec<u64> = vec![match self.task {
             EngineTask::Mst => 0,
@@ -1459,7 +1680,16 @@ impl<'g> CompositionEngine<'g> {
             push_labels(&mut words, &self.nca, &self.ctx);
             push_labels(&mut words, &self.redundant, &self.ctx);
         }
-        Snapshot::new(KIND_ENGINE, words)
+        let snapshot = Snapshot::new(KIND_ENGINE, words);
+        if let Some(started) = timer {
+            self.obs.emit(TraceEvent::Checkpoint {
+                layer: Layer::Engine,
+                wave: self.obs_current_wave(),
+                bytes: snapshot.byte_len() as u64,
+                ms: started.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+        snapshot
     }
 
     /// Rebuilds an engine from a [`Snapshot`] written by
@@ -1624,6 +1854,8 @@ impl<'g> CompositionEngine<'g> {
             labels_written,
             max_register_bits,
             legal,
+            obs: Obs::disabled(),
+            obs_wave: None,
         };
         let mut outcome = RestoreOutcome {
             families_rebuilt: 0,

@@ -1,0 +1,284 @@
+//! `stst-obs`: zero-dependency observability for the stabilization stack.
+//!
+//! Three facilities behind one cheap handle ([`Obs`]):
+//!
+//! * a **metrics registry** — named counters, gauges, and log2-bucketed
+//!   histograms with Prometheus-style text exposition and a JSON dump
+//!   ([`metrics`]);
+//! * **typed trace events** at wave granularity, captured into a bounded
+//!   ring buffer with byte-exact JSONL export ([`trace`]);
+//! * **profiling hooks** — wall-time [`Span`]s and a process RSS sampler
+//!   ([`rss_bytes`]), plus the shared wave-series summarizer the soak
+//!   harness aggregates with ([`summary`]).
+//!
+//! # Determinism transparency
+//!
+//! Instrumentation must never change what a run computes. The contract,
+//! pinned by the repo-level oracles (`tests/parallel_determinism.rs`,
+//! `tests/packed_store_oracle.rs`): a run with an enabled `Obs` attached is
+//! bit-identical to the same run with observability disabled. The crate is
+//! designed so that holding the contract is easy:
+//!
+//! * `Obs` is a nullable handle. Disabled, every operation is a single
+//!   `Option` check — no clocks, no allocation, no locks, no RNG.
+//! * Nothing in this crate draws randomness or feeds anything back into the
+//!   instrumented computation; emitters only *read* state they already
+//!   maintain (counter deltas, wave indices, snapshot sizes).
+//! * Events are emitted at wave boundaries on the coordinating thread,
+//!   never from inside parallel guard evaluation, so thread scheduling
+//!   cannot reorder a trace.
+//! * Wall-clock readings (`ms` fields, spans, RSS) are observational
+//!   outputs only; no control flow in the instrumented crates branches on
+//!   them.
+
+pub mod metrics;
+pub mod span;
+pub mod summary;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use span::Span;
+pub use summary::{percentile, summarize_waves, WavePoint, WaveSeriesSummary};
+pub use trace::{
+    check_wave_order, Family, Layer, TraceBuffer, TraceEvent, TraceParseError, LAYERS,
+};
+
+/// Default trace ring capacity: ample for any CI scenario while bounding a
+/// runaway soak to a few MiB of retained events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Shared state behind an enabled [`Obs`] handle.
+#[derive(Debug)]
+pub struct ObsCore {
+    registry: Registry,
+    trace: TraceBuffer,
+    /// Per-layer wave allocators (see [`Obs::begin_wave`]).
+    waves: [AtomicU64; 4],
+}
+
+/// The observability handle threaded through executors, engines, drivers,
+/// and harnesses. `Obs::disabled()` (also `Default`) is a null handle whose
+/// every operation reduces to one branch; `Obs::enabled()` carries a shared
+/// registry + trace ring. Cloning shares the core, so attaching one enabled
+/// handle across layers produces a single unified trace and metric set.
+#[derive(Clone, Debug, Default)]
+pub struct Obs(Option<Arc<ObsCore>>);
+
+impl Obs {
+    /// The null handle: records nothing, costs one branch per call site.
+    pub fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// An enabled handle with the default trace capacity.
+    pub fn enabled() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled handle whose trace ring holds at most `capacity` events.
+    /// The ring's `dropped_events` counter is pre-registered so a truncated
+    /// trace is always detectable from the registry.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        let registry = Registry::new();
+        let dropped = registry.counter("trace_dropped_events");
+        Obs(Some(Arc::new(ObsCore {
+            trace: TraceBuffer::new(capacity, dropped),
+            registry,
+            waves: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        })))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The metric registry, when enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.0.as_deref().map(|core| &core.registry)
+    }
+
+    /// The trace ring, when enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.0.as_deref().map(|core| &core.trace)
+    }
+
+    /// Pushes a trace event (no-op when disabled).
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(core) = &self.0 {
+            core.trace.push(event);
+        }
+    }
+
+    /// Allocates the next wave index for `layer`. Wave indices are global
+    /// per layer within one `Obs` core, so several components emitting into
+    /// the same layer (e.g. the engine's inner executor after a standalone
+    /// executor) still produce one monotone wave sequence. Returns 0 when
+    /// disabled.
+    pub fn begin_wave(&self, layer: Layer) -> u64 {
+        match &self.0 {
+            Some(core) => core.waves[layer.index()].fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// The index the next `begin_wave(layer)` would return — used to stamp
+    /// events that occur between waves. Returns 0 when disabled.
+    pub fn peek_wave(&self, layer: Layer) -> u64 {
+        match &self.0 {
+            Some(core) => core.waves[layer.index()].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A counter handle for `name` (no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            Some(core) => core.registry.counter(name),
+            None => Counter::noop(),
+        }
+    }
+
+    /// A gauge handle for `name` (no-op handle when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            Some(core) => core.registry.gauge(name),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// A histogram handle for `name` (no-op handle when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.0 {
+            Some(core) => core.registry.histogram(name),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Starts a wall-time span recording into the histogram
+    /// `span_<name>_us`. Disabled handles return a span that never reads
+    /// the clock.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.0 {
+            Some(core) => Span::start(core.registry.histogram(&format!("span_{name}_us"))),
+            None => Span::disabled(),
+        }
+    }
+
+    /// Samples the process RSS, publishes it to the `process_rss_bytes`
+    /// gauge and the `process_peak_rss_bytes` high-water gauge, and returns
+    /// the reading. When disabled, samples nothing and returns 0.
+    pub fn sample_rss(&self) -> u64 {
+        match &self.0 {
+            Some(core) => {
+                let rss = rss_bytes();
+                core.registry.gauge("process_rss_bytes").set(rss);
+                core.registry.gauge("process_peak_rss_bytes").set_max(rss);
+                rss
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Resident set size of the current process in bytes, from
+/// `/proc/self/status` (`VmRSS`). Returns 0 on platforms without procfs —
+/// callers still run, the RSS column is just absent.
+pub fn rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmRSS:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert!(obs.registry().is_none());
+        assert!(obs.trace().is_none());
+        obs.emit(TraceEvent::WaveStart {
+            layer: Layer::Executor,
+            wave: 0,
+        });
+        assert_eq!(obs.begin_wave(Layer::Executor), 0);
+        assert_eq!(obs.begin_wave(Layer::Executor), 0);
+        obs.counter("c").inc();
+        obs.gauge("g").set(1);
+        obs.histogram("h").observe(1);
+        assert_eq!(obs.span("s").finish(), 0.0);
+        assert_eq!(obs.sample_rss(), 0);
+    }
+
+    #[test]
+    fn enabled_handle_shares_core_across_clones() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.counter("hits").add(3);
+        obs.counter("hits").add(2);
+        assert_eq!(obs.registry().unwrap().counter_value("hits"), Some(5));
+        clone.emit(TraceEvent::WaveStart {
+            layer: Layer::Engine,
+            wave: 0,
+        });
+        assert_eq!(obs.trace().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wave_allocation_is_monotone_per_layer() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.begin_wave(Layer::Executor), 0);
+        assert_eq!(obs.begin_wave(Layer::Executor), 1);
+        assert_eq!(obs.peek_wave(Layer::Executor), 2);
+        // Layers allocate independently.
+        assert_eq!(obs.begin_wave(Layer::Engine), 0);
+        assert_eq!(obs.peek_wave(Layer::Soak), 0);
+    }
+
+    #[test]
+    fn span_lands_in_named_histogram() {
+        let obs = Obs::enabled();
+        obs.span("unit").finish();
+        let names = obs.registry().unwrap().names();
+        assert!(names.contains(&"span_unit_us".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn sample_rss_publishes_gauges_on_linux() {
+        let obs = Obs::enabled();
+        let rss = obs.sample_rss();
+        let registry = obs.registry().unwrap();
+        assert_eq!(registry.gauge_value("process_rss_bytes"), Some(rss));
+        assert_eq!(registry.gauge_value("process_peak_rss_bytes"), Some(rss));
+        #[cfg(target_os = "linux")]
+        assert!(rss > 0, "VmRSS should be readable on Linux");
+    }
+}

@@ -1,0 +1,459 @@
+//! Metrics registry: named counters, gauges, and log2-bucketed histograms.
+//!
+//! Handles (`Counter`, `Gauge`, `Histogram`) are cheap clones of an
+//! `Arc<AtomicU64>` (or the histogram equivalent); recording a value is a
+//! single relaxed atomic op and never takes the registry lock. A handle
+//! obtained from a no-op constructor records nothing, so instrumented code
+//! can hold handles unconditionally and pay only a null-check when
+//! observability is disabled.
+//!
+//! Exposition is deterministic: metric names are kept in a `BTreeMap`, so
+//! both the Prometheus text format and the JSON dump list metrics in sorted
+//! name order regardless of registration order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`. 64 power-of-two buckets plus the zero
+/// bucket cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that records nothing (disabled observability).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-value gauge handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that records nothing (disabled observability).
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current reading
+    /// (peak tracking, e.g. high-water RSS).
+    pub fn set_max(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log2-bucketed histogram handle. Cloning shares the underlying cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// A handle that records nothing (disabled observability).
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Bucket index for `value`: 0 for 0, otherwise `bit_length(value)` so
+    /// that bucket `i` holds `[2^(i-1), 2^i)`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `index` (0 for the zero bucket).
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        assert!(index < HISTOGRAM_BUCKETS);
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index` (`2^index - 1`).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        assert!(index < HISTOGRAM_BUCKETS);
+        if index == 0 {
+            0
+        } else if index == 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Raw (non-cumulative) count of bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        assert!(index < HISTOGRAM_BUCKETS);
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.buckets[index].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Named-metric registry. `counter`/`gauge`/`histogram` get-or-register a
+/// metric and hand back a lock-free handle; re-requesting a name returns a
+/// handle to the same cells, so independent components (e.g. the engine's
+/// inner executor and a standalone executor) sharing a registry accumulate
+/// into one metric.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or re-opens) a counter. Panics if `name` is already
+    /// registered as a different metric kind — that is a programming error,
+    /// not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(cell) => Counter(Some(Arc::clone(cell))),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-opens) a gauge. Panics on kind mismatch.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Gauge(cell) => Gauge(Some(Arc::clone(cell))),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-opens) a histogram. Panics on kind mismatch.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCells::new())));
+        match metric {
+            Metric::Histogram(cells) => Histogram(Some(Arc::clone(cells))),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Current value of a registered counter, if any.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(cell)) => Some(cell.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Current value of a registered gauge, if any.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Gauge(cell)) => Some(cell.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Sorted names of all registered metrics.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Prometheus text exposition. Histogram buckets are cumulative with
+    /// `le` set to the inclusive upper bound of each non-empty prefix of the
+    /// log2 bucket ladder, ending with `+Inf`.
+    pub fn prometheus_text(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(cell) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name} {}\n", cell.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(cell) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", cell.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(cells) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let counts: Vec<u64> = cells
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let highest = counts.iter().rposition(|&c| c > 0);
+                    let mut cumulative = 0u64;
+                    if let Some(highest) = highest {
+                        for (index, &count) in counts.iter().enumerate().take(highest + 1) {
+                            cumulative += count;
+                            let le = Histogram::bucket_upper_bound(index);
+                            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                        }
+                    }
+                    let count = cells.count.load(Ordering::Relaxed);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+                    out.push_str(&format!(
+                        "{name}_sum {}\n",
+                        cells.sum.load(Ordering::Relaxed)
+                    ));
+                    out.push_str(&format!("{name}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON dump of every metric, names sorted. Histograms list only their
+    /// non-empty buckets as `[lower_bound, count]` pairs.
+    pub fn json(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(cell) => {
+                    counters.push(format!("\"{name}\":{}", cell.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(cell) => {
+                    gauges.push(format!("\"{name}\":{}", cell.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(cells) => {
+                    let buckets: Vec<String> = cells
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(index, bucket)| {
+                            let count = bucket.load(Ordering::Relaxed);
+                            (count > 0).then(|| {
+                                format!("[{},{count}]", Histogram::bucket_lower_bound(index))
+                            })
+                        })
+                        .collect();
+                    histograms.push(format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        cells.count.load(Ordering::Relaxed),
+                        cells.sum.load(Ordering::Relaxed),
+                        buckets.join(",")
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let registry = Registry::new();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(registry.counter_value("hits"), Some(5));
+    }
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let c = Counter::noop();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(7);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.observe(3);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_tracks_peak() {
+        let registry = Registry::new();
+        let g = registry.gauge("rss");
+        g.set_max(10);
+        g.set_max(3);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_pinned_at_powers_of_two() {
+        // Bucket 0 holds exactly the value 0.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        // Bucket i holds [2^(i-1), 2^i - 1] — checked at every boundary.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let lower = Histogram::bucket_lower_bound(i);
+            let upper = Histogram::bucket_upper_bound(i);
+            assert_eq!(lower, 1u64 << (i - 1));
+            if i < 64 {
+                assert_eq!(upper, (1u64 << i) - 1);
+            } else {
+                assert_eq!(upper, u64::MAX);
+            }
+            assert_eq!(Histogram::bucket_index(lower), i);
+            assert_eq!(Histogram::bucket_index(upper), i);
+            if i > 1 {
+                assert_eq!(Histogram::bucket_index(lower - 1), i - 1);
+            }
+        }
+        // Spot values: powers of two open a new bucket, power-of-two minus
+        // one stays in the previous one.
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2, 3
+        assert_eq!(h.bucket_count(10), 1); // 1000 in [512, 1023]
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_parseable() {
+        let registry = Registry::new();
+        registry.counter("b_counter").add(2);
+        registry.gauge("a_gauge").set(9);
+        registry.histogram("c_hist").observe(5);
+        let text = registry.prometheus_text();
+        let a = text.find("a_gauge").unwrap();
+        let b = text.find("b_counter").unwrap();
+        let c = text.find("c_hist").unwrap();
+        assert!(a < b && b < c, "exposition must be name-sorted:\n{text}");
+        assert!(text.contains("# TYPE b_counter counter"));
+        assert!(text.contains("c_hist_bucket{le=\"7\"} 1"));
+        assert!(text.contains("c_hist_bucket{le=\"+Inf\"} 1"));
+        let json = registry.json();
+        assert!(json.contains("\"b_counter\":2"));
+        assert!(json.contains("\"a_gauge\":9"));
+        assert!(json.contains("\"c_hist\":{\"count\":1,\"sum\":5,\"buckets\":[[4,1]]}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+}

@@ -1,0 +1,87 @@
+//! Wall-time profiling spans.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! `finish()` (or drop) and records the elapsed microseconds into a
+//! log2-bucketed histogram. Spans obtained from a disabled `Obs` handle
+//! never call `Instant::now()`, so profiling has strictly zero timing cost
+//! when observability is off.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An in-flight wall-time measurement. Dropping the span records it; call
+/// [`Span::finish`] to also get the elapsed milliseconds back.
+#[derive(Debug)]
+pub struct Span {
+    state: Option<(Instant, Histogram)>,
+}
+
+impl Span {
+    /// A span that measures nothing (disabled observability).
+    pub fn disabled() -> Self {
+        Span { state: None }
+    }
+
+    /// Starts timing now; the elapsed microseconds land in `histogram`.
+    pub fn start(histogram: Histogram) -> Self {
+        Span {
+            state: Some((Instant::now(), histogram)),
+        }
+    }
+
+    /// Stops the span, records it, and returns the elapsed wall time in
+    /// milliseconds (0.0 for a disabled span).
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        match self.state.take() {
+            Some((started, histogram)) => {
+                let elapsed = started.elapsed();
+                histogram.observe(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+                elapsed.as_secs_f64() * 1e3
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn finished_span_records_exactly_once() {
+        let registry = Registry::new();
+        let h = registry.histogram("span_us");
+        let span = Span::start(h.clone());
+        let ms = span.finish();
+        assert!(ms >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn dropped_span_records() {
+        let registry = Registry::new();
+        let h = registry.histogram("span_us");
+        {
+            let _span = Span::start(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let span = Span::disabled();
+        assert_eq!(span.finish(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared wave-series summarizer.
+//!
+//! The soak harness (and any future long-haul driver) measures a per-wave
+//! time series — repair wall time, recovery rounds, RSS, checkpoint cost —
+//! and reports aggregate percentiles. The aggregation used to be
+//! copy-pasted per harness; this module is the single implementation.
+
+/// One wave's worth of measurements, the common denominator of every
+/// soak-style time series.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WavePoint {
+    /// Wall-clock milliseconds spent repairing this wave.
+    pub repair_ms: f64,
+    /// Rounds from injection to renewed silence (0 = the wave was silent).
+    pub recovery_rounds: u64,
+    /// Resident set size after the wave, in bytes (0 where unavailable).
+    pub rss_bytes: u64,
+    /// Checkpoint serialization wall time (0 when no checkpoint was taken).
+    pub checkpoint_ms: f64,
+    /// Snapshot size in bytes (0 when no checkpoint was taken).
+    pub checkpoint_bytes: usize,
+}
+
+/// Aggregates of a wave series, matching the soak-report fields they feed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaveSeriesSummary {
+    /// Peak resident set size observed.
+    pub peak_rss_bytes: u64,
+    /// Median per-wave repair wall time.
+    pub p50_repair_ms: f64,
+    /// 99th-percentile per-wave repair wall time.
+    pub p99_repair_ms: f64,
+    /// Worst per-wave repair wall time.
+    pub max_repair_ms: f64,
+    /// Fraction of waves that needed no recovery (1.0 for an empty series).
+    pub silence_ratio: f64,
+    /// Mean checkpoint serialization time across waves that checkpointed.
+    pub mean_checkpoint_ms: f64,
+    /// Largest snapshot produced.
+    pub max_checkpoint_bytes: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`q` in `[0, 1]`).
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Collapses a wave series into its report aggregates. Checkpoint means are
+/// taken only over waves that actually produced a snapshot
+/// (`checkpoint_bytes > 0`); an empty series counts as fully silent.
+pub fn summarize_waves(points: &[WavePoint]) -> WaveSeriesSummary {
+    let mut repair_sorted: Vec<f64> = points.iter().map(|p| p.repair_ms).collect();
+    repair_sorted.sort_by(|a, b| a.partial_cmp(b).expect("repair times are finite"));
+    let checkpoint_times: Vec<f64> = points
+        .iter()
+        .filter(|p| p.checkpoint_bytes > 0)
+        .map(|p| p.checkpoint_ms)
+        .collect();
+    let silent_waves = points.iter().filter(|p| p.recovery_rounds == 0).count();
+    WaveSeriesSummary {
+        peak_rss_bytes: points.iter().map(|p| p.rss_bytes).max().unwrap_or(0),
+        p50_repair_ms: percentile(&repair_sorted, 0.50),
+        p99_repair_ms: percentile(&repair_sorted, 0.99),
+        max_repair_ms: repair_sorted.last().copied().unwrap_or(0.0),
+        silence_ratio: if points.is_empty() {
+            1.0
+        } else {
+            silent_waves as f64 / points.len() as f64
+        },
+        mean_checkpoint_ms: if checkpoint_times.is_empty() {
+            0.0
+        } else {
+            checkpoint_times.iter().sum::<f64>() / checkpoint_times.len() as f64
+        },
+        max_checkpoint_bytes: points.iter().map(|p| p.checkpoint_bytes).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_fully_silent_with_zero_aggregates() {
+        let summary = summarize_waves(&[]);
+        assert_eq!(summary.silence_ratio, 1.0);
+        assert_eq!(summary.peak_rss_bytes, 0);
+        assert_eq!(summary.p50_repair_ms, 0.0);
+        assert_eq!(summary.max_repair_ms, 0.0);
+        assert_eq!(summary.mean_checkpoint_ms, 0.0);
+        assert_eq!(summary.max_checkpoint_bytes, 0);
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let points = vec![
+            WavePoint {
+                repair_ms: 4.0,
+                recovery_rounds: 3,
+                rss_bytes: 1000,
+                checkpoint_ms: 2.0,
+                checkpoint_bytes: 64,
+            },
+            WavePoint {
+                repair_ms: 1.0,
+                recovery_rounds: 0,
+                rss_bytes: 3000,
+                checkpoint_ms: 0.0,
+                checkpoint_bytes: 0,
+            },
+            WavePoint {
+                repair_ms: 9.0,
+                recovery_rounds: 7,
+                rss_bytes: 2000,
+                checkpoint_ms: 6.0,
+                checkpoint_bytes: 128,
+            },
+            WavePoint {
+                repair_ms: 2.0,
+                recovery_rounds: 0,
+                rss_bytes: 2500,
+                checkpoint_ms: 0.0,
+                checkpoint_bytes: 0,
+            },
+        ];
+        let summary = summarize_waves(&points);
+        assert_eq!(summary.peak_rss_bytes, 3000);
+        // Sorted repair times: [1, 2, 4, 9]; nearest-rank p50 over 4 points
+        // rounds rank 1.5 to index 2.
+        assert_eq!(summary.p50_repair_ms, 4.0);
+        assert_eq!(summary.p99_repair_ms, 9.0);
+        assert_eq!(summary.max_repair_ms, 9.0);
+        assert_eq!(summary.silence_ratio, 0.5);
+        // Only the two checkpointing waves contribute to the mean.
+        assert_eq!(summary.mean_checkpoint_ms, 4.0);
+        assert_eq!(summary.max_checkpoint_bytes, 128);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_and_clamped() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert_eq!(percentile(&sorted, 1.0), 3.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

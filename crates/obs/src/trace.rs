@@ -1,0 +1,838 @@
+//! Typed wave-level trace events, a bounded ring buffer, and a JSONL codec.
+//!
+//! Events are emitted at *wave* granularity (never per guard evaluation), so
+//! tracing a run costs a handful of ring pushes per wave. The ring is
+//! bounded: on overflow the oldest events are dropped, the newest kept, and
+//! a `dropped_events` counter records the loss so a truncated export is
+//! never mistaken for a complete one.
+//!
+//! The JSONL codec is round-trip exact: `emit -> parse -> re-emit` produces
+//! byte-identical lines. Integer fields are `u64`; the only floating-point
+//! field (`ms`) round-trips because Rust's `f64` `Display` prints the
+//! shortest decimal that parses back to the same bits.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::metrics::Counter;
+
+/// Which layer of the stack emitted an event. Wave indices are allocated
+/// per layer, so each layer's trace reads as one monotone wave sequence
+/// even when several components (e.g. two executors) share a buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    Executor,
+    Engine,
+    Churn,
+    Soak,
+}
+
+/// All trace layers, in wave-allocation order.
+pub const LAYERS: [Layer; 4] = [Layer::Executor, Layer::Engine, Layer::Churn, Layer::Soak];
+
+impl Layer {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Executor => "executor",
+            Layer::Engine => "engine",
+            Layer::Churn => "churn",
+            Layer::Soak => "soak",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Layer> {
+        match s {
+            "executor" => Some(Layer::Executor),
+            "engine" => Some(Layer::Engine),
+            "churn" => Some(Layer::Churn),
+            "soak" => Some(Layer::Soak),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Layer::Executor => 0,
+            Layer::Engine => 1,
+            Layer::Churn => 2,
+            Layer::Soak => 3,
+        }
+    }
+}
+
+/// Label family touched by a repair wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Spanning-tree structure itself (parent pointers).
+    Tree,
+    /// Fragment (MST) labels.
+    Fragments,
+    /// Nearest-common-ancestor labels.
+    Nca,
+    /// Redundant (checkable) labels.
+    Redundant,
+}
+
+impl Family {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::Tree => "tree",
+            Family::Fragments => "fragments",
+            Family::Nca => "nca",
+            Family::Redundant => "redundant",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Family> {
+        match s {
+            "tree" => Some(Family::Tree),
+            "fragments" => Some(Family::Fragments),
+            "nca" => Some(Family::Nca),
+            "redundant" => Some(Family::Redundant),
+            _ => None,
+        }
+    }
+}
+
+/// A typed trace event. Every variant carries its emitting layer and the
+/// per-layer wave index it belongs to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A wave (executor round / engine phase step / churn batch / soak
+    /// iteration) opened.
+    WaveStart { layer: Layer, wave: u64 },
+    /// The wave closed after `rounds` algorithm rounds.
+    WaveEnd {
+        layer: Layer,
+        wave: u64,
+        rounds: u64,
+    },
+    /// Guard-evaluation tier counts accumulated during the wave
+    /// (decode-free screens vs full decodes; `evals = screen_hits +
+    /// full_decodes` in packed mode).
+    GuardBatch {
+        layer: Layer,
+        wave: u64,
+        evals: u64,
+        screen_hits: u64,
+        full_decodes: u64,
+    },
+    /// A label family was repaired: `dirty_nodes` touched, `labels_written`
+    /// registers rewritten.
+    Repair {
+        layer: Layer,
+        wave: u64,
+        family: Family,
+        dirty_nodes: u64,
+        labels_written: u64,
+    },
+    /// The layer reached silence after `rounds` total rounds.
+    SilenceReached {
+        layer: Layer,
+        wave: u64,
+        rounds: u64,
+    },
+    /// Adversarial state corruption was injected into `nodes` registers.
+    CorruptionInjected { layer: Layer, wave: u64, nodes: u64 },
+    /// A topology mutation batch was applied: `dirty_nodes` in the dirty
+    /// region, `reanchored` subtrees re-hung.
+    TopologyDelta {
+        layer: Layer,
+        wave: u64,
+        dirty_nodes: u64,
+        reanchored: u64,
+    },
+    /// A snapshot was serialized (`bytes`) in `ms` milliseconds.
+    Checkpoint {
+        layer: Layer,
+        wave: u64,
+        bytes: u64,
+        ms: f64,
+    },
+    /// A snapshot was deserialized and rebuilt (`bytes`) in `ms`
+    /// milliseconds.
+    Restore {
+        layer: Layer,
+        wave: u64,
+        bytes: u64,
+        ms: f64,
+    },
+}
+
+impl TraceEvent {
+    pub fn layer(&self) -> Layer {
+        match *self {
+            TraceEvent::WaveStart { layer, .. }
+            | TraceEvent::WaveEnd { layer, .. }
+            | TraceEvent::GuardBatch { layer, .. }
+            | TraceEvent::Repair { layer, .. }
+            | TraceEvent::SilenceReached { layer, .. }
+            | TraceEvent::CorruptionInjected { layer, .. }
+            | TraceEvent::TopologyDelta { layer, .. }
+            | TraceEvent::Checkpoint { layer, .. }
+            | TraceEvent::Restore { layer, .. } => layer,
+        }
+    }
+
+    pub fn wave(&self) -> u64 {
+        match *self {
+            TraceEvent::WaveStart { wave, .. }
+            | TraceEvent::WaveEnd { wave, .. }
+            | TraceEvent::GuardBatch { wave, .. }
+            | TraceEvent::Repair { wave, .. }
+            | TraceEvent::SilenceReached { wave, .. }
+            | TraceEvent::CorruptionInjected { wave, .. }
+            | TraceEvent::TopologyDelta { wave, .. }
+            | TraceEvent::Checkpoint { wave, .. }
+            | TraceEvent::Restore { wave, .. } => wave,
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::WaveStart { .. } => "wave_start",
+            TraceEvent::WaveEnd { .. } => "wave_end",
+            TraceEvent::GuardBatch { .. } => "guard_batch",
+            TraceEvent::Repair { .. } => "repair",
+            TraceEvent::SilenceReached { .. } => "silence_reached",
+            TraceEvent::CorruptionInjected { .. } => "corruption_injected",
+            TraceEvent::TopologyDelta { .. } => "topology_delta",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Restore { .. } => "restore",
+        }
+    }
+
+    /// Serializes the event as one JSONL line (no trailing newline). Field
+    /// order is fixed — `seq`, `type`, `layer`, `wave`, then the variant's
+    /// payload — so re-emitting a parsed event is byte-identical.
+    pub fn jsonl(&self, seq: u64) -> String {
+        let head = format!(
+            "{{\"seq\":{seq},\"type\":\"{}\",\"layer\":\"{}\",\"wave\":{}",
+            self.kind(),
+            self.layer().as_str(),
+            self.wave()
+        );
+        match *self {
+            TraceEvent::WaveStart { .. } => format!("{head}}}"),
+            TraceEvent::WaveEnd { rounds, .. } => format!("{head},\"rounds\":{rounds}}}"),
+            TraceEvent::GuardBatch { evals, screen_hits, full_decodes, .. } => format!(
+                "{head},\"evals\":{evals},\"screen_hits\":{screen_hits},\"full_decodes\":{full_decodes}}}"
+            ),
+            TraceEvent::Repair { family, dirty_nodes, labels_written, .. } => format!(
+                "{head},\"family\":\"{}\",\"dirty_nodes\":{dirty_nodes},\"labels_written\":{labels_written}}}",
+                family.as_str()
+            ),
+            TraceEvent::SilenceReached { rounds, .. } => format!("{head},\"rounds\":{rounds}}}"),
+            TraceEvent::CorruptionInjected { nodes, .. } => format!("{head},\"nodes\":{nodes}}}"),
+            TraceEvent::TopologyDelta { dirty_nodes, reanchored, .. } => {
+                format!("{head},\"dirty_nodes\":{dirty_nodes},\"reanchored\":{reanchored}}}")
+            }
+            TraceEvent::Checkpoint { bytes, ms, .. } => {
+                format!("{head},\"bytes\":{bytes},\"ms\":{ms}}}")
+            }
+            TraceEvent::Restore { bytes, ms, .. } => {
+                format!("{head},\"bytes\":{bytes},\"ms\":{ms}}}")
+            }
+        }
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::jsonl`]. Returns the
+    /// sequence number and the event.
+    pub fn parse_jsonl(line: &str) -> Result<(u64, TraceEvent), TraceParseError> {
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&JsonValue, TraceParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or(TraceParseError::MissingField(key_name(key)))
+        };
+        let get_u64 = |key: &str| -> Result<u64, TraceParseError> {
+            match get(key)? {
+                JsonValue::Number(text) => {
+                    text.parse::<u64>().map_err(|_| TraceParseError::BadNumber)
+                }
+                JsonValue::String(_) => Err(TraceParseError::WrongType(key_name(key))),
+            }
+        };
+        let get_f64 = |key: &str| -> Result<f64, TraceParseError> {
+            match get(key)? {
+                JsonValue::Number(text) => {
+                    text.parse::<f64>().map_err(|_| TraceParseError::BadNumber)
+                }
+                JsonValue::String(_) => Err(TraceParseError::WrongType(key_name(key))),
+            }
+        };
+        let get_str = |key: &str| -> Result<&str, TraceParseError> {
+            match get(key)? {
+                JsonValue::String(text) => Ok(text.as_str()),
+                JsonValue::Number(_) => Err(TraceParseError::WrongType(key_name(key))),
+            }
+        };
+
+        let seq = get_u64("seq")?;
+        let layer = Layer::parse(get_str("layer")?).ok_or(TraceParseError::UnknownLayer)?;
+        let wave = get_u64("wave")?;
+        let event = match get_str("type")? {
+            "wave_start" => TraceEvent::WaveStart { layer, wave },
+            "wave_end" => TraceEvent::WaveEnd {
+                layer,
+                wave,
+                rounds: get_u64("rounds")?,
+            },
+            "guard_batch" => TraceEvent::GuardBatch {
+                layer,
+                wave,
+                evals: get_u64("evals")?,
+                screen_hits: get_u64("screen_hits")?,
+                full_decodes: get_u64("full_decodes")?,
+            },
+            "repair" => TraceEvent::Repair {
+                layer,
+                wave,
+                family: Family::parse(get_str("family")?).ok_or(TraceParseError::UnknownFamily)?,
+                dirty_nodes: get_u64("dirty_nodes")?,
+                labels_written: get_u64("labels_written")?,
+            },
+            "silence_reached" => TraceEvent::SilenceReached {
+                layer,
+                wave,
+                rounds: get_u64("rounds")?,
+            },
+            "corruption_injected" => TraceEvent::CorruptionInjected {
+                layer,
+                wave,
+                nodes: get_u64("nodes")?,
+            },
+            "topology_delta" => TraceEvent::TopologyDelta {
+                layer,
+                wave,
+                dirty_nodes: get_u64("dirty_nodes")?,
+                reanchored: get_u64("reanchored")?,
+            },
+            "checkpoint" => TraceEvent::Checkpoint {
+                layer,
+                wave,
+                bytes: get_u64("bytes")?,
+                ms: get_f64("ms")?,
+            },
+            "restore" => TraceEvent::Restore {
+                layer,
+                wave,
+                bytes: get_u64("bytes")?,
+                ms: get_f64("ms")?,
+            },
+            _ => return Err(TraceParseError::UnknownType),
+        };
+        Ok((seq, event))
+    }
+}
+
+/// Why a JSONL line failed to parse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    NotAnObject,
+    BadSyntax,
+    BadNumber,
+    MissingField(&'static str),
+    WrongType(&'static str),
+    UnknownType,
+    UnknownLayer,
+    UnknownFamily,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::NotAnObject => write!(f, "line is not a JSON object"),
+            TraceParseError::BadSyntax => write!(f, "malformed JSON"),
+            TraceParseError::BadNumber => write!(f, "unparseable numeric field"),
+            TraceParseError::MissingField(name) => write!(f, "missing field {name:?}"),
+            TraceParseError::WrongType(name) => write!(f, "field {name:?} has the wrong type"),
+            TraceParseError::UnknownType => write!(f, "unknown event type"),
+            TraceParseError::UnknownLayer => write!(f, "unknown layer"),
+            TraceParseError::UnknownFamily => write!(f, "unknown family"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Maps a dynamic key back to the static name used in error messages. The
+/// codec only ever looks up keys from this fixed set.
+fn key_name(key: &str) -> &'static str {
+    const KEYS: [&str; 13] = [
+        "seq",
+        "type",
+        "layer",
+        "wave",
+        "rounds",
+        "evals",
+        "screen_hits",
+        "full_decodes",
+        "family",
+        "dirty_nodes",
+        "labels_written",
+        "nodes",
+        "bytes",
+    ];
+    KEYS.iter().find(|&&k| k == key).copied().unwrap_or("ms")
+}
+
+enum JsonValue {
+    Number(String),
+    String(String),
+}
+
+/// Minimal parser for the flat JSON objects the codec emits: string and
+/// number values only, no nesting, no escapes beyond what `jsonl` writes
+/// (which is none — all strings are static identifiers).
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseError> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or(TraceParseError::NotAnObject)?;
+    let mut fields = Vec::new();
+    let mut chars = inner.char_indices().peekable();
+    loop {
+        // Key: a quoted string.
+        match chars.next() {
+            None => break,
+            Some((_, '"')) => {}
+            Some(_) => return Err(TraceParseError::BadSyntax),
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, c)) => key.push(c),
+                None => return Err(TraceParseError::BadSyntax),
+            }
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(TraceParseError::BadSyntax),
+        }
+        // Value: a quoted string or a bare number token.
+        let value = match chars.peek() {
+            Some((_, '"')) => {
+                chars.next();
+                let mut text = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => return Err(TraceParseError::BadSyntax),
+                        Some((_, c)) => text.push(c),
+                        None => return Err(TraceParseError::BadSyntax),
+                    }
+                }
+                JsonValue::String(text)
+            }
+            Some(_) => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == ',' {
+                        break;
+                    }
+                    text.push(c);
+                    chars.next();
+                }
+                if text.is_empty() {
+                    return Err(TraceParseError::BadSyntax);
+                }
+                JsonValue::Number(text)
+            }
+            None => return Err(TraceParseError::BadSyntax),
+        };
+        fields.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => {}
+            None => break,
+            Some(_) => return Err(TraceParseError::BadSyntax),
+        }
+    }
+    Ok(fields)
+}
+
+struct Ring {
+    events: VecDeque<(u64, TraceEvent)>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded, thread-safe trace buffer. Each pushed event receives a monotone
+/// sequence number; on overflow the *oldest* events are evicted and the
+/// `dropped_events` counter (shared with the owning registry) records how
+/// many were lost.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    dropped_counter: Counter,
+}
+
+impl fmt::Debug for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ring")
+            .field("len", &self.events.len())
+            .field("next_seq", &self.next_seq)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events (capacity 0 is clamped to
+    /// 1 so the newest event is always retained).
+    pub fn new(capacity: usize, dropped_counter: Counter) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity,
+            dropped_counter,
+        }
+    }
+
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+            self.dropped_counter.inc();
+        }
+        ring.events.push_back((seq, event));
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Copies out the retained events, oldest first, with their sequence
+    /// numbers.
+    pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
+        self.ring.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Serializes the retained events as JSONL, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in self.snapshot() {
+            out.push_str(&event.jsonl(seq));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL trace (ignoring blank lines) back into sequenced
+    /// events.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<(u64, TraceEvent)>, TraceParseError> {
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(TraceEvent::parse_jsonl)
+            .collect()
+    }
+}
+
+/// Validates wave ordering of a sequenced event stream: sequence numbers
+/// strictly increase, each layer's wave indices never decrease, waves do
+/// not nest within a layer, and every `WaveEnd` matches the open
+/// `WaveStart`. A `WaveEnd` without a matching start is tolerated only at
+/// the head of a layer's stream when `truncated` is true (ring overflow may
+/// have evicted the start).
+pub fn check_wave_order(events: &[(u64, TraceEvent)], truncated: bool) -> Result<(), String> {
+    let mut last_seq: Option<u64> = None;
+    // Per layer: (max wave seen, currently open wave, seen any event yet).
+    let mut state: [(u64, Option<u64>, bool); 4] = [(0, None, false); 4];
+    for (seq, event) in events {
+        if let Some(prev) = last_seq {
+            if *seq <= prev {
+                return Err(format!("seq {seq} not strictly increasing after {prev}"));
+            }
+        }
+        last_seq = Some(*seq);
+        let idx = event.layer().index();
+        let (last_wave, open, seen) = &mut state[idx];
+        let wave = event.wave();
+        match event {
+            TraceEvent::WaveStart { .. } => {
+                if open.is_some() {
+                    return Err(format!(
+                        "seq {seq}: wave {wave} starts while wave {} is open on {}",
+                        open.unwrap(),
+                        event.layer().as_str()
+                    ));
+                }
+                if *seen && wave < *last_wave {
+                    return Err(format!(
+                        "seq {seq}: wave {wave} regresses below {last_wave} on {}",
+                        event.layer().as_str()
+                    ));
+                }
+                *open = Some(wave);
+            }
+            TraceEvent::WaveEnd { .. } => match open {
+                Some(open_wave) if *open_wave == wave => *open = None,
+                Some(open_wave) => {
+                    return Err(format!(
+                        "seq {seq}: wave_end {wave} does not match open wave {open_wave} on {}",
+                        event.layer().as_str()
+                    ));
+                }
+                None if truncated && !*seen => {}
+                None => {
+                    return Err(format!(
+                        "seq {seq}: wave_end {wave} without wave_start on {}",
+                        event.layer().as_str()
+                    ));
+                }
+            },
+            _ => {
+                if *seen && wave < *last_wave {
+                    return Err(format!(
+                        "seq {seq}: {} at wave {wave} regresses below {last_wave} on {}",
+                        event.kind(),
+                        event.layer().as_str()
+                    ));
+                }
+            }
+        }
+        *last_wave = (*last_wave).max(wave);
+        *seen = true;
+    }
+    for (idx, (_, open, _)) in state.iter().enumerate() {
+        if let Some(wave) = open {
+            return Err(format!("wave {wave} left open on {}", LAYERS[idx].as_str()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::WaveStart {
+                layer: Layer::Executor,
+                wave: 0,
+            },
+            TraceEvent::GuardBatch {
+                layer: Layer::Executor,
+                wave: 0,
+                evals: 12,
+                screen_hits: 9,
+                full_decodes: 3,
+            },
+            TraceEvent::WaveEnd {
+                layer: Layer::Executor,
+                wave: 0,
+                rounds: 1,
+            },
+            TraceEvent::CorruptionInjected {
+                layer: Layer::Executor,
+                wave: 1,
+                nodes: 4,
+            },
+            TraceEvent::Repair {
+                layer: Layer::Engine,
+                wave: 0,
+                family: Family::Nca,
+                dirty_nodes: 7,
+                labels_written: 21,
+            },
+            TraceEvent::TopologyDelta {
+                layer: Layer::Churn,
+                wave: 0,
+                dirty_nodes: 3,
+                reanchored: 1,
+            },
+            TraceEvent::Checkpoint {
+                layer: Layer::Soak,
+                wave: 0,
+                bytes: 4096,
+                ms: 1.25,
+            },
+            TraceEvent::Restore {
+                layer: Layer::Soak,
+                wave: 0,
+                bytes: 4096,
+                ms: 0.75,
+            },
+            TraceEvent::SilenceReached {
+                layer: Layer::Executor,
+                wave: 2,
+                rounds: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let line = event.jsonl(i as u64);
+            let (seq, parsed) = TraceEvent::parse_jsonl(&line).unwrap();
+            assert_eq!(seq, i as u64);
+            assert_eq!(parsed, event);
+            assert_eq!(parsed.jsonl(seq), line, "re-emit must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn fractional_ms_round_trips() {
+        for ms in [0.0, 0.1, 1.5, 0.0001, 123.456789, 7e-7] {
+            let event = TraceEvent::Checkpoint {
+                layer: Layer::Soak,
+                wave: 3,
+                bytes: 1,
+                ms,
+            };
+            let line = event.jsonl(0);
+            let (_, parsed) = TraceEvent::parse_jsonl(&line).unwrap();
+            assert_eq!(parsed.jsonl(0), line);
+        }
+    }
+
+    #[test]
+    fn buffer_round_trips_and_orders() {
+        let buffer = TraceBuffer::new(64, Counter::noop());
+        for event in sample_events() {
+            buffer.push(event);
+        }
+        let text = buffer.to_jsonl();
+        let parsed = TraceBuffer::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, buffer.snapshot());
+        let mut re_emitted = String::new();
+        for (seq, event) in &parsed {
+            re_emitted.push_str(&event.jsonl(*seq));
+            re_emitted.push('\n');
+        }
+        assert_eq!(re_emitted, text);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let dropped = Counter::noop();
+        let buffer = TraceBuffer::new(4, dropped.clone());
+        for wave in 0..10 {
+            buffer.push(TraceEvent::WaveStart {
+                layer: Layer::Executor,
+                wave,
+            });
+        }
+        assert_eq!(buffer.len(), 4);
+        assert_eq!(buffer.dropped(), 6);
+        let seqs: Vec<u64> = buffer.snapshot().iter().map(|(seq, _)| *seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "newest events are retained");
+        let waves: Vec<u64> = buffer.snapshot().iter().map(|(_, e)| e.wave()).collect();
+        assert_eq!(waves, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wave_order_checker_accepts_valid_and_rejects_invalid() {
+        let buffer = TraceBuffer::new(64, Counter::noop());
+        buffer.push(TraceEvent::WaveStart {
+            layer: Layer::Executor,
+            wave: 0,
+        });
+        buffer.push(TraceEvent::WaveStart {
+            layer: Layer::Engine,
+            wave: 0,
+        });
+        buffer.push(TraceEvent::WaveEnd {
+            layer: Layer::Engine,
+            wave: 0,
+            rounds: 2,
+        });
+        buffer.push(TraceEvent::WaveEnd {
+            layer: Layer::Executor,
+            wave: 0,
+            rounds: 1,
+        });
+        buffer.push(TraceEvent::WaveStart {
+            layer: Layer::Executor,
+            wave: 1,
+        });
+        buffer.push(TraceEvent::WaveEnd {
+            layer: Layer::Executor,
+            wave: 1,
+            rounds: 1,
+        });
+        assert_eq!(check_wave_order(&buffer.snapshot(), false), Ok(()));
+
+        let bad = vec![
+            (
+                0,
+                TraceEvent::WaveStart {
+                    layer: Layer::Executor,
+                    wave: 1,
+                },
+            ),
+            (
+                1,
+                TraceEvent::WaveEnd {
+                    layer: Layer::Executor,
+                    wave: 1,
+                    rounds: 1,
+                },
+            ),
+            (
+                2,
+                TraceEvent::WaveStart {
+                    layer: Layer::Executor,
+                    wave: 0,
+                },
+            ),
+        ];
+        assert!(
+            check_wave_order(&bad, false).is_err(),
+            "wave regression must fail"
+        );
+
+        let unmatched = vec![(
+            0,
+            TraceEvent::WaveEnd {
+                layer: Layer::Executor,
+                wave: 3,
+                rounds: 1,
+            },
+        )];
+        assert!(check_wave_order(&unmatched, false).is_err());
+        assert_eq!(
+            check_wave_order(&unmatched, true),
+            Ok(()),
+            "tolerated after truncation"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceEvent::parse_jsonl("not json").is_err());
+        assert!(TraceEvent::parse_jsonl("{\"seq\":0}").is_err());
+        assert!(TraceEvent::parse_jsonl(
+            "{\"seq\":0,\"type\":\"wave_start\",\"layer\":\"nowhere\",\"wave\":0}"
+        )
+        .is_err());
+    }
+}

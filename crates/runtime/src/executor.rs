@@ -81,6 +81,7 @@ use rand::SeedableRng;
 
 use stst_graph::tree::TreeError;
 use stst_graph::{Graph, MutationOutcome, NodeId, Tree};
+use stst_obs::{Layer, Obs, TraceEvent};
 
 use crate::algorithm::{Algorithm, ParentPointer, Screen};
 use crate::bits::{BitReader, BitWriter};
@@ -331,6 +332,17 @@ pub struct Executor<'g, A: Algorithm> {
     /// Scratch buffer the packed store decodes closed neighborhoods into (sequential
     /// path; parallel waves hold one such buffer per worker).
     decode_buf: Vec<A::State>,
+    /// Observability handle ([`Executor::attach_obs`]); disabled by default, in which
+    /// case every instrumentation site reduces to one branch. All trace emission and
+    /// metric publication happens at wave boundaries on the calling thread — never
+    /// from guard evaluation — so enabling it cannot perturb the execution.
+    obs: Obs,
+    /// Wave index of the trace wave currently open (None between waves; always None
+    /// while `obs` is disabled).
+    obs_wave: Option<u64>,
+    /// Guard-counter readings (`guard_evals`, `screen_hits`, `full_decodes`) at the
+    /// last trace publish, so each `GuardBatch` event carries per-wave deltas.
+    obs_guard_mark: (u64, u64, u64),
 }
 
 impl<'g, A: Algorithm> Executor<'g, A> {
@@ -401,6 +413,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             refresh_buf: Vec::new(),
             eval_buf: Vec::new(),
             decode_buf: Vec::new(),
+            obs: Obs::disabled(),
+            obs_wave: None,
+            obs_guard_mark: (0, 0, 0),
         };
         exec.initial_scan();
         exec.refill_round_pending();
@@ -495,6 +510,7 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.bump_stamp();
         self.refresh_closed_neighborhood(v);
         self.refill_round_pending();
+        self.obs_note_corruption(1);
     }
 
     /// Corrupts `k` distinct registers chosen uniformly at random, replacing each with an
@@ -519,6 +535,7 @@ impl<'g, A: Algorithm> Executor<'g, A> {
                 }
             }
             self.refill_round_pending();
+            self.obs_note_corruption(changed.iter().filter(|&&c| c).count() as u64);
         }
         nodes
     }
@@ -647,6 +664,21 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             }
         }
         self.refill_round_pending();
+        if self.obs.is_enabled() {
+            let wave = self.obs_current_wave();
+            let dirty_nodes = if outcome.node_set_changed {
+                n as u64
+            } else {
+                outcome.dirty.len() as u64
+            };
+            self.obs.counter("executor_topology_deltas").inc();
+            self.obs.emit(TraceEvent::TopologyDelta {
+                layer: Layer::Executor,
+                wave,
+                dirty_nodes,
+                reanchored: 0,
+            });
+        }
     }
 
     /// Evaluates `v`'s guard on the current configuration: the next state if `v` is
@@ -947,6 +979,99 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         self.full_decodes
     }
 
+    /// Attaches an observability handle. Subsequent waves emit
+    /// [`TraceEvent::WaveStart`]/[`TraceEvent::WaveEnd`]/[`TraceEvent::GuardBatch`]
+    /// into its trace ring, and the guard-tier counters are published to its registry
+    /// (`executor_guard_evaluations` / `executor_guard_screen_hits` /
+    /// `executor_guard_full_decodes`). The counters accumulated so far — including
+    /// the construction-time initial scan — are folded into the registry at the next
+    /// publish, so the registry totals always equal [`Executor::guard_evaluations`]
+    /// and friends.
+    ///
+    /// Instrumentation is determinism-transparent: attaching an enabled handle never
+    /// changes a bit of the execution (pinned by `tests/parallel_determinism.rs` and
+    /// `tests/packed_store_oracle.rs`).
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.obs_wave = None;
+        self.obs_guard_mark = (0, 0, 0);
+    }
+
+    /// The attached observability handle (disabled unless [`Executor::attach_obs`]
+    /// was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Publishes the guard-counter deltas since the last publish: a `GuardBatch`
+    /// trace event stamped with `wave` plus registry counter increments. No-op when
+    /// nothing accumulated.
+    fn obs_publish_guards(&mut self, wave: u64) {
+        let evals = self.guard_evals - self.obs_guard_mark.0;
+        let screen_hits = self.screen_hits - self.obs_guard_mark.1;
+        let full_decodes = self.full_decodes - self.obs_guard_mark.2;
+        if evals == 0 {
+            return;
+        }
+        self.obs_guard_mark = (self.guard_evals, self.screen_hits, self.full_decodes);
+        self.obs.counter("executor_guard_evaluations").add(evals);
+        self.obs
+            .counter("executor_guard_screen_hits")
+            .add(screen_hits);
+        self.obs
+            .counter("executor_guard_full_decodes")
+            .add(full_decodes);
+        self.obs.emit(TraceEvent::GuardBatch {
+            layer: Layer::Executor,
+            wave,
+            evals,
+            screen_hits,
+            full_decodes,
+        });
+    }
+
+    /// The wave index to stamp an out-of-band event with: the open wave if one is in
+    /// progress, otherwise the index the next wave will get (keeps per-layer wave
+    /// sequences monotone).
+    fn obs_current_wave(&self) -> u64 {
+        self.obs_wave
+            .unwrap_or_else(|| self.obs.peek_wave(Layer::Executor))
+    }
+
+    /// Emits a `CorruptionInjected` event for `nodes` registers that actually flipped
+    /// bits (injections invisible to every guard emit nothing).
+    fn obs_note_corruption(&mut self, nodes: u64) {
+        if nodes == 0 || !self.obs.is_enabled() {
+            return;
+        }
+        let wave = self.obs_current_wave();
+        self.obs.counter("executor_corruptions_injected").add(nodes);
+        self.obs.emit(TraceEvent::CorruptionInjected {
+            layer: Layer::Executor,
+            wave,
+            nodes,
+        });
+    }
+
+    /// Trace bookkeeping at quiescence: flushes guard deltas accumulated outside a
+    /// completed round (e.g. by fault-injection refreshes), emits `SilenceReached`,
+    /// and publishes the round/move/step totals as gauges.
+    fn obs_note_silence(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let wave = self.obs_current_wave();
+        self.obs_publish_guards(wave);
+        self.obs.emit(TraceEvent::SilenceReached {
+            layer: Layer::Executor,
+            wave,
+            rounds: self.rounds,
+        });
+        self.obs.gauge("executor_rounds").set(self.rounds);
+        self.obs.gauge("executor_moves").set(self.moves);
+        self.obs.gauge("executor_steps").set(self.steps);
+    }
+
     /// Executes one daemon step. Returns the nodes that were activated (borrowed from
     /// an internal scratch buffer, valid until the next `&mut self` call), or an empty
     /// slice if the configuration was already quiescent.
@@ -959,6 +1084,14 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             // Defensive: a round in progress always tracks some pending node; if the
             // bookkeeping was reset externally, restart the round at the current set.
             self.refill_round_pending();
+        }
+        if self.obs.is_enabled() && self.obs_wave.is_none() {
+            let wave = self.obs.begin_wave(Layer::Executor);
+            self.obs_wave = Some(wave);
+            self.obs.emit(TraceEvent::WaveStart {
+                layer: Layer::Executor,
+                wave,
+            });
         }
         let mut chosen = std::mem::take(&mut self.chosen_buf);
         self.scheduler.select_into(&self.enabled_list, &mut chosen);
@@ -990,6 +1123,14 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         if self.round_count == 0 {
             self.rounds += 1;
             self.refill_round_pending();
+            if let Some(wave) = self.obs_wave.take() {
+                self.obs_publish_guards(wave);
+                self.obs.emit(TraceEvent::WaveEnd {
+                    layer: Layer::Executor,
+                    wave,
+                    rounds: 1,
+                });
+            }
         }
         self.chosen_buf = chosen;
         &self.chosen_buf
@@ -1055,11 +1196,13 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     pub fn run_to_quiescence(&mut self, max_steps: u64) -> Result<Quiescence, ExecError> {
         for _ in 0..max_steps {
             if self.is_quiescent() {
+                self.obs_note_silence();
                 return Ok(self.quiescence());
             }
             self.step_once();
         }
         if self.is_quiescent() {
+            self.obs_note_silence();
             Ok(self.quiescence())
         } else {
             Err(ExecError::StepBudgetExhausted {
@@ -1177,6 +1320,7 @@ impl<'g, A: Algorithm> Executor<'g, A> {
             self.bump_stamp();
             self.refresh_closed_neighborhood(v);
             self.refill_round_pending();
+            self.obs_note_corruption(1);
         }
         changed
     }
@@ -1196,6 +1340,9 @@ impl<'g, A: Algorithm> Executor<'g, A> {
     /// daemons index into it, and its layout depends on the history of swap-removes
     /// that produced it — so the order is serialized and reimposed on the rebuilt set.
     pub fn checkpoint(&self) -> Snapshot {
+        // Clock reads are gated on the handle so a disabled run never touches the
+        // timer; the event is emitted through the shared ring (`&self` is enough).
+        let timer = self.obs.is_enabled().then(std::time::Instant::now);
         let n = self.graph.node_count();
         let mut words: Vec<u64> = vec![persist::graph_fingerprint(self.graph), n as u64];
         words.push(self.moves);
@@ -1226,7 +1373,16 @@ impl<'g, A: Algorithm> Executor<'g, A> {
         words.push(bits as u64);
         words.push(stream.len() as u64);
         words.extend_from_slice(&stream);
-        Snapshot::new(persist::KIND_EXECUTOR, words)
+        let snapshot = Snapshot::new(persist::KIND_EXECUTOR, words);
+        if let Some(started) = timer {
+            self.obs.emit(TraceEvent::Checkpoint {
+                layer: Layer::Executor,
+                wave: self.obs_current_wave(),
+                bytes: snapshot.byte_len() as u64,
+                ms: started.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+        snapshot
     }
 
     /// Rebuilds an executor from a [`Snapshot`] written by [`Executor::checkpoint`],

@@ -18,6 +18,12 @@
 //!   generators (steady Poisson churn, link flapping, partition-and-heal, weight
 //!   drift), and the wave-boundary churn driver with measured per-event recovery.
 //! * [`baselines`] — comparator algorithms used by the experiment harness.
+//! * [`obs`] — zero-dependency observability: the metrics registry (counters, gauges,
+//!   log2-bucketed histograms with Prometheus/JSON export), wave-level typed trace
+//!   events in a bounded ring with a byte-exact JSONL codec, and profiling hooks
+//!   (per-phase wall-time spans, RSS sampling). Attached via `attach_obs` on the
+//!   executor, the engine, the churn driver and the soak harness; runs with
+//!   observability enabled are bit-identical to runs without it.
 //!
 //! ## Quickstart
 //!
@@ -63,4 +69,5 @@ pub use stst_churn as churn;
 pub use stst_core as core;
 pub use stst_graph as graph;
 pub use stst_labeling as labeling;
+pub use stst_obs as obs;
 pub use stst_runtime as runtime;

@@ -13,6 +13,7 @@ use self_stabilizing_spanning_trees::baselines::naive_reset::DistanceOnlySpannin
 use self_stabilizing_spanning_trees::core::bfs::RootedBfs;
 use self_stabilizing_spanning_trees::core::spanning::MinIdSpanningTree;
 use self_stabilizing_spanning_trees::graph::{generators, Graph, Mutation, NodeId};
+use self_stabilizing_spanning_trees::obs::Obs;
 use self_stabilizing_spanning_trees::runtime::{
     Algorithm, Executor, ExecutorConfig, SchedulerKind, StoreMode,
 };
@@ -20,7 +21,10 @@ use self_stabilizing_spanning_trees::runtime::{
 /// Runs packed and struct-backed executors in lockstep: identical chosen nodes,
 /// identical states after every step, identical counters — with a register-corruption
 /// fault injected every `perturb_every` steps (the RNG draws are part of the lockstep:
-/// both executors must consume them identically).
+/// both executors must consume them identically). Both executors run with an enabled
+/// observability handle attached, so the lockstep equality doubles as a determinism-
+/// transparency pin, and the published guard counters are checked against the
+/// two-tier invariant at the end.
 fn drive_lockstep<A: Algorithm + Clone>(
     g: &Graph,
     algo: A,
@@ -29,8 +33,12 @@ fn drive_lockstep<A: Algorithm + Clone>(
     perturb_every: Option<usize>,
     label: &str,
 ) {
+    let packed_obs = Obs::enabled();
+    let struct_obs = Obs::enabled();
     let mut packed = Executor::from_arbitrary(g, algo.clone(), config);
+    packed.attach_obs(packed_obs.clone());
     let mut structs = Executor::from_arbitrary(g, algo, config.with_store(StoreMode::Struct));
+    structs.attach_obs(struct_obs.clone());
     assert_eq!(packed.states(), structs.states(), "{label}: initial");
     for step in 0..max_steps {
         if packed.is_quiescent() {
@@ -80,6 +88,38 @@ fn drive_lockstep<A: Algorithm + Clone>(
     assert!(
         packed.guard_screen_hits() > 0,
         "{label}: the screen never resolved a guard"
+    );
+    // Registry view of the same invariant: what the executors published at wave
+    // boundaries must obey the tier accounting — packed splits every published
+    // evaluation between the screen and the decoder, the struct store publishes
+    // zeros for both tiers.
+    let registry = packed_obs.registry().unwrap();
+    let evals = registry
+        .counter_value("executor_guard_evaluations")
+        .unwrap_or(0);
+    let hits = registry
+        .counter_value("executor_guard_screen_hits")
+        .unwrap_or(0);
+    let decodes = registry
+        .counter_value("executor_guard_full_decodes")
+        .unwrap_or(0);
+    assert_eq!(hits + decodes, evals, "{label}: registry tier accounting");
+    assert!(
+        evals <= packed.guard_evaluations(),
+        "{label}: the registry never runs ahead of the executor"
+    );
+    let struct_registry = struct_obs.registry().unwrap();
+    assert_eq!(
+        (
+            struct_registry
+                .counter_value("executor_guard_screen_hits")
+                .unwrap_or(0),
+            struct_registry
+                .counter_value("executor_guard_full_decodes")
+                .unwrap_or(0),
+        ),
+        (0, 0),
+        "{label}: struct runs publish nothing to screen"
     );
 }
 

@@ -14,6 +14,7 @@ use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTas
 use self_stabilizing_spanning_trees::core::spanning::MinIdSpanningTree;
 use self_stabilizing_spanning_trees::core::{EngineConfig, Relabel};
 use self_stabilizing_spanning_trees::graph::generators;
+use self_stabilizing_spanning_trees::obs::Obs;
 use self_stabilizing_spanning_trees::runtime::{Executor, ExecutorConfig, SchedulerKind};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -125,6 +126,94 @@ fn engine_reports_are_identical_across_thread_counts() {
                 assert!(report.legal, "{label}");
             }
         }
+    }
+}
+
+#[test]
+fn executor_runs_with_tracing_enabled_are_bit_identical_to_disabled() {
+    // Determinism transparency: attaching an enabled observability handle must not
+    // change a bit of the execution, at any thread count and under every daemon.
+    let g = generators::workload(400, 0.015, 31);
+    for kind in SchedulerKind::all() {
+        let run = |threads: usize, obs: Option<Obs>| {
+            let config = ExecutorConfig::with_scheduler(9, kind).with_threads(threads);
+            let mut exec = Executor::from_arbitrary(&g, MinIdSpanningTree, config);
+            if let Some(obs) = obs {
+                exec.attach_obs(obs);
+            }
+            let q = exec.run_to_quiescence(5_000_000).expect("converges");
+            (
+                exec.states(),
+                q,
+                exec.guard_evaluations(),
+                exec.guard_screen_hits(),
+                exec.guard_full_decodes(),
+                exec.activation_counts(),
+            )
+        };
+        let reference = run(1, None);
+        for &threads in &THREAD_COUNTS {
+            let obs = Obs::enabled();
+            let observed = run(threads, Some(obs.clone()));
+            assert_eq!(observed, reference, "daemon {kind}, {threads} threads");
+            // At quiescence every guard delta has been flushed, so the registry
+            // totals equal the executor's own counters.
+            let registry = obs.registry().unwrap();
+            assert_eq!(
+                registry.counter_value("executor_guard_evaluations"),
+                Some(reference.2),
+                "daemon {kind}, {threads} threads"
+            );
+            assert!(
+                !obs.trace().unwrap().is_empty(),
+                "daemon {kind}: empty trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_runs_with_tracing_enabled_are_bit_identical_to_disabled() {
+    // The engine's whole lifecycle — build, label, improve, fault recovery — with an
+    // enabled handle attached must match the unobserved reference bit for bit.
+    let g = generators::workload(300, 6.0 / 300.0, 17);
+    let run = |threads: usize, obs: Option<Obs>| {
+        let config = EngineConfig::seeded(17).with_threads(threads);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+        if let Some(obs) = obs {
+            engine.attach_obs(obs);
+        }
+        let report = engine.run();
+        let hit = engine.corrupt_random_labels(9);
+        let recovery = engine.step();
+        let silent = matches!(engine.step(), PhaseEvent::Stabilized { legal: true });
+        (
+            (
+                report.tree,
+                report.total_rounds,
+                report.labels_written,
+                report.improvements,
+                report.max_register_bits,
+                report.legal,
+            ),
+            hit,
+            recovery,
+            silent,
+            engine.nca_labels().to_vec(),
+            engine.redundant_labels().to_vec(),
+        )
+    };
+    let reference = run(1, None);
+    for &threads in &THREAD_COUNTS {
+        let obs = Obs::enabled();
+        assert_eq!(
+            run(threads, Some(obs.clone())),
+            reference,
+            "{threads} threads"
+        );
+        let trace = obs.trace().unwrap();
+        assert!(!trace.is_empty(), "{threads} threads: empty trace");
+        assert_eq!(trace.dropped(), 0, "{threads} threads");
     }
 }
 
