@@ -1,0 +1,130 @@
+//! Serving-layer throughput at scale: reader threads answering zipfian query mixes
+//! off epoch-pinned snapshots, swept over reader count × query mix × concurrent
+//! churn.
+//!
+//! Before timing anything the bench asserts the serving contracts:
+//!
+//! * **differential oracle** — every sampled answer equals direct traversal of the
+//!   pinned epoch's tree, including while the writer injects churn and republishes;
+//! * **decode-free** — no query on the packed store of a certified configuration
+//!   falls back to a full label decode;
+//! * **pin stability** — a reader holding an old epoch replays a query stream
+//!   bit-identically across a concurrent publication.
+//!
+//! `-- --smoke` runs a reduced grid (small n, readers ∈ {1, 4}); CI additionally
+//! gates the same contracts through `report -- --serve --smoke` at threads {1, 4}.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stst_core::engine::{CompositionEngine, EngineTask};
+use stst_core::EngineConfig;
+use stst_graph::generators;
+use stst_runtime::StoreMode;
+use stst_serve::{LoadGen, Query, QueryMix, ServeHub, QUERY_KINDS};
+
+const SEED: u64 = 83;
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, reader_counts): (usize, &[usize]) = if smoke {
+        (80, &[1, 4])
+    } else {
+        (2_000, &[1, 2, 4, 8])
+    };
+    let (waves, queries) = if smoke { (4, 20_000) } else { (12, 200_000) };
+    println!(
+        "serve_scale host: {}",
+        stst_bench::host_metadata_json(reader_counts)
+    );
+
+    // Gates (untimed): the oracle, decode-free and lockstep contracts across the
+    // reader grid, with churn running.
+    for &readers in reader_counts {
+        let run = stst_bench::serve_scale_run(n, waves, queries, readers, SEED);
+        assert_eq!(
+            run.mismatches, 0,
+            "readers={readers}: {} of {} sampled answers diverged from direct traversal",
+            run.mismatches, run.checked
+        );
+        assert_eq!(
+            run.full_decodes, 0,
+            "readers={readers}: certified packed labels must answer decode-free"
+        );
+        assert!(run.checked > 0 && run.epochs >= 1);
+        println!(
+            "serve_scale/{n}: readers={readers} {:.0} qps, {} epochs over {} churn batches, \
+             {}/{} oracle-checked",
+            run.qps(),
+            run.epochs,
+            run.batches,
+            run.checked - run.mismatches,
+            run.checked
+        );
+    }
+    {
+        // Lockstep: a pinned reader is indifferent to a concurrent publication.
+        let g = generators::workload(n, 6.0 / n as f64, SEED);
+        let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(SEED));
+        engine.run();
+        let hub = ServeHub::new(StoreMode::Packed);
+        hub.publish_from_engine(&engine);
+        let mut reader = hub.reader().expect("published");
+        let queries: Vec<Query> = {
+            let mut gen = LoadGen::new(n, 0.99, QueryMix::default_mix(), SEED);
+            (0..512).map(|_| gen.next_query()).collect()
+        };
+        let before: Vec<_> = queries.iter().map(|&q| reader.query(q)).collect();
+        hub.publish_from_engine(&engine);
+        assert!(reader.is_stale());
+        let after: Vec<_> = queries.iter().map(|&q| reader.query(q)).collect();
+        assert_eq!(before, after, "old-epoch answers moved under a publication");
+    }
+
+    let mut group = c.benchmark_group("serve_scale");
+    group
+        .sample_size(if smoke { 2 } else { 5 })
+        .measurement_time(Duration::from_secs(if smoke { 2 } else { 10 }))
+        .warm_up_time(Duration::from_millis(if smoke { 50 } else { 500 }));
+
+    // Readers × concurrent churn: the headline sweep.
+    for &readers in reader_counts {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("churned/{n}"), format!("readers={readers}")),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    black_box(stst_bench::serve_scale_run(
+                        n,
+                        waves.min(4),
+                        queries / 4,
+                        readers,
+                        SEED,
+                    ))
+                });
+            },
+        );
+    }
+
+    // Query-mix sweep on one pinned reader (pure per-query cost, no churn).
+    for kind in 0..QUERY_KINDS {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("mix/{n}"), Query::kind_name(kind)),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(stst_bench::serve_mix_run(
+                        n,
+                        queries / 4,
+                        QueryMix::only(kind),
+                        SEED,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space] [--soak] [--trace] [--threads=N]`
+//! Usage: `cargo run --release -p stst-bench --bin report [seed] [--json] [--smoke] [--space] [--soak] [--trace] [--serve] [--threads=N]`
 //!
 //! * `--json` emits machine-readable output — a `{host, tables}` document whose
 //!   `host` block records the logical core count and thread grid, so recorded
@@ -17,8 +17,15 @@
 //!   ordering, byte-exact JSONL round-trip, determinism transparency, the guard-counter
 //!   invariant, and the disabled-cost overhead gate. Exits 1 when any contract fails
 //!   (the CI gate); with `--json` the document embeds the full trace and registry;
-//! * `--threads=N` pins the worker thread count (defaults to the host grid). The `=`
-//!   form is required: a bare value would be read as the seed.
+//! * `--serve` runs the serving-layer scenario (S1/S2): reader threads answer
+//!   zipfian query mixes off epoch-pinned snapshots while the writer churns the
+//!   topology and republishes at every silence. Exits 1 when the differential
+//!   oracle catches a sampled answer diverging from direct tree traversal or a
+//!   packed query falls back to a full decode (the CI gate); with `--json` the
+//!   document is what `BENCH_serve.json` is recorded from;
+//! * `--threads=N` pins the worker thread count (for `--serve`, the reader-thread
+//!   grid becomes `[N]`; defaults to the host grid). The `=` form is required: a
+//!   bare value would be read as the seed.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,10 +40,37 @@ fn main() {
     let space = args.iter().any(|a| a == "--space");
     let soak = args.iter().any(|a| a == "--soak");
     let trace = args.iter().any(|a| a == "--trace");
+    let serve = args.iter().any(|a| a == "--serve");
     let threads_override: Option<usize> = args
         .iter()
         .find_map(|a| a.strip_prefix("--threads="))
         .and_then(|v| v.parse().ok());
+    if serve {
+        let grid: Vec<usize> = match threads_override {
+            Some(t) => vec![t],
+            None if smoke => vec![1, 4],
+            None => vec![1, 2, 4, 8],
+        };
+        let (n, waves, queries) = if smoke {
+            (80, 6, 30_000)
+        } else {
+            (2_000, 16, 400_000)
+        };
+        let (tables, passed) = stst_bench::serve_report(n, waves, queries, &grid, seed);
+        if json {
+            println!("{}", stst_bench::serve_json(&tables, &grid, passed));
+        } else {
+            println!("# Serve report (seed {seed})\n");
+            for table in &tables {
+                println!("{}\n", table.to_markdown());
+            }
+        }
+        if !passed {
+            eprintln!("serve differential oracle FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
     if trace {
         let threads = threads_override.unwrap_or_else(stst_bench::default_threads);
         let (n, waves) = if smoke { (60, 8) } else { (2_000, 24) };

@@ -17,12 +17,14 @@ use stst_core::nca_build::build_nca_labels;
 use stst_core::spanning::MinIdSpanningTree;
 use stst_core::switch::loop_free_switch;
 use stst_core::{construct_mdst, construct_mst, EngineConfig};
-use stst_graph::{bfs, fr, generators, mst, Graph, NodeId};
+use stst_graph::nca::NcaOracle;
+use stst_graph::{bfs, fr, generators, mst, Graph, NodeId, Tree};
 use stst_labeling::mst_fragments::fragment_guided_swap;
 use stst_labeling::redundant::RedundantScheme;
 use stst_labeling::scheme::{Instance, ProofLabelingScheme};
 use stst_obs::{check_wave_order, Obs, TraceBuffer, LAYERS};
 use stst_runtime::{Executor, ExecutorConfig, SchedulerKind, StoreMode};
+use stst_serve::{Answer, LoadGen, Query, QueryMix, ServeHub, ServeSnapshot, QUERY_KINDS};
 
 /// Renders a markdown table from a header and rows of strings.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -69,9 +71,15 @@ impl ExperimentTable {
 
     /// Renders the table as a JSON object (hand-rolled — the build is hermetic, so no
     /// serde; the format matches what `serde_json` would produce for this struct).
+    ///
+    /// Host metadata is deliberately NOT embedded per table: every report document
+    /// emits one `host` block at the top level and each table carries a `host_ref`
+    /// pointer to it, so recorded `BENCH_*.json` baselines state the multi-line
+    /// single-core caveat once instead of once per table.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":{},", json_string(&self.id)));
+        out.push_str("\"host_ref\":\"host\",");
         out.push_str(&format!("\"claim\":{},", json_string(&self.claim)));
         out.push_str(&format!(
             "\"headers\":{},",
@@ -1439,6 +1447,344 @@ pub fn small_workload(n: usize, seed: u64) -> Graph {
     generators::workload(n, 0.2, seed)
 }
 
+// ---------------------------------------------------------------------------
+// S1/S2 — the serving layer (`stst-serve`): query throughput off epoch-published
+// snapshots under concurrent churn, gated by the differential oracle.
+// ---------------------------------------------------------------------------
+
+/// Direct-traversal reference for serve answers: a depth table and an [`NcaOracle`]
+/// rebuilt from a pinned snapshot's own parent vector. `SameFragment` has no
+/// traversal form (its ground truth is the fragment partition, covered by
+/// `tests/serve_oracle.rs`), so [`ServeTraversal::expected`] returns `None` for it.
+struct ServeTraversal {
+    oracle: NcaOracle,
+    depths: Vec<usize>,
+}
+
+impl ServeTraversal {
+    fn of(snapshot: &ServeSnapshot) -> Self {
+        let tree = Tree::from_parents(snapshot.parents().to_vec())
+            .expect("published snapshots carry a well-formed tree");
+        let oracle = NcaOracle::new(&tree);
+        let depths = tree.depths();
+        ServeTraversal { oracle, depths }
+    }
+
+    fn expected(&self, query: Query) -> Option<Answer> {
+        match query {
+            Query::DistToRoot(v) => Some(Answer::Count(self.depths[v.0] as u64)),
+            Query::TreeDist(u, v) => {
+                // Distance from the precomputed depth table, not
+                // `NcaOracle::tree_distance` — that convenience recomputes the whole
+                // depth vector per call, which would dominate the sampled checks.
+                let nca = self.oracle.nca(u, v);
+                Some(Answer::Count(
+                    (self.depths[u.0] + self.depths[v.0] - 2 * self.depths[nca.0]) as u64,
+                ))
+            }
+            Query::NcaDepth(u, v) => {
+                Some(Answer::Count(self.depths[self.oracle.nca(u, v).0] as u64))
+            }
+            Query::Ancestor(u, v) => Some(Answer::Flag(self.oracle.is_ancestor(u, v))),
+            Query::SameFragment(..) => None,
+        }
+    }
+}
+
+/// Outcome of one timed serve run (see [`serve_scale_run`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeRunStats {
+    /// Reader threads.
+    pub threads: usize,
+    /// Queries answered across all readers.
+    pub queries: u64,
+    /// Answers sampled into the differential oracle.
+    pub checked: u64,
+    /// Sampled answers that disagreed with direct traversal (the gate: must be 0).
+    pub mismatches: u64,
+    /// Queries answered by streaming bit windows (no decode).
+    pub screened: u64,
+    /// Queries that fell back to a full label decode (must be 0 on certified
+    /// packed configurations).
+    pub full_decodes: u64,
+    /// Epochs the writer published during the run (1 = the initial publication).
+    pub epochs: u64,
+    /// Churn batches the writer injected while readers were querying.
+    pub batches: u64,
+    /// Wall time of the slowest reader thread, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ServeRunStats {
+    /// Aggregate queries per second: total queries over the slowest reader's wall
+    /// time (all readers start together, so this is the honest aggregate rate).
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// One serve run: `threads` readers each answer `queries_per_thread` zipfian-mixed
+/// queries off their pinned epochs while the writer injects `waves` of link churn
+/// and republishes at every silence. Every `CHECK_EVERY`-th answer is verified
+/// against direct traversal of the reader's *pinned* tree; readers re-pin every few
+/// thousand queries, so the run exercises epochs both behind and at the head.
+pub fn serve_scale_run(
+    n: usize,
+    waves: usize,
+    queries_per_thread: u64,
+    threads: usize,
+    seed: u64,
+) -> ServeRunStats {
+    const CHECK_EVERY: u64 = 64;
+    const REFRESH_EVERY: u64 = 4096;
+    let g = generators::workload(n, 6.0 / n as f64, seed);
+    // Link-only churn keeps the node set fixed across epochs, so one generator's
+    // node ids stay valid no matter which epoch a reader is pinned to.
+    let churn = trace::steady_poisson(&g, waves, 1.5, 0.0, seed);
+    let engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+    let mut driver = ChurnDriver::new(engine);
+    driver.stabilize();
+    let hub = ServeHub::new(StoreMode::Packed);
+    hub.publish_from_engine(driver.engine());
+
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+    let mut batches = 0u64;
+    let per_reader: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|reader| {
+                let hub = &hub;
+                let finished = &finished;
+                scope.spawn(move || {
+                    let mut rd = hub.reader().expect("published before the scope");
+                    let mut traversal = ServeTraversal::of(rd.snapshot());
+                    let mut gen =
+                        LoadGen::new(n, 0.99, QueryMix::default_mix(), seed ^ reader as u64);
+                    let (mut checked, mut mismatches) = (0u64, 0u64);
+                    let (mut screened, mut full_decodes) = (0u64, 0u64);
+                    let start = std::time::Instant::now();
+                    for i in 0..queries_per_thread {
+                        let query = gen.next_query();
+                        let answer = rd.query(query);
+                        if i % CHECK_EVERY == 0 {
+                            if let Some(expected) = traversal.expected(query) {
+                                checked += 1;
+                                mismatches += u64::from(answer != expected);
+                            }
+                        }
+                        if i % REFRESH_EVERY == REFRESH_EVERY - 1 {
+                            screened += rd.stats().screened;
+                            full_decodes += rd.stats().full_decodes;
+                            if rd.refresh() {
+                                traversal = ServeTraversal::of(rd.snapshot());
+                            }
+                        }
+                    }
+                    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    screened += rd.stats().screened;
+                    full_decodes += rd.stats().full_decodes;
+                    finished.fetch_add(1, std::sync::atomic::Ordering::Release);
+                    (wall_ns, checked, mismatches, screened, full_decodes)
+                })
+            })
+            .collect();
+        // The writer: inject churn and republish at every silence until the trace
+        // runs out or every reader is done. On a small host this thread competes
+        // with the readers for cores — that contention is part of what the run
+        // measures.
+        for batch in churn.batches.iter().filter(|b| !b.is_empty()) {
+            if finished.load(std::sync::atomic::Ordering::Acquire) == threads {
+                break;
+            }
+            driver.inject(batch);
+            batches += 1;
+            if driver.engine().is_publishable() {
+                hub.publish_from_engine(driver.engine());
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut stats = ServeRunStats {
+        threads,
+        queries: queries_per_thread * threads as u64,
+        checked: 0,
+        mismatches: 0,
+        screened: 0,
+        full_decodes: 0,
+        epochs: hub.epoch(),
+        batches,
+        wall_ns: 0,
+    };
+    for (wall_ns, checked, mismatches, screened, full_decodes) in per_reader {
+        stats.wall_ns = stats.wall_ns.max(wall_ns);
+        stats.checked += checked;
+        stats.mismatches += mismatches;
+        stats.screened += screened;
+        stats.full_decodes += full_decodes;
+    }
+    stats
+}
+
+/// Times one query mix on a single pinned reader (no churn): the per-kind cost rows
+/// of the S2 table. Returns `(queries, wall_ns, screened, full_decodes, mismatches)`.
+pub fn serve_mix_run(
+    n: usize,
+    queries: u64,
+    mix: QueryMix,
+    seed: u64,
+) -> (u64, u64, u64, u64, u64) {
+    let g = generators::workload(n, 6.0 / n as f64, seed);
+    let mut engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+    engine.run();
+    let hub = ServeHub::new(StoreMode::Packed);
+    hub.publish_from_engine(&engine);
+    let mut rd = hub.reader().expect("published");
+    let traversal = ServeTraversal::of(rd.snapshot());
+    let mut gen = LoadGen::new(n, 0.99, mix, seed);
+    let mut mismatches = 0u64;
+    let start = std::time::Instant::now();
+    for i in 0..queries {
+        let query = gen.next_query();
+        let answer = rd.query(query);
+        if i % 64 == 0 {
+            if let Some(expected) = traversal.expected(query) {
+                mismatches += u64::from(answer != expected);
+            }
+        }
+    }
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (
+        queries,
+        wall_ns,
+        rd.stats().screened,
+        rd.stats().full_decodes,
+        mismatches,
+    )
+}
+
+/// The serve report: S1 (throughput under churn across the thread grid) and S2
+/// (per-kind single-reader throughput). Returns the tables plus the gate verdict —
+/// `true` only if every sampled answer matched direct traversal AND no packed query
+/// fell back to a full decode.
+pub fn serve_report(
+    n: usize,
+    waves: usize,
+    queries_per_thread: u64,
+    thread_grid: &[usize],
+    seed: u64,
+) -> (Vec<ExperimentTable>, bool) {
+    let mut passed = true;
+    let mut rows = Vec::new();
+    let mut single_thread_qps = None;
+    for &threads in thread_grid {
+        let run = serve_scale_run(n, waves, queries_per_thread, threads, seed);
+        passed &= run.mismatches == 0 && run.full_decodes == 0;
+        if threads == 1 {
+            single_thread_qps = Some(run.qps());
+        }
+        // On a small host extra reader threads buy contention, not speedup; the
+        // column says which one this row measured.
+        let vs_single = single_thread_qps
+            .map(|base| format!("{:.2}", run.qps() / base))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            n.to_string(),
+            threads.to_string(),
+            run.queries.to_string(),
+            format!("{:.1}", run.wall_ns as f64 / 1e6),
+            format!("{:.0}", run.qps()),
+            format!("{:.0}", run.qps() / threads as f64),
+            vs_single,
+            run.epochs.to_string(),
+            run.batches.to_string(),
+            format!("{}/{}", run.checked - run.mismatches, run.checked),
+            format!(
+                "{:.1}",
+                100.0 * run.screened as f64 / (run.screened + run.full_decodes).max(1) as f64
+            ),
+        ]);
+    }
+    let s1 = ExperimentTable {
+        id: "S1".into(),
+        claim: format!(
+            "serve throughput under churn: {} queries/reader off pinned epochs while \
+             the writer injects link churn and republishes at every silence \
+             (aggregate-vs-1-reader is overhead on a {}-core host, speedup only when \
+             cores exceed readers)",
+            queries_per_thread,
+            logical_cores()
+        ),
+        headers: [
+            "n",
+            "readers",
+            "queries",
+            "wall ms",
+            "qps",
+            "qps/reader",
+            "vs 1 reader",
+            "epochs",
+            "churn batches",
+            "oracle ok",
+            "decode-free %",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+
+    let mix_queries = queries_per_thread / 2;
+    let mut rows = Vec::new();
+    let mixes: Vec<(String, QueryMix)> =
+        std::iter::once(("default".to_string(), QueryMix::default_mix()))
+            .chain((0..QUERY_KINDS).map(|k| (Query::kind_name(k).to_string(), QueryMix::only(k))))
+            .collect();
+    for (name, mix) in mixes {
+        let (queries, wall_ns, screened, full_decodes, mismatches) =
+            serve_mix_run(n, mix_queries, mix, seed);
+        passed &= mismatches == 0 && full_decodes == 0;
+        rows.push(vec![
+            name,
+            queries.to_string(),
+            format!("{:.0}", queries as f64 * 1e9 / wall_ns.max(1) as f64),
+            format!("{:.0}", wall_ns as f64 / queries.max(1) as f64),
+            screened.to_string(),
+            full_decodes.to_string(),
+        ]);
+    }
+    let s2 = ExperimentTable {
+        id: "S2".into(),
+        claim: "per-kind query cost on one pinned reader (no churn): every kind \
+                answers decode-free off the packed certificate store"
+            .into(),
+        headers: [
+            "mix",
+            "queries",
+            "qps",
+            "ns/query",
+            "screen hits",
+            "full decodes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+    };
+    (vec![s1, s2], passed)
+}
+
+/// The `report --serve --json` document (recorded as `BENCH_serve.json`): host
+/// metadata once at the top, the gate verdict, and the S1/S2 tables (which carry
+/// `host_ref` pointers back to the top-level block).
+pub fn serve_json(tables: &[ExperimentTable], thread_grid: &[usize], passed: bool) -> String {
+    format!(
+        "{{\"host\":{},\n \"passed\":{},\n \"tables\":{}}}",
+        host_metadata_json(thread_grid),
+        passed,
+        tables_to_json(tables)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1467,10 +1813,27 @@ mod tests {
         };
         assert_eq!(
             t.to_json(),
-            "{\"id\":\"E0\",\"claim\":\"say \\\"hi\\\"\\n\",\"headers\":[\"a\"],\"rows\":[[\"x\\\\y\"]]}"
+            "{\"id\":\"E0\",\"host_ref\":\"host\",\"claim\":\"say \\\"hi\\\"\\n\",\
+             \"headers\":[\"a\"],\"rows\":[[\"x\\\\y\"]]}"
         );
         let all = tables_to_json(&[t.clone(), t]);
         assert!(all.starts_with('[') && all.ends_with(']'));
+    }
+
+    #[test]
+    fn serve_report_passes_its_gates_at_toy_size() {
+        let (tables, passed) = serve_report(40, 3, 2_000, &[1, 2], 7);
+        assert!(passed, "oracle mismatches or full decodes at toy size");
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 2, "one S1 row per thread count");
+        assert_eq!(
+            tables[1].rows.len(),
+            1 + QUERY_KINDS,
+            "default mix + per-kind"
+        );
+        let json = serve_json(&tables, &[1, 2], passed);
+        assert!(json.starts_with("{\"host\":"));
+        assert!(json.contains("\"passed\":true"));
     }
 
     #[test]

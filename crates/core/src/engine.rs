@@ -578,6 +578,32 @@ impl<'g> CompositionEngine<'g> {
         self.phase == Phase::Done
     }
 
+    /// The composed construction this engine runs.
+    pub fn task(&self) -> EngineTask {
+        self.task
+    }
+
+    /// The codec field widths of the current instance (refreshed whenever a topology
+    /// delta commits).
+    pub fn codec_ctx(&self) -> CodecCtx {
+        self.ctx
+    }
+
+    /// `true` if the last verification wave accepted the configuration as legal.
+    pub fn is_legal(&self) -> bool {
+        self.legal
+    }
+
+    /// `true` when the configuration is a *silent* one a serving snapshot may be
+    /// published from: the composition is stabilized, no repair is pending and no
+    /// injected corruption is awaiting its verification wave. This is the publication
+    /// hook of the serving layer (`stst-serve`) — the paper's reason for silence is
+    /// that higher-level protocols consume the certified labels, and this predicate is
+    /// what guarantees they only ever consume a configuration every verifier accepted.
+    pub fn is_publishable(&self) -> bool {
+        self.is_stabilized() && !self.corrupted && self.pending.is_none()
+    }
+
     /// Runs the composition to silence and returns the measured report.
     ///
     /// # Panics

@@ -79,6 +79,16 @@ impl NcaLabel {
     pub fn is_ancestor_of(&self, other: &NcaLabel) -> bool {
         &nca_of_labels(self, other) == self
     }
+
+    /// Tree depth of the labelled node, recovered from the label alone: the sum of the
+    /// per-segment depths plus one edge per heavy-path change (each segment after the
+    /// first is entered by a light edge from the previous exit node). Labels produced
+    /// by [`nca_of_labels`] obey the same formula, which is what lets distance queries
+    /// run as `depth(a) + depth(b) − 2·depth(nca)` without touching the tree.
+    pub fn depth(&self) -> u64 {
+        let hops: u64 = self.segments.iter().map(|s| s.depth).sum();
+        hops + (self.segments.len() as u64).saturating_sub(1)
+    }
 }
 
 /// Computes the label of the nearest common ancestor of the nodes labelled `a` and `b`,

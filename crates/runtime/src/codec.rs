@@ -193,6 +193,14 @@ impl<'a> FieldReader<'a> {
         }
     }
 
+    /// Extracts one raw flag bit (a `bool` field or a presence bit whose payload the
+    /// caller reads field-by-field, e.g. the fragment tuple of an FR label). Raw bits
+    /// have no escape shape, so extraction is total.
+    #[inline]
+    pub fn bit(&mut self) -> bool {
+        self.r.read(1) == 1
+    }
+
     /// The number of bits consumed since construction.
     #[inline]
     pub fn bits_read(&self) -> u64 {

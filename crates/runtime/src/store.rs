@@ -26,7 +26,7 @@ use std::marker::PhantomData;
 use stst_graph::NodeId;
 
 use crate::bits::{BitReader, BitWriter};
-use crate::codec::{Codec, CodecCtx};
+use crate::codec::{Codec, CodecCtx, FieldReader};
 
 /// Which representation a [`ConfigStore`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -369,6 +369,20 @@ impl<S: Codec + Clone> ConfigStore<S> {
     pub fn raw_parts(&self) -> Option<(&[u64], u32)> {
         match &self.repr {
             Repr::Packed(b) if b.stride > 0 => Some((&b.heap, b.stride)),
+            _ => None,
+        }
+    }
+
+    /// A decode-free cursor positioned at the start of slot `v`'s register, for
+    /// escape-aware field extraction without constructing the decoded struct (the
+    /// serving layer's query hot path). `None` in struct mode, when the stride is
+    /// zero, or when the slot is absent — callers fall back to [`ConfigStore::get`].
+    #[inline]
+    pub fn field_reader(&self, v: NodeId) -> Option<FieldReader<'_>> {
+        match &self.repr {
+            Repr::Packed(b) if b.stride > 0 && b.is_present(v.0) => {
+                Some(FieldReader::new(&b.heap, v.0 as u64 * b.stride as u64))
+            }
             _ => None,
         }
     }

@@ -1,0 +1,221 @@
+//! Seeded query-load generation: zipfian-skewed endpoints, weighted query mixes.
+//!
+//! The vendored rand shim has no zipfian distribution, so this is the standard
+//! Gray et al. rejection-free inverse-CDF approximation (the YCSB generator):
+//! `zeta(n, θ)` is precomputed once, sampling is then O(1) per draw. Raw zipfian
+//! ranks cluster the hot keys at the low node ids; a fixed multiplicative hash
+//! scatters them across the id space (scrambled zipfian) so skew does not alias
+//! with the topology generator's id layout. Everything is seeded and deterministic:
+//! same seed, same query sequence — which is what lets the differential oracle and
+//! the lockstep tests replay identical load.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use stst_graph::NodeId;
+
+use crate::query::{Query, QUERY_KINDS};
+
+/// O(1) zipfian sampler over ranks `0..n` with exponent `theta` (0 < θ < 1).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    eta: f64,
+    threshold1: f64,
+    threshold2: f64,
+}
+
+impl Zipfian {
+    /// Precomputes `zeta(n, θ)` (one O(n) pass). `n` must be ≥ 1.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "zipfian needs a non-empty rank space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "the inverse-CDF approximation needs 0 < theta < 1"
+        );
+        let zetan: f64 = (1..=n as u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = 1.0 + 0.5f64.powf(theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n: n as u64,
+            theta,
+            eta,
+            threshold1: 1.0 / zetan,
+            threshold2: zeta2 / zetan,
+        }
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u = uniform_f64(rng);
+        if u < self.threshold1 {
+            return 0;
+        }
+        if self.n >= 2 && u < self.threshold2 {
+            return 1;
+        }
+        let rank = (self.n as f64
+            * (self.eta.mul_add(u, 1.0 - self.eta)).powf(1.0 / (1.0 - self.theta)))
+            as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of one `u64` draw (the shim has no
+/// float sampling).
+#[inline]
+fn uniform_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Scatters zipfian ranks across `0..n` with a fixed multiplicative hash, so the hot
+/// set is not the first few node ids (scrambled zipfian).
+#[inline]
+fn scramble(rank: u64, n: u64) -> u64 {
+    (rank.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(17)) % n
+}
+
+/// Relative weights of the five query kinds, indexed by [`Query::kind_index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryMix {
+    pub weights: [u32; QUERY_KINDS],
+}
+
+impl QueryMix {
+    /// The bench's default read mix: distance-heavy (the paper's routing consumers),
+    /// with NCA/ancestor/fragment lookups mixed in.
+    pub fn default_mix() -> Self {
+        QueryMix {
+            weights: [20, 40, 15, 15, 10],
+        }
+    }
+
+    /// A single-kind mix (per-kind throughput rows of the bench table).
+    pub fn only(kind: usize) -> Self {
+        let mut weights = [0; QUERY_KINDS];
+        weights[kind] = 1;
+        QueryMix { weights }
+    }
+
+    fn total(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+}
+
+/// Deterministic query stream: seeded rng, zipfian endpoints, weighted kinds.
+#[derive(Clone, Debug)]
+pub struct LoadGen {
+    rng: StdRng,
+    zipf: Zipfian,
+    mix: QueryMix,
+    mix_total: u32,
+    n: u64,
+}
+
+impl LoadGen {
+    /// A generator over `n` nodes with zipfian exponent `theta` (0.99 is the
+    /// conventional heavy skew) and the given kind mix.
+    pub fn new(n: usize, theta: f64, mix: QueryMix, seed: u64) -> Self {
+        assert!(mix.total() > 0, "the query mix must have positive weight");
+        LoadGen {
+            rng: StdRng::seed_from_u64(seed ^ 0x5e7e),
+            zipf: Zipfian::new(n, theta),
+            mix_total: mix.total(),
+            mix,
+            n: n as u64,
+        }
+    }
+
+    fn node(&mut self) -> NodeId {
+        let rank = self.zipf.sample(&mut self.rng);
+        NodeId(scramble(rank, self.n) as usize)
+    }
+
+    /// Draws the next query.
+    pub fn next_query(&mut self) -> Query {
+        let mut pick = (self.rng.next_u64() % self.mix_total as u64) as u32;
+        let mut kind = 0;
+        for (index, &weight) in self.mix.weights.iter().enumerate() {
+            if pick < weight {
+                kind = index;
+                break;
+            }
+            pick -= weight;
+        }
+        let u = self.node();
+        match kind {
+            0 => Query::DistToRoot(u),
+            1 => Query::TreeDist(u, self.node()),
+            2 => Query::NcaDepth(u, self.node()),
+            3 => Query::Ancestor(u, self.node()),
+            _ => Query::SameFragment(u, self.node()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = LoadGen::new(500, 0.99, QueryMix::default_mix(), 7);
+        let mut b = LoadGen::new(500, 0.99, QueryMix::default_mix(), 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+        let mut c = LoadGen::new(500, 0.99, QueryMix::default_mix(), 8);
+        assert!(
+            (0..1000).any(|_| a.next_query() != c.next_query()),
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            let rank = zipf.sample(&mut rng) as usize;
+            assert!(rank < 1000);
+            counts[rank] += 1;
+        }
+        // Rank 0 dominates and the head outweighs the tail by a wide margin.
+        assert!(counts[0] > counts[10] && counts[10] > 0);
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[500..].iter().sum();
+        assert!(
+            head > 4 * tail,
+            "zipf(0.99) head {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn single_kind_mix_only_emits_that_kind() {
+        for kind in 0..QUERY_KINDS {
+            let mut gen = LoadGen::new(64, 0.9, QueryMix::only(kind), 11);
+            for _ in 0..200 {
+                assert_eq!(gen.next_query().kind_index(), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_spreads_the_hot_ranks() {
+        let hot: Vec<u64> = (0..10).map(|r| scramble(r, 1000)).collect();
+        let mut sorted = hot.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            hot.len(),
+            "hot keys must not collide: {hot:?}"
+        );
+        assert!(
+            hot.iter().any(|&k| k > 100),
+            "hot set should leave the low ids"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Serving tour: publish the silent configuration as an epoch, answer
+//! distance/NCA/fragment queries from the certificates alone while churn mutates
+//! the topology, and cross the epoch boundary with `refresh()`.
+//!
+//! The pinned epoch is the whole story: the reader's answers are bit-identical for
+//! as long as the pin is held — the writer republishing underneath changes nothing
+//! until the reader opts in. With an `Obs` handle attached, the reader's tallies
+//! land in the metrics registry at the refresh (never per query).
+//!
+//! Run with `cargo run --release --example serve_queries`.
+
+use self_stabilizing_spanning_trees::churn::{trace, ChurnDriver};
+use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTask};
+use self_stabilizing_spanning_trees::core::EngineConfig;
+use self_stabilizing_spanning_trees::graph::{generators, NodeId};
+use self_stabilizing_spanning_trees::obs::Obs;
+use self_stabilizing_spanning_trees::runtime::StoreMode;
+use self_stabilizing_spanning_trees::serve::{LoadGen, Query, QueryMix, ServeHub};
+
+fn main() {
+    let graph = generators::workload(64, 0.15, 7);
+    let engine = CompositionEngine::new(&graph, EngineTask::Mst, EngineConfig::seeded(7));
+    let mut driver = ChurnDriver::new(engine);
+    let report = driver.stabilize();
+    println!("stabilized the MST in {} rounds", report.total_rounds);
+
+    // Publish the silent configuration: epoch 1.
+    let mut hub = ServeHub::new(StoreMode::Packed);
+    let obs = Obs::enabled();
+    hub.attach_obs(obs.clone());
+    hub.publish_from_engine(driver.engine());
+    let mut reader = hub.reader().expect("published");
+    println!(
+        "pinned epoch {} (wave {})",
+        reader.epoch(),
+        reader.snapshot().wave()
+    );
+
+    // Answer a few queries off the certificates — no tree walk, no decode.
+    let (u, v) = (NodeId(3), NodeId(40));
+    println!(
+        "  dist_to_root({u:?})  = {:?}",
+        reader.query(Query::DistToRoot(u))
+    );
+    println!(
+        "  tree_dist({u:?},{v:?}) = {:?}",
+        reader.query(Query::TreeDist(u, v))
+    );
+    println!(
+        "  nca_depth({u:?},{v:?}) = {:?}",
+        reader.query(Query::NcaDepth(u, v))
+    );
+    println!(
+        "  same_fragment        = {:?}",
+        reader.query(Query::SameFragment(u, v))
+    );
+
+    // The writer churns the topology and republishes at every silence. The pinned
+    // reader does not move: its answers stay bit-identical.
+    let before = reader.query(Query::TreeDist(u, v));
+    for batch in &trace::steady_poisson(&graph, 6, 1.5, 0.0, 7).batches {
+        if batch.is_empty() {
+            continue;
+        }
+        driver.inject(batch);
+        if driver.engine().is_publishable() {
+            hub.publish_from_engine(driver.engine());
+        }
+    }
+    assert_eq!(before, reader.query(Query::TreeDist(u, v)));
+    println!(
+        "\nwriter published through epoch {}; pinned reader still at epoch {} \
+         ({} waves stale), answers unchanged",
+        hub.epoch(),
+        reader.epoch(),
+        reader.staleness_waves()
+    );
+
+    // A burst of zipfian load, then the epoch boundary: refresh() flushes the
+    // reader's tallies into the registry and re-pins the newest snapshot.
+    let mut gen = LoadGen::new(graph.node_count(), 0.99, QueryMix::default_mix(), 7);
+    for _ in 0..10_000 {
+        let query = gen.next_query();
+        reader.query(query);
+    }
+    reader.refresh();
+    println!(
+        "refreshed to epoch {}; tree_dist({u:?},{v:?}) on the churned tree = {:?}",
+        reader.epoch(),
+        reader.query(Query::TreeDist(u, v))
+    );
+
+    let registry = obs.registry().expect("enabled");
+    println!(
+        "\nmetrics: queries_served={} screen_hits={} full_decodes={} staleness_waves={}",
+        registry.counter_value("queries_served").unwrap_or(0),
+        registry.counter_value("serve_screen_hits").unwrap_or(0),
+        registry.counter_value("serve_full_decodes").unwrap_or(0),
+        registry
+            .gauge_value("snapshot_staleness_waves")
+            .unwrap_or(0),
+    );
+}

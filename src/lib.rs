@@ -17,6 +17,10 @@
 //! * [`churn`] — live topology churn: the event model, seeded deterministic trace
 //!   generators (steady Poisson churn, link flapping, partition-and-heal, weight
 //!   drift), and the wave-boundary churn driver with measured per-event recovery.
+//! * [`serve`] — the serving layer: epoch-published immutable snapshots of each
+//!   silent configuration, a decode-free distance/NCA/fragment query engine over the
+//!   packed certificate stores, and seeded zipfian load generation. Readers pin an
+//!   epoch and answer queries lock-free while the engine keeps repairing under churn.
 //! * [`baselines`] — comparator algorithms used by the experiment harness.
 //! * [`obs`] — zero-dependency observability: the metrics registry (counters, gauges,
 //!   log2-bucketed histograms with Prometheus/JSON export), wave-level typed trace
@@ -71,3 +75,4 @@ pub use stst_graph as graph;
 pub use stst_labeling as labeling;
 pub use stst_obs as obs;
 pub use stst_runtime as runtime;
+pub use stst_serve as serve;

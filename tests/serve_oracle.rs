@@ -1,0 +1,340 @@
+//! Differential oracle and reader-vs-writer lockstep for the serving layer.
+//!
+//! * **Every answer equals direct tree traversal** on the pinned epoch's tree: the
+//!   label-only query engine is checked against an [`NcaOracle`] + depth table built
+//!   from the snapshot's own parent vector, for every pair of nodes, on both tasks
+//!   and both store modes. Fragment answers are checked against the fragment
+//!   *structures* (the FR certificate's good/fragment partition; the Borůvka level
+//!   traces of a fresh prover).
+//! * **Decode-free means decode-free**: on packed stores of a certified (fault-free)
+//!   configuration, no query may fall back to a full decode.
+//! * **Reader-vs-writer lockstep**: a reader pinned to an old epoch replays a query
+//!   stream bit-identically before and after the writer publishes a new epoch under
+//!   churn — across engine thread counts {1, 2, 8} and both store modes — and every
+//!   (mode, threads) combination serves the same answers.
+//! * **Wave-boundary flushing**: obs counters stay at zero until the reader's epoch
+//!   boundary, then account exactly the queries served; enabled observability never
+//!   changes an answer.
+
+use self_stabilizing_spanning_trees::churn::{trace, ChurnDriver};
+use self_stabilizing_spanning_trees::core::engine::{CompositionEngine, EngineTask};
+use self_stabilizing_spanning_trees::core::EngineConfig;
+use self_stabilizing_spanning_trees::graph::nca::NcaOracle;
+use self_stabilizing_spanning_trees::graph::{fr, generators, Graph, NodeId, Tree};
+use self_stabilizing_spanning_trees::labeling::mst_fragments::assign_fragment_labels;
+use self_stabilizing_spanning_trees::obs::Obs;
+use self_stabilizing_spanning_trees::runtime::StoreMode;
+use self_stabilizing_spanning_trees::serve::{
+    Answer, LoadGen, Query, QueryMix, ServeHub, ServeSnapshot,
+};
+
+const MODES: [StoreMode; 2] = [StoreMode::Packed, StoreMode::Struct];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Depth table + NCA oracle rebuilt from the snapshot's own parent vector — the
+/// direct-traversal reference every label-derived answer is compared against.
+struct TraversalOracle {
+    tree: Tree,
+    oracle: NcaOracle,
+    depths: Vec<usize>,
+}
+
+impl TraversalOracle {
+    fn of(snapshot: &ServeSnapshot) -> Self {
+        let tree = Tree::from_parents(snapshot.parents().to_vec())
+            .expect("published snapshots carry a well-formed tree");
+        let oracle = NcaOracle::new(&tree);
+        let depths = tree.depths();
+        TraversalOracle {
+            tree,
+            oracle,
+            depths,
+        }
+    }
+
+    fn expected(&self, query: Query) -> Option<Answer> {
+        match query {
+            Query::DistToRoot(v) => Some(Answer::Count(self.depths[v.0] as u64)),
+            Query::TreeDist(u, v) => Some(Answer::Count(
+                self.oracle.tree_distance(&self.tree, u, v) as u64,
+            )),
+            Query::NcaDepth(u, v) => {
+                Some(Answer::Count(self.depths[self.oracle.nca(u, v).0] as u64))
+            }
+            Query::Ancestor(u, v) => Some(Answer::Flag(self.oracle.is_ancestor(u, v))),
+            Query::SameFragment(..) => None, // fragment structure is checked separately
+        }
+    }
+}
+
+fn stabilized(graph: &Graph, task: EngineTask, seed: u64, threads: usize) -> CompositionEngine<'_> {
+    let config = EngineConfig::seeded(seed).with_threads(threads);
+    let mut engine = CompositionEngine::new(graph, task, config);
+    engine.run();
+    engine
+}
+
+#[test]
+fn answers_match_direct_traversal_on_the_pinned_tree() {
+    for task in [EngineTask::Mst, EngineTask::Mdst] {
+        let g = generators::workload(40, 0.3, 9);
+        let engine = stabilized(&g, task, 9, 1);
+        for mode in MODES {
+            let hub = ServeHub::new(mode);
+            hub.publish_from_engine(&engine);
+            let mut reader = hub.reader().expect("published");
+            let oracle = TraversalOracle::of(reader.snapshot());
+            let n = reader.snapshot().node_count();
+            for u in 0..n {
+                for v in 0..n {
+                    let (u, v) = (NodeId(u), NodeId(v));
+                    for query in [
+                        Query::TreeDist(u, v),
+                        Query::NcaDepth(u, v),
+                        Query::Ancestor(u, v),
+                    ] {
+                        assert_eq!(
+                            reader.query(query),
+                            oracle.expected(query).unwrap(),
+                            "{task:?}/{mode:?}: {query:?}"
+                        );
+                    }
+                }
+                let query = Query::DistToRoot(NodeId(u));
+                assert_eq!(
+                    reader.query(query),
+                    oracle.expected(query).unwrap(),
+                    "{task:?}/{mode:?}: {query:?}"
+                );
+            }
+            let stats = reader.stats();
+            match mode {
+                StoreMode::Packed => assert_eq!(
+                    stats.full_decodes, 0,
+                    "{task:?}: certified packed labels must answer decode-free"
+                ),
+                StoreMode::Struct => assert_eq!(
+                    stats.screened, 0,
+                    "{task:?}: struct stores have no bit windows to screen"
+                ),
+            }
+            assert_eq!(stats.total(), (3 * n * n + n) as u64);
+        }
+    }
+}
+
+#[test]
+fn fragment_answers_match_the_fragment_structures() {
+    // MDST: the FR certificate's good/fragment partition is the ground truth.
+    let g = generators::workload(36, 0.3, 4);
+    let engine = stabilized(&g, EngineTask::Mdst, 4, 1);
+    let cert = fr::fr_certificate(engine.graph(), engine.tree())
+        .expect("silent MDST configurations certify FR-trees");
+    for mode in MODES {
+        let hub = ServeHub::new(mode);
+        hub.publish_from_engine(&engine);
+        let mut reader = hub.reader().expect("published");
+        let n = reader.snapshot().node_count();
+        for u in 0..n {
+            for v in 0..n {
+                let expected = cert.good[u] && cert.good[v] && cert.fragment[u] == cert.fragment[v];
+                assert_eq!(
+                    reader.query(Query::SameFragment(NodeId(u), NodeId(v))),
+                    Answer::Flag(expected),
+                    "MDST/{mode:?}: fragment({u}, {v})"
+                );
+            }
+        }
+    }
+    // MST: deepest-common-level equality over a fresh prover's Borůvka traces.
+    let engine = stabilized(&g, EngineTask::Mst, 4, 1);
+    let labels = assign_fragment_labels(engine.graph(), engine.tree());
+    for mode in MODES {
+        let hub = ServeHub::new(mode);
+        hub.publish_from_engine(&engine);
+        let mut reader = hub.reader().expect("published");
+        let n = reader.snapshot().node_count();
+        for u in 0..n {
+            for v in 0..n {
+                let level = labels[u].levels.len().min(labels[v].levels.len());
+                let expected = level > 0
+                    && labels[u].levels[level - 1].fragment == labels[v].levels[level - 1].fragment;
+                assert_eq!(
+                    reader.query(Query::SameFragment(NodeId(u), NodeId(v))),
+                    Answer::Flag(expected),
+                    "MST/{mode:?}: fragment({u}, {v})"
+                );
+            }
+        }
+        if mode == StoreMode::Packed {
+            assert_eq!(
+                reader.stats().full_decodes,
+                0,
+                "fragment queries screen too"
+            );
+        }
+    }
+}
+
+/// Replays `count` queries from a fresh generator against the reader.
+fn replay(
+    reader: &mut self_stabilizing_spanning_trees::serve::ServeReader<'_>,
+    count: usize,
+    seed: u64,
+) -> Vec<Answer> {
+    let n = reader.snapshot().node_count();
+    let mut gen = LoadGen::new(n, 0.99, QueryMix::default_mix(), seed);
+    (0..count).map(|_| reader.query(gen.next_query())).collect()
+}
+
+#[test]
+fn pinned_readers_are_immune_to_concurrent_publications() {
+    let seed = 5;
+    let g = generators::workload(48, 0.25, seed);
+    // Link-only churn keeps the node set fixed, so one query stream is valid
+    // against every epoch.
+    let churn = trace::steady_poisson(&g, 4, 1.5, 0.0, seed);
+    let mut all_before: Vec<Vec<Answer>> = Vec::new();
+    let mut all_after: Vec<Vec<Answer>> = Vec::new();
+    for mode in MODES {
+        for threads in THREADS {
+            let config = EngineConfig::seeded(seed).with_threads(threads);
+            let engine = CompositionEngine::new(&g, EngineTask::Mst, config);
+            let mut driver = ChurnDriver::new(engine);
+            driver.stabilize();
+            let mut hub = ServeHub::new(mode);
+            hub.attach_obs(Obs::enabled());
+            let first_epoch = hub.publish_from_engine(driver.engine());
+            assert_eq!(first_epoch, 1);
+            let mut reader = hub.reader().expect("published");
+            let before = replay(&mut reader, 400, seed);
+
+            // The writer mutates topology and publishes a new silent configuration.
+            let mut published = 1;
+            for batch in churn.batches.iter().filter(|b| !b.is_empty()) {
+                driver.inject(batch);
+                if driver.engine().is_publishable() {
+                    published = hub.publish_from_engine(driver.engine());
+                }
+            }
+            assert!(published > 1, "churn should yield further publications");
+            assert!(reader.is_stale());
+            assert_eq!(reader.epoch(), 1, "the pin does not move on its own");
+
+            // Bit-identical replay off the old pin, indifferent to the publications.
+            let after = replay(&mut reader, 400, seed);
+            assert_eq!(
+                before, after,
+                "{mode:?}/{threads}t: old-epoch answers moved"
+            );
+
+            // The epoch boundary: the reader re-pins and now serves the new tree,
+            // agreeing bit for bit with a brand-new reader.
+            assert!(reader.refresh());
+            assert_eq!(reader.epoch(), published);
+            assert_eq!(reader.staleness_waves(), 0);
+            let refreshed = replay(&mut reader, 400, seed);
+            let mut fresh = hub.reader().expect("published");
+            assert_eq!(refreshed, replay(&mut fresh, 400, seed));
+
+            all_before.push(before);
+            all_after.push(refreshed);
+        }
+    }
+    // Engines are bit-identical across thread counts and store representation is
+    // transparent, so every (mode, threads) combination serves the same answers.
+    for sig in &all_before[1..] {
+        assert_eq!(
+            sig, &all_before[0],
+            "pre-churn answers diverge across combos"
+        );
+    }
+    for sig in &all_after[1..] {
+        assert_eq!(
+            sig, &all_after[0],
+            "post-churn answers diverge across combos"
+        );
+    }
+}
+
+#[test]
+fn concurrent_readers_verify_against_their_own_pinned_epoch_while_the_writer_churns() {
+    let seed = 11;
+    let g = generators::workload(48, 0.25, seed);
+    let churn = trace::steady_poisson(&g, 5, 1.5, 0.0, seed);
+    let engine = CompositionEngine::new(&g, EngineTask::Mst, EngineConfig::seeded(seed));
+    let mut driver = ChurnDriver::new(engine);
+    driver.stabilize();
+    let hub = ServeHub::new(StoreMode::Packed);
+    hub.publish_from_engine(driver.engine());
+    std::thread::scope(|scope| {
+        for reader_seed in 0..4u64 {
+            let hub = &hub;
+            scope.spawn(move || {
+                let mut reader = hub.reader().expect("published");
+                let mut oracle = TraversalOracle::of(reader.snapshot());
+                let n = reader.snapshot().node_count();
+                let mut gen = LoadGen::new(n, 0.99, QueryMix::default_mix(), reader_seed);
+                for i in 0..6000 {
+                    let query = gen.next_query();
+                    let answer = reader.query(query);
+                    // Every traversal-checkable answer is verified against the
+                    // reader's *own pinned* tree — publications by the writer must
+                    // never bleed into a pinned epoch.
+                    if let Some(expected) = oracle.expected(query) {
+                        assert_eq!(answer, expected, "reader {reader_seed}: {query:?}");
+                    }
+                    if i % 1024 == 1023 && reader.refresh() {
+                        oracle = TraversalOracle::of(reader.snapshot());
+                    }
+                }
+                assert_eq!(reader.stats().full_decodes, 0);
+            });
+        }
+        // Writer: churn → silence → publish, concurrently with the readers.
+        for batch in churn.batches.iter().filter(|b| !b.is_empty()) {
+            driver.inject(batch);
+            if driver.engine().is_publishable() {
+                hub.publish_from_engine(driver.engine());
+            }
+        }
+    });
+    assert!(hub.epoch() > 1);
+}
+
+#[test]
+fn obs_tallies_flush_at_epoch_boundaries_only() {
+    let g = generators::workload(32, 0.3, 2);
+    let engine = stabilized(&g, EngineTask::Mst, 2, 1);
+    let mut hub = ServeHub::new(StoreMode::Packed);
+    let obs = Obs::enabled();
+    hub.attach_obs(obs.clone());
+    hub.publish_from_engine(&engine);
+    let registry = obs.registry().expect("enabled");
+    assert_eq!(registry.counter_value("serve_snapshots_published"), Some(1));
+
+    let mut reader = hub.reader().expect("published");
+    let answers: Vec<Answer> = replay(&mut reader, 300, 2);
+    // Nothing reaches the registry on the per-query path.
+    assert_eq!(registry.counter_value("queries_served"), None);
+    reader.refresh();
+    assert_eq!(registry.counter_value("queries_served"), Some(300));
+    assert_eq!(registry.counter_value("serve_full_decodes"), Some(0));
+    assert_eq!(registry.counter_value("serve_screen_hits"), Some(300));
+    assert_eq!(registry.gauge_value("snapshot_staleness_waves"), Some(0));
+    let per_kind: u64 = (0..self_stabilizing_spanning_trees::serve::QUERY_KINDS)
+        .filter_map(|k| registry.counter_value(&format!("queries_served_{}", Query::kind_name(k))))
+        .sum();
+    assert_eq!(per_kind, 300, "per-kind counters partition the total");
+
+    // Dropping a reader flushes what is left.
+    let _ = replay(&mut reader, 50, 3);
+    drop(reader);
+    assert_eq!(registry.counter_value("queries_served"), Some(350));
+
+    // Determinism transparency: a disabled-obs hub serves bit-identical answers.
+    let silent_hub = ServeHub::new(StoreMode::Packed);
+    silent_hub.publish_from_engine(&engine);
+    let mut silent_reader = silent_hub.reader().expect("published");
+    assert_eq!(answers, replay(&mut silent_reader, 300, 2));
+}
